@@ -1,0 +1,1 @@
+bench/fig_cloud.ml: Array Cloudsim Float Printf Prng Seq Stats String Util

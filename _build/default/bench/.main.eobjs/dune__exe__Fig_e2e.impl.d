@@ -1,0 +1,1 @@
+bench/fig_e2e.ml: Array Cloudia Cloudsim Graphs List Printf Prng Stats Util Workloads

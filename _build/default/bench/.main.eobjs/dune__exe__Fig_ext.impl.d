@@ -1,0 +1,1 @@
+bench/fig_ext.ml: Array Cloudia Cloudsim Float Graphs Hashtbl List Netmeasure Printf Prng Stats Unix Util Workloads

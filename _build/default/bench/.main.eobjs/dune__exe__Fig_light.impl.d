@@ -1,0 +1,1 @@
+bench/fig_light.ml: Cloudia Float Graphs Hashtbl List Printf Prng Util

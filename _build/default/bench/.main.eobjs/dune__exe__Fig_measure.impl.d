@@ -1,0 +1,1 @@
+bench/fig_measure.ml: Array Cloudsim Float List Netmeasure Printf Prng Stats Util

@@ -1,0 +1,1 @@
+bench/fig_solver.ml: Cloudia Cloudsim Graphs List Printf Prng String Unix Util

@@ -1,0 +1,1 @@
+bench/main.ml: Array Fig_cloud Fig_e2e Fig_ext Fig_light Fig_measure Fig_solver List Micro Printf Sys Unix

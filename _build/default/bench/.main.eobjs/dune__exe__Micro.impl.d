@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Cloudia Cp Graphs Hashtbl Instance List Lp Measure Printf Prng Staged Stats Test Time Toolkit Util

@@ -1,0 +1,1 @@
+bench/util.ml: Array Cloudia Cloudsim Filename List Out_channel Printf Prng Stats String Sys

@@ -1,0 +1,68 @@
+(* Figures 1, 2, 18, 19, 20, 21: latency heterogeneity CDFs and mean-latency
+   stability time series for the three provider presets. *)
+
+let heterogeneity id provider_name count paper_note =
+  Util.section id
+    (Printf.sprintf "latency heterogeneity in %s"
+       (Cloudsim.Provider.to_string provider_name));
+  Printf.printf "paper: %s\n\n" paper_note;
+  let env = Util.env_of (Util.provider provider_name) ~count in
+  let means = Util.link_means env in
+  let csv =
+    String.lowercase_ascii id
+    |> String.to_seq
+    |> Seq.filter (fun c -> c <> '.' && c <> ' ')
+    |> String.of_seq
+  in
+  Util.print_cdf ~csv (Printf.sprintf "pairwise mean latency, %d instances" count) means;
+  let cdf = Stats.Cdf.of_samples means in
+  Printf.printf "\n  p05 = %.3f ms, p10 = %.3f ms, p90 = %.3f ms, p95 = %.3f ms\n"
+    (Stats.Cdf.inverse cdf 0.05) (Stats.Cdf.inverse cdf 0.10)
+    (Stats.Cdf.inverse cdf 0.90) (Stats.Cdf.inverse cdf 0.95)
+
+let stability id provider_name ~buckets ~bucket_hours paper_note =
+  Util.section id
+    (Printf.sprintf "mean latency stability in %s"
+       (Cloudsim.Provider.to_string provider_name));
+  Printf.printf "paper: %s\n\n" paper_note;
+  let env = Util.env_of (Util.provider provider_name) ~count:20 in
+  let rng = Prng.create 7 in
+  Printf.printf "%d buckets of %.0f h; four representative links:\n" buckets bucket_hours;
+  Printf.printf "  %-10s %10s %14s %10s %10s\n" "link" "true mean" "observed mean" "sd" "max jump";
+  for link = 0 to 3 do
+    let i = link and j = link + 10 in
+    let series = Cloudsim.Env.time_series rng env i j ~buckets in
+    let max_jump = ref 0.0 in
+    Array.iteri
+      (fun k v -> if k > 0 then max_jump := Float.max !max_jump (Float.abs (v -. series.(k - 1))))
+      series;
+    Printf.printf "  link %d     %7.3f ms %11.3f ms %7.3f ms %7.3f ms\n" (link + 1)
+      (Cloudsim.Env.mean_latency env i j)
+      (Stats.Summary.mean series) (Stats.Summary.stddev series) !max_jump
+  done;
+  Printf.printf "\n  (sd well below the spread across links: means are stable,\n";
+  Printf.printf "   so a deployment chosen from measured means stays good)\n"
+
+let fig1 () =
+  heterogeneity "Fig. 1" Cloudsim.Provider.Ec2 100
+    "100 EC2 m1.large: ~10% of pairs above 0.7 ms, bottom ~10% below 0.4 ms"
+
+let fig2 () =
+  stability "Fig. 2" Cloudsim.Provider.Ec2 ~buckets:100 ~bucket_hours:2.0
+    "4 links over 200 h averaged every 2 h: stable per-link means"
+
+let fig18 () =
+  heterogeneity "Fig. 18" Cloudsim.Provider.Gce 50
+    "50 GCE n1-standard-1: ~5% of pairs below 0.32 ms, top ~5% above 0.5 ms"
+
+let fig19 () =
+  stability "Fig. 19" Cloudsim.Provider.Gce ~buckets:60 ~bucket_hours:1.0
+    "4 links over 60 h: stable means, smaller heterogeneity than EC2"
+
+let fig20 () =
+  heterogeneity "Fig. 20" Cloudsim.Provider.Rackspace 50
+    "50 Rackspace performance 1-1: ~5% below 0.24 ms, top ~5% above 0.38 ms"
+
+let fig21 () =
+  stability "Fig. 21" Cloudsim.Provider.Rackspace ~buckets:60 ~bucket_hours:1.0
+    "4 links over 60 h: effects in line with GCE"

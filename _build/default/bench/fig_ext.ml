@@ -1,0 +1,249 @@
+(* Extension benches: the paper's future-work items (Sect. 8) and the
+   dynamic re-deployment sketch (Sect. 2.2.1), built out in this
+   repository and measured here. *)
+
+let ext_weighted () =
+  Util.section "Extension" "weighted communication graphs (Sect. 8 future work)";
+  Printf.printf
+    "A 4x4 mesh whose interior links carry 4x the traffic. The weighted CP\n\
+    \ solver should beat the unweighted one on the weighted objective.\n\n";
+  let rows = 4 and cols = 4 in
+  let graph = Graphs.Templates.mesh2d ~rows ~cols in
+  let env = Util.env_of ~seed:131 Util.ec2 ~count:(rows * cols * 12 / 10) in
+  let problem = Util.problem_of ~seed:132 env graph in
+  let interior node =
+    let r = node / cols and c = node mod cols in
+    r > 0 && r < rows - 1 && c > 0 && c < cols - 1
+  in
+  let w =
+    Cloudia.Weighted.make problem ~weight:(fun i i' ->
+        if interior i && interior i' then 4.0 else 1.0)
+  in
+  Printf.printf "  %-20s %14s\n" "solver" "weighted LL";
+  let show name cost = Printf.printf "  %-20s %11.3f ms\n" name cost in
+  show "default" (Cloudia.Weighted.longest_link w (Cloudia.Types.identity_plan problem));
+  (* Fine clustering: coarse rounding blurs exactly the weighted/unweighted
+     distinction this section demonstrates. *)
+  let options = Util.cp_options ~clusters:(Some 60) ~time_limit:8.0 () in
+  show "CP unweighted"
+    (Cloudia.Weighted.longest_link w
+       (Cloudia.Cp_solver.solve ~options (Prng.create 133) problem).Cloudia.Cp_solver.plan);
+  show "CP weighted" (Cloudia.Weighted.solve_cp ~options (Prng.create 133) w).Cloudia.Cp_solver.cost;
+  show "G2 weighted" (Cloudia.Weighted.longest_link w (Cloudia.Weighted.g2 w));
+  show "anneal weighted"
+    (Cloudia.Weighted.solve_anneal
+       ~options:{ Cloudia.Anneal.default_options with Cloudia.Anneal.time_limit = 2.0 }
+       Cloudia.Cost.Longest_link (Prng.create 134) w)
+      .Cloudia.Anneal.cost
+
+let ext_bandwidth () =
+  Util.section "Extension" "bottleneck-bandwidth criterion (Sect. 8 future work)";
+  Printf.printf
+    "Maximize the minimum link bandwidth of a ring pipeline: minimizing the\n\
+    \ longest link of the reciprocal matrix reuses the whole LLNDP stack.\n\n";
+  Printf.printf "  %-10s %18s %18s\n" "nodes" "default Gbit/s" "optimized Gbit/s";
+  List.iter
+    (fun nodes ->
+      let env = Util.env_of ~seed:(140 + nodes) Util.ec2 ~count:(nodes * 12 / 10) in
+      let graph = Graphs.Templates.ring ~n:nodes in
+      let default = Cloudia.Bandwidth.bottleneck_gbps env graph (Array.init nodes (fun i -> i)) in
+      let _, optimized =
+        Cloudia.Bandwidth.solve_cp
+          ~options:(Util.cp_options ~clusters:(Some 20) ~time_limit:3.0 ())
+          (Prng.create (150 + nodes))
+          env graph
+      in
+      Printf.printf "  %-10d %15.2f %18.2f\n" nodes default optimized)
+    [ 6; 10; 14 ]
+
+let ext_redeploy () =
+  Util.section "Extension" "iterative re-deployment under changing conditions (Sect. 2.2.1)";
+  Printf.printf
+    "20 epochs, 40%% change probability; adaptive policy migrates when the\n\
+    \ projected saving over the remaining horizon exceeds the migration cost.\n\n";
+  let graph = Graphs.Templates.mesh2d ~rows:3 ~cols:3 in
+  Printf.printf "  %14s %12s %10s %10s %10s\n" "migration cost" "migrations" "adaptive"
+    "static" "oracle";
+  List.iter
+    (fun migration_cost ->
+      let config =
+        {
+          Cloudia.Redeploy.default_config with
+          Cloudia.Redeploy.epochs = 20;
+          change_prob = 0.4;
+          migration_cost;
+          solver_budget = 0.5;
+        }
+      in
+      let s =
+        Cloudia.Redeploy.simulate ~config (Prng.create 161) Util.ec2 ~graph
+          ~over_allocation:0.2
+      in
+      Printf.printf "  %14.2f %12d %10.2f %10.2f %10.2f\n" migration_cost
+        s.Cloudia.Redeploy.migrations s.Cloudia.Redeploy.adaptive_total
+        s.Cloudia.Redeploy.static_total s.Cloudia.Redeploy.oracle_total)
+    [ 0.1; 0.5; 2.0; 8.0 ]
+
+let ablation_anneal () =
+  Util.section "Ablation" "simulated annealing vs the paper's lightweight approaches";
+  Printf.printf
+    "Same 2-D mesh setting as Fig. 14, equal budgets: annealing typically lands\n\
+    \ between R2 and CP — local moves exploit structure randomization misses.\n\n";
+  let rows = 5 and cols = 5 in
+  let graph = Graphs.Templates.mesh2d ~rows ~cols in
+  let allocations = 4 in
+  let budget = 2.0 in
+  let totals = Hashtbl.create 8 in
+  let add name v =
+    let cur = try Hashtbl.find totals name with Not_found -> 0.0 in
+    Hashtbl.replace totals name (cur +. v)
+  in
+  for alloc = 1 to allocations do
+    let env = Util.env_of ~seed:(170 + alloc) Util.ec2 ~count:(rows * cols * 11 / 10) in
+    let problem = Util.problem_of ~seed:(180 + alloc) env graph in
+    let ll = Cloudia.Cost.longest_link problem in
+    let r2, _, _ =
+      Cloudia.Random_search.r2 (Prng.create (190 + alloc)) Cloudia.Cost.Longest_link problem
+        ~time_limit:budget
+    in
+    add "R2" (ll r2);
+    let sa =
+      Cloudia.Anneal.solve_objective
+        ~options:
+          { Cloudia.Anneal.default_options with Cloudia.Anneal.time_limit = budget; restarts = 4 }
+        (Prng.create (200 + alloc))
+        Cloudia.Cost.Longest_link problem
+    in
+    add "anneal" sa.Cloudia.Anneal.cost;
+    let cp =
+      Cloudia.Cp_solver.solve
+        ~options:(Util.cp_options ~clusters:(Some 20) ~time_limit:budget ())
+        (Prng.create (210 + alloc))
+        problem
+    in
+    add "CP" cp.Cloudia.Cp_solver.cost
+  done;
+  Printf.printf "  %-8s %16s\n" "method" "avg longest link";
+  List.iter
+    (fun name ->
+      Printf.printf "  %-8s %13.3f ms\n" name
+        (Hashtbl.find totals name /. float_of_int allocations))
+    [ "R2"; "anneal"; "CP" ]
+
+let ext_overlap () =
+  Util.section "Extension" "overlapping measurement with execution (Sect. 2.2.2)";
+  Printf.printf
+    "Sequential = idle during measurement, then run optimally. Overlapped =\n\
+    \ run on the default plan during measurement (slowed by probe\n\
+    \ interference, and the probes see noisier means), migrate, finish.\n\n";
+  Printf.printf "  %14s %12s %12s %12s %10s\n" "migration (s)" "sequential" "overlapped"
+    "headroom" "winner";
+  List.iter
+    (fun migration_seconds ->
+      let config =
+        {
+          Cloudia.Overlap.default_config with
+          Cloudia.Overlap.measurement_seconds = 30.0;
+          migration_seconds;
+          total_ticks = 60_000;
+          solver_budget = 1.5;
+        }
+      in
+      let a =
+        Cloudia.Overlap.analyze ~config (Prng.create 221) Util.ec2 ~rows:4 ~cols:4
+          ~over_allocation:0.2
+      in
+      Printf.printf "  %14.1f %10.1f s %10.1f s %10.1f s %10s\n" migration_seconds
+        a.Cloudia.Overlap.sequential_seconds a.Cloudia.Overlap.overlapped_seconds
+        (Cloudia.Overlap.migration_headroom a)
+        (if Cloudia.Overlap.migration_headroom a > 0.0 then "overlap" else "sequential"))
+    [ 0.0; 10.0; 30.0; 60.0 ]
+
+let ablation_ks () =
+  Util.section "Ablation" "staged-measurement batching parameter Ks (Sect. 5)";
+  Printf.printf
+    "The paper batches Ks consecutive probes per pair per stage to amortize\n\
+    \ coordination. Larger Ks lowers coordination overhead per sample but\n\
+    \ spreads a fixed stage budget over fewer pairs.\n\n";
+  let n = 20 in
+  let env = Util.env_of ~seed:231 Util.ec2 ~count:n in
+  let truth =
+    Netmeasure.Schemes.link_vector
+      { Netmeasure.Schemes.means = Cloudsim.Env.mean_matrix env;
+        samples = [||]; sim_seconds = 0.0 }
+  in
+  let sample_budget = 60_000 in
+  Printf.printf "  %6s %10s %12s %14s\n" "Ks" "stages" "sim time" "norm. RMSE";
+  List.iter
+    (fun ks ->
+      let stages = sample_budget / (ks * (n / 2)) in
+      let m = Netmeasure.Schemes.staged (Prng.create 232) env ~ks ~stages in
+      let v = Netmeasure.Schemes.link_vector m in
+      let finite = Array.of_list (List.filter Float.is_finite (Array.to_list v)) in
+      let fill = Stats.Summary.mean finite in
+      let v = Array.map (fun x -> if Float.is_finite x then x else fill) v in
+      Printf.printf "  %6d %10d %10.2f s %14.5f\n" ks stages m.Netmeasure.Schemes.sim_seconds
+        (Stats.Error.normalized_rmse ~baseline:truth v))
+    [ 1; 5; 10; 20; 50 ]
+
+let ext_traffic () =
+  Util.section "Extension" "dynamic traffic assignment workload (Sect. 2.1.1)";
+  Printf.printf
+    "Road-network partitions exchange boundary flows every round; a period is\n\
+    \ on time when its simulation beats the real-time deadline.\n\n";
+  let rng = Prng.create 241 in
+  let net = Workloads.Roadnet.grid rng ~rows:10 ~cols:10 ~keep:0.85 in
+  let part = Workloads.Roadnet.partition rng net ~parts:9 in
+  let graph = Workloads.Roadnet.communication_graph net part in
+  let env = Util.env_of ~seed:242 Util.ec2 ~count:11 in
+  let problem = Util.problem_of ~seed:243 env graph in
+  let optimized =
+    (Cloudia.Cp_solver.solve
+       ~options:(Util.cp_options ~clusters:(Some 20) ~time_limit:4.0 ())
+       (Prng.create 244) problem)
+      .Cloudia.Cp_solver.plan
+  in
+  let default = Cloudia.Types.identity_plan problem in
+  let rounds = 400 in
+  let simulated_mean plan =
+    (Workloads.Traffic.run (Prng.create 99) env ~plan ~graph ~periods:15
+       ~rounds_per_period:rounds ~deadline_seconds:1e9)
+      .Workloads.Traffic.mean_period_seconds
+  in
+  let deadline = (simulated_mean default +. simulated_mean optimized) /. 2.0 in
+  Printf.printf "  %-10s %14s %14s %10s\n" "plan" "longest link" "mean period" "on time";
+  List.iter
+    (fun (name, plan) ->
+      let o =
+        Workloads.Traffic.run (Prng.create 245) env ~plan ~graph ~periods:60
+          ~rounds_per_period:rounds ~deadline_seconds:deadline
+      in
+      Printf.printf "  %-10s %11.3f ms %11.2f s %9.0f%%\n" name
+        (Cloudia.Cost.longest_link problem plan)
+        o.Workloads.Traffic.mean_period_seconds
+        (100.0 *. Workloads.Traffic.on_time_fraction o))
+    [ ("default", default); ("ClouDiA", optimized) ]
+
+let ablation_value_order () =
+  Util.section "Ablation" "CP value-ordering heuristic (cheap-connectivity first)";
+  Printf.printf
+    "Instances are tried in ascending average-connectivity-cost order vs the\n\
+    \ plain lexicographic order, at equal budgets.\n\n";
+  let _, problem =
+    let env = Util.env_of ~seed:251 Util.ec2 ~count:36 in
+    (env, Util.problem_of ~seed:252 env (Graphs.Templates.mesh2d ~rows:5 ~cols:5))
+  in
+  List.iter
+    (fun (label, order_values) ->
+      let started = Unix.gettimeofday () in
+      let r =
+        Cloudia.Cp_solver.solve
+          ~options:(Util.cp_options ~clusters:(Some 20) ~time_limit:4.0 ())
+          ~order_values (Prng.create 253) problem
+      in
+      let conv = match List.rev r.Cloudia.Cp_solver.trace with (t, _) :: _ -> t | [] -> 0.0 in
+      Printf.printf "  %-22s final %.3f ms, conv %.2f s, %d iterations, %.2f s total%s\n"
+        label r.Cloudia.Cp_solver.cost conv r.Cloudia.Cp_solver.iterations
+        (Unix.gettimeofday () -. started)
+        (if r.Cloudia.Cp_solver.proven_optimal then " (proved)" else ""))
+    [ ("connectivity order", true); ("lexicographic order", false) ]

@@ -1,0 +1,115 @@
+(* Figures 14 and 15: lightweight approaches (G1, G2, R1, R2) against the
+   exact solvers, averaged over multiple allocations (Sect. 6.5). *)
+
+let fig14 () =
+  Util.section "Fig. 14" "lightweight approaches vs CP for LLNDP";
+  Printf.printf
+    "paper: 20 allocations of 50 instances, 10%% over-allocation, 2-D mesh.\n\
+    \       G1 worst (67%% above CP); G2 better; R1 slightly beats G2; R2 within\n\
+    \       ~9%% of CP\n\n";
+  let rows = 5 and cols = 5 in
+  let graph = Graphs.Templates.mesh2d ~rows ~cols in
+  let allocations = 5 in
+  let budget = 3.0 in
+  let totals = Hashtbl.create 8 in
+  let add name v =
+    let cur = try Hashtbl.find totals name with Not_found -> 0.0 in
+    Hashtbl.replace totals name (cur +. v)
+  in
+  for alloc = 1 to allocations do
+    let env = Util.env_of ~seed:(500 + alloc) Util.ec2 ~count:(rows * cols * 11 / 10) in
+    let problem = Util.problem_of ~seed:(600 + alloc) env graph in
+    let ll = Cloudia.Cost.longest_link problem in
+    add "G1" (ll (Cloudia.Greedy.g1 problem));
+    add "G2" (ll (Cloudia.Greedy.g2 problem));
+    let r1, _ =
+      Cloudia.Random_search.r1 (Prng.create (700 + alloc)) Cloudia.Cost.Longest_link problem
+        ~trials:1000
+    in
+    add "R1" (ll r1);
+    let r2, _, _ =
+      Cloudia.Random_search.r2 (Prng.create (800 + alloc)) Cloudia.Cost.Longest_link problem
+        ~time_limit:budget
+    in
+    add "R2" (ll r2);
+    let cp =
+      Cloudia.Cp_solver.solve
+        ~options:(Util.cp_options ~clusters:(Some 20) ~time_limit:budget ())
+        (Prng.create (900 + alloc))
+        problem
+    in
+    add "CP" cp.Cloudia.Cp_solver.cost
+  done;
+  let avg name = Hashtbl.find totals name /. float_of_int allocations in
+  let cp = avg "CP" in
+  Printf.printf "  %-6s %16s %12s\n" "method" "avg longest link" "vs CP";
+  List.iter
+    (fun name ->
+      let v = avg name in
+      Printf.printf "  %-6s %13.3f ms %+10.1f%%\n" name v ((v -. cp) /. cp *. 100.0))
+    [ "G1"; "G2"; "R1"; "R2"; "CP" ]
+
+let fig15 () =
+  Util.section "Fig. 15" "lightweight approaches vs MIP for LPNDP";
+  Printf.printf
+    "paper: G1/G2 (designed for LLNDP) still comparable to R1; R2 finds plans\n\
+    \       ~5%% BETTER than MIP in equal time — random search explores more of\n\
+    \       the space than the weakly-guided MIP within the budget\n\n";
+  let graph = Graphs.Templates.aggregation_tree ~fanout:2 ~depth:2 in
+  let instances = 8 in
+  let allocations = 3 in
+  let budget = 6.0 in
+  let totals = Hashtbl.create 8 in
+  let add name v =
+    let cur = try Hashtbl.find totals name with Not_found -> 0.0 in
+    Hashtbl.replace totals name (cur +. v)
+  in
+  for alloc = 1 to allocations do
+    let env = Util.env_of ~seed:(520 + alloc) Util.ec2 ~count:instances in
+    let problem = Util.problem_of ~seed:(620 + alloc) env graph in
+    let lp = Cloudia.Cost.longest_path problem in
+    add "G1" (lp (Cloudia.Greedy.g1 problem));
+    add "G2" (lp (Cloudia.Greedy.g2 problem));
+    let r1, _ =
+      Cloudia.Random_search.r1 (Prng.create (720 + alloc)) Cloudia.Cost.Longest_path problem
+        ~trials:1000
+    in
+    add "R1" (lp r1);
+    let r2, _, _ =
+      Cloudia.Random_search.r2 (Prng.create (820 + alloc)) Cloudia.Cost.Longest_path problem
+        ~time_limit:budget
+    in
+    add "R2" (lp r2);
+    let mip =
+      Cloudia.Mip_solver.solve_longest_path
+        ~options:(Util.mip_options ~clusters:None ~time_limit:budget ())
+        (Prng.create (920 + alloc))
+        problem
+    in
+    add "MIP" mip.Cloudia.Mip_solver.cost
+  done;
+  let avg name = Hashtbl.find totals name /. float_of_int allocations in
+  let mip = avg "MIP" in
+  Printf.printf "  %-6s %16s %12s\n" "method" "avg longest path" "vs MIP";
+  List.iter
+    (fun name ->
+      let v = avg name in
+      Printf.printf "  %-6s %13.3f ms %+10.1f%%\n" name v ((v -. mip) /. mip *. 100.0))
+    [ "G1"; "G2"; "R1"; "R2"; "MIP" ];
+  (* The paper's small-scale sanity check (Sect. 6.5.3): at a tiny instance
+     count MIP proves optimality; verify against brute force. *)
+  let env = Util.env_of ~seed:555 Util.ec2 ~count:6 in
+  let small_graph = Graphs.Templates.aggregation_tree ~fanout:2 ~depth:1 in
+  let problem = Util.problem_of ~seed:556 env small_graph in
+  let mip =
+    Cloudia.Mip_solver.solve_longest_path
+      ~options:(Util.mip_options ~clusters:None ~time_limit:30.0 ())
+      (Prng.create 557) problem
+  in
+  let _, optimal = Cloudia.Brute_force.solve Cloudia.Cost.Longest_path problem in
+  Printf.printf
+    "\nsmall-scale check (6 instances): MIP %.3f ms %s; brute-force optimum %.3f ms — %s\n"
+    mip.Cloudia.Mip_solver.cost
+    (if mip.Cloudia.Mip_solver.proven_optimal then "(proved)" else "(unproved)")
+    optimal
+    (if Float.abs (mip.Cloudia.Mip_solver.cost -. optimal) < 1e-6 then "MATCH" else "MISMATCH")

@@ -1,0 +1,90 @@
+(* Figures 4, 5, 16, 17: measurement-scheme accuracy and convergence, and
+   the negative results for IP distance and hop count (Appendix 2). *)
+
+let fig4 () =
+  Util.section "Fig. 4" "normalized relative error of measurement schemes vs token passing";
+  Printf.printf
+    "paper: 50 instances; staged has 90%% of links under 10%% error (max < 30%%),\n\
+    \       uncoordinated has 10%% of links above 50%% error\n\n";
+  let n = 24 in
+  let env = Util.env_of Util.ec2 ~count:n in
+  (* Token passing is the interference-free baseline. *)
+  let baseline =
+    Netmeasure.Schemes.link_vector
+      (Netmeasure.Schemes.token_passing (Prng.create 2) env ~samples_per_pair:120)
+  in
+  let report name vector =
+    let errors = Stats.Error.normalized_relative_errors ~baseline vector in
+    Array.sort compare errors;
+    let cdf = Stats.Cdf.of_samples errors in
+    Printf.printf "%-15s p50=%5.1f%%  p90=%5.1f%%  max=%5.1f%%  (share under 10%%: %.0f%%)\n"
+      name
+      (100.0 *. Stats.Summary.median errors)
+      (100.0 *. Stats.Summary.percentile errors 90.0)
+      (100.0 *. Stats.Summary.max errors)
+      (100.0 *. Stats.Cdf.eval cdf 0.10)
+  in
+  let staged =
+    Netmeasure.Schemes.staged (Prng.create 3) env ~ks:10 ~stages:(12 * 2 * (n - 1) * 2)
+  in
+  let uncoordinated =
+    Netmeasure.Schemes.uncoordinated (Prng.create 4) env ~rounds:(120 * (n - 1))
+  in
+  report "staged" (Netmeasure.Schemes.link_vector staged);
+  report "uncoordinated" (Netmeasure.Schemes.link_vector uncoordinated)
+
+let fig5 () =
+  Util.section "Fig. 5" "staged measurement convergence over time";
+  Printf.printf
+    "paper: 100 instances, Ks=10; RMSE against the 30-min result drops sharply\n\
+    \       within the first 5 minutes and smooths out afterwards\n\n";
+  let n = 30 in
+  let env = Util.env_of Util.ec2 ~count:n in
+  let truth =
+    Netmeasure.Schemes.link_vector
+      { Netmeasure.Schemes.means = Cloudsim.Env.mean_matrix env; samples = [||]; sim_seconds = 0.0 }
+  in
+  Printf.printf "  %8s  %10s  %12s\n" "stages" "sim time" "norm. RMSE";
+  List.iter
+    (fun stages ->
+      let m = Netmeasure.Schemes.staged (Prng.create 5) env ~ks:10 ~stages in
+      let v = Netmeasure.Schemes.link_vector m in
+      (* Unsampled pairs (early checkpoints) fall back to the grand mean so
+         RMSE is defined; coverage fills in quickly. *)
+      let finite = Array.of_list (List.filter Float.is_finite (Array.to_list v)) in
+      let fill = Stats.Summary.mean finite in
+      let v = Array.map (fun x -> if Float.is_finite x then x else fill) v in
+      Printf.printf "  %8d  %8.1f s  %12.5f\n" stages m.Netmeasure.Schemes.sim_seconds
+        (Stats.Error.normalized_rmse ~baseline:truth v))
+    [ 60; 120; 240; 480; 960; 1920; 3840 ]
+
+let approx_figure id ~group_name ~group env =
+  let groups = Netmeasure.Approx.latency_by_group env ~group in
+  Printf.printf "  %-14s %8s %10s %10s %10s\n" group_name "links" "min" "median" "max";
+  List.iter
+    (fun (g, lats) ->
+      Printf.printf "  %-14d %8d %7.3f ms %7.3f ms %7.3f ms\n" g (Array.length lats)
+        lats.(0)
+        (Stats.Summary.median lats)
+        lats.(Array.length lats - 1))
+    groups;
+  let violations = Netmeasure.Approx.monotonicity_violations groups in
+  Printf.printf "\n  cross-group order inversions: %d — %s does NOT order latencies\n" violations
+    id
+
+let fig16 () =
+  Util.section "Fig. 16" "latency ordered by IP distance (Appendix 2)";
+  Printf.printf
+    "paper: groups overlap heavily; lowest latencies even appear at distance 2\n\n";
+  let env = Util.env_of Util.ec2 ~count:60 in
+  approx_figure "IP distance" ~group_name:"ip distance"
+    ~group:(fun i j -> Netmeasure.Approx.ip_distance env i j)
+    env
+
+let fig17 () =
+  Util.section "Fig. 17" "latency ordered by hop count (Appendix 2)";
+  Printf.printf "paper: many link pairs are ordered inconsistently by hops vs latency\n\n";
+  let env = Util.env_of Util.ec2 ~count:60 in
+  approx_figure "hop count" ~group_name:"hop count"
+    ~group:(fun i j -> Netmeasure.Approx.hop_count env i j)
+    env

@@ -1,0 +1,100 @@
+(* Shared helpers for the figure-reproduction benchmarks. *)
+
+(* Optional CSV export: when CLOUDIA_CSV_DIR is set, every figure that
+   produces a series also writes it as <dir>/<name>.csv for re-plotting. *)
+let csv_dir = Sys.getenv_opt "CLOUDIA_CSV_DIR"
+
+let write_csv name headers rows =
+  match csv_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir (name ^ ".csv") in
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc (String.concat "," headers);
+          output_char oc '\n';
+          List.iter
+            (fun row ->
+              output_string oc (String.concat "," row);
+              output_char oc '\n')
+            rows);
+      Printf.printf "  [csv: %s]\n" path
+
+let section id title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s — %s\n" id title;
+  Printf.printf "================================================================\n"
+
+let subsection title = Printf.printf "\n--- %s ---\n" title
+
+let provider name = Cloudsim.Provider.get name
+
+let ec2 = provider Cloudsim.Provider.Ec2
+
+let env_of ?(seed = 1) p ~count = Cloudsim.Env.allocate (Prng.create seed) p ~count
+
+(* All ordered-pair mean latencies of an environment. *)
+let link_means env =
+  let n = Cloudsim.Env.count env in
+  let out = Array.make (n * (n - 1)) 0.0 in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        out.(!k) <- Cloudsim.Env.mean_latency env i j;
+        incr k
+      end
+    done
+  done;
+  out
+
+let print_cdf ?(points = 12) ?csv label samples =
+  let cdf = Stats.Cdf.of_samples samples in
+  let series = Stats.Cdf.series ~points cdf in
+  Printf.printf "%s (n=%d)\n" label (Array.length samples);
+  Printf.printf "  %10s  %8s\n" "latency" "CDF";
+  List.iter (fun (x, f) -> Printf.printf "  %7.3f ms  %7.1f%%\n" x (100.0 *. f)) series;
+  match csv with
+  | None -> ()
+  | Some name ->
+      write_csv name [ "latency_ms"; "cdf" ]
+        (List.map (fun (x, f) -> [ Printf.sprintf "%.6f" x; Printf.sprintf "%.6f" f ]) series)
+
+let print_trace ?(max_points = 14) ?csv label trace =
+  (match csv with
+  | None -> ()
+  | Some name ->
+      write_csv name [ "elapsed_s"; "best_cost_ms" ]
+        (List.map (fun (t, c) -> [ Printf.sprintf "%.4f" t; Printf.sprintf "%.6f" c ]) trace));
+  Printf.printf "%s\n" label;
+  Printf.printf "  %10s  %12s\n" "elapsed" "best cost";
+  let arr = Array.of_list trace in
+  let n = Array.length arr in
+  let shown =
+    if n <= max_points then trace
+    else
+      (* Even subsample keeping first and last points. *)
+      List.init max_points (fun k -> arr.(k * (n - 1) / (max_points - 1)))
+  in
+  List.iter (fun (t, c) -> Printf.printf "  %8.2f s  %9.3f ms\n" t c) shown;
+  if n > max_points then Printf.printf "  (%d of %d incumbents shown)\n" max_points n
+
+(* A problem built from an environment and a communication graph, using
+   mean-latency measurement. *)
+let problem_of ?(samples = 30) ~seed env graph =
+  let costs = Cloudia.Metrics.estimate (Prng.create seed) env Cloudia.Metrics.Mean
+      ~samples_per_pair:samples
+  in
+  Cloudia.Types.problem ~graph ~costs
+
+let cp_options ?(clusters = Some 20) ?(time_limit = 5.0) () =
+  {
+    Cloudia.Cp_solver.clusters;
+    time_limit;
+    iteration_time_limit = None;
+    use_labeling = true;
+    bootstrap_trials = 10;
+  }
+
+let mip_options ?(clusters = None) ?(time_limit = 10.0) () =
+  { Cloudia.Mip_solver.clusters; time_limit; node_limit = None; bootstrap_trials = 10 }

@@ -1,0 +1,422 @@
+(* Command-line front end to the ClouDiA deployment advisor.
+
+   Subcommands:
+     advise    - run the full pipeline for a workload and print the report
+     plan      - solve a deployment from a user-supplied cost matrix
+     measure   - compare the three measurement schemes on one allocation
+     survey    - print latency heterogeneity and stability for a provider
+     redeploy  - simulate iterative re-deployment under changing conditions
+     bandwidth - optimize the bottleneck-bandwidth criterion *)
+
+open Cmdliner
+
+(* ---- shared argument converters ---- *)
+
+let provider_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "ec2" -> Ok Cloudsim.Provider.Ec2
+    | "gce" -> Ok Cloudsim.Provider.Gce
+    | "rackspace" -> Ok Cloudsim.Provider.Rackspace
+    | _ -> Error (`Msg "provider must be ec2, gce or rackspace")
+  in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Cloudsim.Provider.to_string p))
+
+let metric_conv =
+  let parse s =
+    match Cloudia.Metrics.of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg "metric must be mean, mean+sd or p99")
+  in
+  Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt (Cloudia.Metrics.to_string m))
+
+let provider_arg =
+  Arg.(value & opt provider_conv Cloudsim.Provider.Ec2 & info [ "provider" ] ~doc:"Cloud provider preset: ec2, gce or rackspace.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed (runs are deterministic per seed).")
+
+(* ---- advise ---- *)
+
+type workload = Behavioral | Aggregation | Kv
+
+let workload_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "behavioral" -> Ok Behavioral
+    | "aggregation" -> Ok Aggregation
+    | "kv" -> Ok Kv
+    | _ -> Error (`Msg "workload must be behavioral, aggregation or kv")
+  in
+  Arg.conv
+    ( parse,
+      fun fmt w ->
+        Format.pp_print_string fmt
+          (match w with Behavioral -> "behavioral" | Aggregation -> "aggregation" | Kv -> "kv") )
+
+let strategy_of_string time_limit s =
+  match String.lowercase_ascii s with
+  | "g1" -> Ok Cloudia.Advisor.Greedy_g1
+  | "g2" -> Ok Cloudia.Advisor.Greedy_g2
+  | "r1" -> Ok (Cloudia.Advisor.Random_r1 1000)
+  | "r2" -> Ok (Cloudia.Advisor.Random_r2 time_limit)
+  | "anneal" -> Ok (Cloudia.Advisor.Anneal { Cloudia.Anneal.default_options with Cloudia.Anneal.time_limit })
+  | "cp" ->
+      Ok
+        (Cloudia.Advisor.Cp
+           {
+             Cloudia.Cp_solver.clusters = Some 20;
+             time_limit;
+             iteration_time_limit = None;
+             use_labeling = true;
+             bootstrap_trials = 10;
+           })
+  | "mip" ->
+      Ok
+        (Cloudia.Advisor.Mip
+           {
+             Cloudia.Mip_solver.clusters = None;
+             time_limit;
+             node_limit = None;
+             bootstrap_trials = 10;
+           })
+  | _ -> Error (`Msg "strategy must be g1, g2, r1, r2, anneal, cp or mip")
+
+let advise provider seed workload strategy_name scale over metric time_limit graph_spec
+    graph_file =
+  let from_workload () =
+    match workload with
+    | Behavioral ->
+        Ok
+          ( Workloads.Behavioral.graph ~rows:scale ~cols:scale,
+            Cloudia.Cost.Longest_link,
+            Printf.sprintf "behavioral %dx%d mesh" scale scale )
+    | Aggregation ->
+        Ok
+          ( Workloads.Aggregation.graph ~fanout:2 ~depth:scale,
+            Cloudia.Cost.Longest_path,
+            Printf.sprintf "aggregation tree depth %d" scale )
+    | Kv ->
+        Ok
+          ( Workloads.Kv_store.graph ~front_ends:scale ~storage:(2 * scale),
+            Cloudia.Cost.Longest_link,
+            Printf.sprintf "kv store %d front-ends x %d storage" scale (2 * scale) )
+  in
+  (* An explicit graph (template spec or edge-list file) overrides the
+     workload template; the objective then defaults to longest link, or
+     longest path when the graph is a DAG with aggregation set. *)
+  let graph_result =
+    match (graph_spec, graph_file) with
+    | Some _, Some _ -> Error "give either --graph-spec or --graph-file, not both"
+    | Some spec, None -> (
+        match Graphs.Graph_io.parse_spec spec with
+        | Ok g -> Ok (Some (g, "spec " ^ spec))
+        | Error e -> Error e)
+    | None, Some file -> (
+        match In_channel.with_open_text file In_channel.input_all with
+        | exception Sys_error e -> Error e
+        | text -> (
+            match Graphs.Graph_io.parse_edge_list text with
+            | Ok (g, _) -> Ok (Some (g, "file " ^ file))
+            | Error e -> Error e))
+    | None, None -> Ok None
+  in
+  match
+    match graph_result with
+    | Error e -> Error e
+    | Ok None -> from_workload ()
+    | Ok (Some (g, label)) ->
+        let objective =
+          match workload with
+          | Aggregation when Graphs.Digraph.is_dag g -> Cloudia.Cost.Longest_path
+          | _ -> Cloudia.Cost.Longest_link
+        in
+        Ok (g, objective, label)
+  with
+  | Error e ->
+      prerr_endline e;
+      2
+  | Ok (graph, objective, describe) ->
+  (match strategy_of_string time_limit strategy_name with
+  | Error (`Msg m) -> prerr_endline m; 2
+  | Ok strategy -> (
+      let config =
+        {
+          Cloudia.Advisor.graph;
+          objective;
+          metric;
+          over_allocation = over;
+          samples_per_pair = 30;
+          strategy;
+        }
+      in
+      match Cloudia.Advisor.run (Prng.create seed) (Cloudsim.Provider.get provider) config with
+      | exception Invalid_argument m -> prerr_endline m; 2
+      | report ->
+          Printf.printf "workload            : %s\n" describe;
+          Printf.printf "objective           : %s\n" (Cloudia.Cost.objective_to_string objective);
+          Printf.printf "strategy            : %s\n"
+            (Cloudia.Advisor.strategy_to_string strategy);
+          Printf.printf "instances allocated : %d\n" (Cloudsim.Env.count report.Cloudia.Advisor.env);
+          Printf.printf "measurement charged : %.1f min\n"
+            report.Cloudia.Advisor.measurement_minutes;
+          Printf.printf "search time         : %.2f s\n" report.Cloudia.Advisor.search_seconds;
+          Printf.printf "default cost        : %.3f ms\n" report.Cloudia.Advisor.default_cost;
+          Printf.printf "optimized cost      : %.3f ms\n" report.Cloudia.Advisor.cost;
+          Printf.printf "improvement         : %.1f%%\n" report.Cloudia.Advisor.improvement_pct;
+          Printf.printf "terminated          : %d instance(s)\n"
+            (List.length report.Cloudia.Advisor.terminated);
+          Printf.printf "plan                : %s\n"
+            (Format.asprintf "%a" Cloudia.Types.pp_plan report.Cloudia.Advisor.plan);
+          0))
+
+let advise_cmd =
+  let workload_arg =
+    Arg.(value & opt workload_conv Behavioral & info [ "workload" ] ~doc:"behavioral, aggregation or kv.")
+  in
+  let strategy_arg =
+    Arg.(value & opt string "cp" & info [ "strategy" ] ~doc:"g1, g2, r1, r2, anneal, cp or mip.")
+  in
+  let scale_arg =
+    Arg.(value & opt int 4 & info [ "scale" ] ~doc:"Mesh side / tree depth / front-end count.")
+  in
+  let over_arg =
+    Arg.(value & opt float 0.1 & info [ "over-allocation" ] ~doc:"Extra-instance ratio (0.1 = 10%).")
+  in
+  let metric_arg =
+    Arg.(value & opt metric_conv Cloudia.Metrics.Mean & info [ "metric" ] ~doc:"mean, mean+sd or p99.")
+  in
+  let time_arg =
+    Arg.(value & opt float 10.0 & info [ "time-limit" ] ~doc:"Solver budget in seconds (cp/mip/r2/anneal).")
+  in
+  let graph_spec_arg =
+    Arg.(value & opt (some string) None & info [ "graph-spec" ]
+           ~doc:"Template spec, e.g. 'mesh2d 4 4' or 'tree 3 2' (overrides --workload's graph).")
+  in
+  let graph_file_arg =
+    Arg.(value & opt (some string) None & info [ "graph-file" ]
+           ~doc:"Edge-list file describing the communication graph.")
+  in
+  Cmd.v
+    (Cmd.info "advise" ~doc:"Run the ClouDiA pipeline for a workload")
+    Term.(
+      const advise $ provider_arg $ seed_arg $ workload_arg $ strategy_arg $ scale_arg
+      $ over_arg $ metric_arg $ time_arg $ graph_spec_arg $ graph_file_arg)
+
+(* ---- measure ---- *)
+
+let measure provider seed count =
+  let env = Cloudsim.Env.allocate (Prng.create seed) (Cloudsim.Provider.get provider) ~count in
+  let truth =
+    Netmeasure.Schemes.link_vector
+      { Netmeasure.Schemes.means = Cloudsim.Env.mean_matrix env; samples = [||]; sim_seconds = 0.0 }
+  in
+  Printf.printf "Measurement schemes on %s, %d instances (%d links)\n\n"
+    (Cloudsim.Provider.to_string provider) count (Array.length truth);
+  Printf.printf "%-15s %10s %12s %14s\n" "scheme" "samples" "sim time" "norm. RMSE";
+  let report name (m : Netmeasure.Schemes.t) =
+    let v = Netmeasure.Schemes.link_vector m in
+    let covered = Array.for_all Float.is_finite v in
+    let rmse =
+      if covered then Printf.sprintf "%.5f" (Stats.Error.normalized_rmse ~baseline:truth v)
+      else "n/a (gaps)"
+    in
+    let total = Array.fold_left (fun a row -> a + Array.fold_left ( + ) 0 row) 0 m.Netmeasure.Schemes.samples in
+    Printf.printf "%-15s %10d %10.2f s %14s\n" name total m.Netmeasure.Schemes.sim_seconds rmse
+  in
+  let rng = Prng.create (seed + 1) in
+  report "token-passing" (Netmeasure.Schemes.token_passing rng env ~samples_per_pair:10);
+  report "uncoordinated" (Netmeasure.Schemes.uncoordinated rng env ~rounds:(10 * (count - 1)));
+  report "staged" (Netmeasure.Schemes.staged rng env ~ks:10 ~stages:(10 * 2 * (count - 1)));
+  0
+
+let measure_cmd =
+  let count_arg = Arg.(value & opt int 20 & info [ "count" ] ~doc:"Instances to allocate.") in
+  Cmd.v
+    (Cmd.info "measure" ~doc:"Compare the three measurement schemes")
+    Term.(const measure $ provider_arg $ seed_arg $ count_arg)
+
+(* ---- survey ---- *)
+
+let survey provider seed count =
+  let env = Cloudsim.Env.allocate (Prng.create seed) (Cloudsim.Provider.get provider) ~count in
+  let lats = ref [] in
+  for i = 0 to count - 1 do
+    for j = 0 to count - 1 do
+      if i <> j then lats := Cloudsim.Env.mean_latency env i j :: !lats
+    done
+  done;
+  let arr = Array.of_list !lats in
+  let cdf = Stats.Cdf.of_samples arr in
+  Printf.printf "%s: pairwise mean latency CDF (%d instances)\n"
+    (Cloudsim.Provider.to_string provider) count;
+  List.iter
+    (fun (x, f) -> Printf.printf "  %.3f ms  %5.1f%%\n" x (100.0 *. f))
+    (Stats.Cdf.series ~points:12 cdf);
+  0
+
+let survey_cmd =
+  let count_arg = Arg.(value & opt int 50 & info [ "count" ] ~doc:"Instances to allocate.") in
+  Cmd.v
+    (Cmd.info "survey" ~doc:"Latency heterogeneity survey for a provider")
+    Term.(const survey $ provider_arg $ seed_arg $ count_arg)
+
+(* ---- plan: bring-your-own measurements ---- *)
+
+let plan_cmd_run seed costs_file graph_spec objective_name strategy_name time_limit =
+  let objective =
+    match String.lowercase_ascii objective_name with
+    | "ll" | "longest-link" -> Ok Cloudia.Cost.Longest_link
+    | "lp" | "longest-path" -> Ok Cloudia.Cost.Longest_path
+    | _ -> Error "objective must be ll or lp"
+  in
+  match
+    match (objective, Cloudia.Matrix_io.load costs_file, Graphs.Graph_io.parse_spec graph_spec)
+    with
+    | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
+    | Ok objective, Ok costs, Ok graph -> (
+        match Cloudia.Types.problem ~graph ~costs with
+        | exception Invalid_argument e -> Error e
+        | problem -> Ok (objective, problem))
+  with
+  | Error e ->
+      prerr_endline e;
+      2
+  | Ok (objective, problem) -> (
+      match strategy_of_string time_limit strategy_name with
+      | Error (`Msg m) ->
+          prerr_endline m;
+          2
+      | Ok strategy -> (
+          match Cloudia.Advisor.search (Prng.create seed) strategy objective problem with
+          | exception Invalid_argument m ->
+              prerr_endline m;
+              2
+          | plan ->
+              let default = Cloudia.Types.identity_plan problem in
+              let cost = Cloudia.Cost.eval objective problem plan in
+              let default_cost = Cloudia.Cost.eval objective problem default in
+              Printf.printf "instances      : %d\n" (Cloudia.Types.instance_count problem);
+              Printf.printf "nodes          : %d\n" (Cloudia.Types.node_count problem);
+              Printf.printf "objective      : %s\n" (Cloudia.Cost.objective_to_string objective);
+              Printf.printf "default cost   : %.3f ms\n" default_cost;
+              Printf.printf "optimized cost : %.3f ms (%.1f%% better)\n" cost
+                (Cloudia.Cost.improvement ~default:default_cost ~optimized:cost);
+              Printf.printf "plan           : %s\n"
+                (Format.asprintf "%a" Cloudia.Types.pp_plan plan);
+              (match Cloudia.Types.unused_instances problem plan with
+              | [] -> ()
+              | unused ->
+                  Printf.printf "terminate      : instances %s\n"
+                    (String.concat ", " (List.map string_of_int unused)));
+              0))
+
+let plan_cmd =
+  let costs_arg =
+    Arg.(required & opt (some string) None & info [ "costs-file" ]
+           ~doc:"CSV cost matrix measured on your own allocation (ms, zero diagonal).")
+  in
+  let graph_arg =
+    Arg.(value & opt string "mesh2d 3 3" & info [ "graph-spec" ]
+           ~doc:"Communication graph template, e.g. 'mesh2d 4 4', 'tree 3 2'.")
+  in
+  let objective_arg =
+    Arg.(value & opt string "ll" & info [ "objective" ] ~doc:"ll (longest link) or lp (longest path).")
+  in
+  let strategy_arg =
+    Arg.(value & opt string "cp" & info [ "strategy" ] ~doc:"g1, g2, r1, r2, anneal, cp or mip.")
+  in
+  let time_arg =
+    Arg.(value & opt float 10.0 & info [ "time-limit" ] ~doc:"Solver budget in seconds.")
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Solve a deployment from your own measured cost matrix")
+    Term.(
+      const plan_cmd_run $ seed_arg $ costs_arg $ graph_arg $ objective_arg $ strategy_arg
+      $ time_arg)
+
+(* ---- redeploy ---- *)
+
+let redeploy provider seed epochs change_prob migration_cost =
+  let graph = Graphs.Templates.mesh2d ~rows:3 ~cols:3 in
+  let config =
+    {
+      Cloudia.Redeploy.default_config with
+      Cloudia.Redeploy.epochs;
+      change_prob;
+      migration_cost;
+    }
+  in
+  let s =
+    Cloudia.Redeploy.simulate ~config (Prng.create seed) (Cloudsim.Provider.get provider)
+      ~graph ~over_allocation:0.2
+  in
+  Printf.printf "Re-deployment over %d epochs (change prob %.0f%%, migration cost %.2f)\n\n"
+    epochs (change_prob *. 100.0) migration_cost;
+  Printf.printf "  %5s %8s %12s %12s %9s\n" "epoch" "changed" "running" "candidate" "migrate";
+  List.iter
+    (fun r ->
+      Printf.printf "  %5d %8s %9.3f ms %9.3f ms %9s\n" r.Cloudia.Redeploy.epoch
+        (if r.Cloudia.Redeploy.changed then "yes" else "-")
+        r.Cloudia.Redeploy.cost_current r.Cloudia.Redeploy.cost_candidate
+        (if r.Cloudia.Redeploy.migrated then "YES" else "-"))
+    s.Cloudia.Redeploy.records;
+  Printf.printf "\n  migrations: %d\n" s.Cloudia.Redeploy.migrations;
+  Printf.printf "  total cost: adaptive %.3f | static %.3f | oracle %.3f\n"
+    s.Cloudia.Redeploy.adaptive_total s.Cloudia.Redeploy.static_total
+    s.Cloudia.Redeploy.oracle_total;
+  0
+
+let redeploy_cmd =
+  let epochs_arg = Arg.(value & opt int 15 & info [ "epochs" ] ~doc:"Simulation horizon.") in
+  let change_arg =
+    Arg.(value & opt float 0.4 & info [ "change-prob" ] ~doc:"Per-epoch network change probability.")
+  in
+  let migration_arg =
+    Arg.(value & opt float 0.5 & info [ "migration-cost" ] ~doc:"One-off migration cost.")
+  in
+  Cmd.v
+    (Cmd.info "redeploy" ~doc:"Simulate iterative re-deployment (Sect. 2.2.1)")
+    Term.(const redeploy $ provider_arg $ seed_arg $ epochs_arg $ change_arg $ migration_arg)
+
+(* ---- bandwidth ---- *)
+
+let bandwidth provider seed nodes =
+  let rng = Prng.create seed in
+  let env =
+    Cloudsim.Env.allocate rng (Cloudsim.Provider.get provider) ~count:(nodes * 12 / 10)
+  in
+  let graph = Graphs.Templates.ring ~n:nodes in
+  let default_plan = Array.init nodes (fun i -> i) in
+  let default_bw = Cloudia.Bandwidth.bottleneck_gbps env graph default_plan in
+  let _, optimized_bw =
+    Cloudia.Bandwidth.solve_cp
+      ~options:
+        {
+          Cloudia.Cp_solver.clusters = Some 20;
+          time_limit = 10.0;
+          iteration_time_limit = None;
+          use_labeling = true;
+          bootstrap_trials = 10;
+        }
+      rng env graph
+  in
+  Printf.printf "Bottleneck bandwidth of a %d-node ring pipeline on %s\n" nodes
+    (Cloudsim.Provider.to_string provider);
+  Printf.printf "  default   : %.2f Gbit/s\n" default_bw;
+  Printf.printf "  optimized : %.2f Gbit/s (%.0f%% higher)\n" optimized_bw
+    ((optimized_bw -. default_bw) /. default_bw *. 100.0);
+  0
+
+let bandwidth_cmd =
+  let nodes_arg = Arg.(value & opt int 10 & info [ "nodes" ] ~doc:"Pipeline stages.") in
+  Cmd.v
+    (Cmd.info "bandwidth" ~doc:"Optimize the bottleneck-bandwidth criterion (Sect. 8)")
+    Term.(const bandwidth $ provider_arg $ seed_arg $ nodes_arg)
+
+let () =
+  let doc = "ClouDiA: a deployment advisor for public clouds (simulated)" in
+  let info = Cmd.info "cloudia" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ advise_cmd; plan_cmd; measure_cmd; survey_cmd; redeploy_cmd; bandwidth_cmd ]))

@@ -1,0 +1,1 @@
+examples/aggregation_query.ml: Cloudia Cloudsim Graphs Printf Prng Workloads

@@ -1,0 +1,1 @@
+examples/behavioral_sim.ml: Cloudia Cloudsim List Printf Prng Workloads

@@ -1,0 +1,1 @@
+examples/provider_survey.ml: Array Cloudsim Printf Prng Stats

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Advisor Cloudia Cloudsim Cost List Printf Prng String Workloads

@@ -1,0 +1,1 @@
+examples/redeployment.ml: Cloudia Cloudsim Graphs List Printf Prng

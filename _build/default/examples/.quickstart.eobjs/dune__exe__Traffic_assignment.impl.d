@@ -1,0 +1,1 @@
+examples/traffic_assignment.ml: Array Cloudia Cloudsim Graphs List Printf Prng Workloads

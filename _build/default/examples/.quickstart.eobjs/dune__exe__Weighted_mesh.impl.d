@@ -1,0 +1,1 @@
+examples/weighted_mesh.ml: Cloudia Cloudsim Graphs Printf Prng

@@ -1,0 +1,1 @@
+lib/cloudia/advisor.ml: Anneal Cloudsim Cost Cp_solver Float Graphs Greedy Metrics Mip_solver Netmeasure Printf Random_search Types Unix

@@ -1,0 +1,1 @@
+lib/cloudia/advisor.mli: Anneal Cloudsim Cost Cp_solver Graphs Metrics Mip_solver Prng Types

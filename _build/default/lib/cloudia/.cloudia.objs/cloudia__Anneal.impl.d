@@ -1,0 +1,1 @@
+lib/cloudia/anneal.ml: Array Cost Prng Types Unix

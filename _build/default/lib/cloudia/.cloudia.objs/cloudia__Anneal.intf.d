@@ -1,0 +1,1 @@
+lib/cloudia/anneal.mli: Cost Prng Types

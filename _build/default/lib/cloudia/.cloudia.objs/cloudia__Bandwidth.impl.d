@@ -1,0 +1,1 @@
+lib/cloudia/bandwidth.ml: Array Cloudsim Cp_solver Float Graphs Types

@@ -1,0 +1,1 @@
+lib/cloudia/bandwidth.mli: Cloudsim Cp_solver Graphs Prng Types

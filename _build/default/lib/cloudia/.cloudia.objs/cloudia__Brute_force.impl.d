@@ -1,0 +1,1 @@
+lib/cloudia/brute_force.ml: Array Cost Float Graphs Types

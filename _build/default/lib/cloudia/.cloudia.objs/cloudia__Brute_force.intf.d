@@ -1,0 +1,1 @@
+lib/cloudia/brute_force.mli: Cost Types

@@ -1,0 +1,1 @@
+lib/cloudia/clustering.ml: Array List Stats

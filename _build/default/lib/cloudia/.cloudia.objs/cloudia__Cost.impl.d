@@ -1,0 +1,1 @@
+lib/cloudia/cost.ml: Array Graphs Types

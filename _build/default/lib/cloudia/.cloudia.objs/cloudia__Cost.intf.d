@@ -1,0 +1,1 @@
+lib/cloudia/cost.mli: Types

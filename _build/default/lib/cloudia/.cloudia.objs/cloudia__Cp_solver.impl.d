@@ -1,0 +1,1 @@
+lib/cloudia/cp_solver.ml: Array Clustering Cp Float Graphs Hashtbl List Random_search Types Unix

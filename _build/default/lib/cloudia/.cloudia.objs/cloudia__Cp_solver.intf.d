@@ -1,0 +1,1 @@
+lib/cloudia/cp_solver.mli: Prng Types

@@ -1,0 +1,1 @@
+lib/cloudia/greedy.ml: Array Float Graphs Types

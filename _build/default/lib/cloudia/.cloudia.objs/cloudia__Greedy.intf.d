@@ -1,0 +1,1 @@
+lib/cloudia/greedy.mli: Types

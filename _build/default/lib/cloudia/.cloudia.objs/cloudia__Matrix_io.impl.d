@@ -1,0 +1,1 @@
+lib/cloudia/matrix_io.ml: Array Buffer Float In_channel List Option Printf String

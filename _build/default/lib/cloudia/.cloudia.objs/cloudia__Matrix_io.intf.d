@@ -1,0 +1,1 @@
+lib/cloudia/matrix_io.mli:

@@ -1,0 +1,1 @@
+lib/cloudia/metrics.ml: Array Cloudsim Stats

@@ -1,0 +1,1 @@
+lib/cloudia/metrics.mli: Cloudsim Prng

@@ -1,0 +1,1 @@
+lib/cloudia/mip_solver.ml: Array Clustering Float Graphs List Lp Printf Random_search Types Unix

@@ -1,0 +1,1 @@
+lib/cloudia/mip_solver.mli: Prng Types

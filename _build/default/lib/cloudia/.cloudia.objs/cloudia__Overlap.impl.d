@@ -1,0 +1,1 @@
+lib/cloudia/overlap.ml: Array Cloudsim Cost Cp_solver Float Graphs Prng Types

@@ -1,0 +1,1 @@
+lib/cloudia/overlap.mli: Cloudsim Prng

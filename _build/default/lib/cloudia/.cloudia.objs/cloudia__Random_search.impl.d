@@ -1,0 +1,1 @@
+lib/cloudia/random_search.ml: Array Cost Domain Prng Types Unix

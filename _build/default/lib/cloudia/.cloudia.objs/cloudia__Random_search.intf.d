@@ -1,0 +1,1 @@
+lib/cloudia/random_search.mli: Cost Prng Types

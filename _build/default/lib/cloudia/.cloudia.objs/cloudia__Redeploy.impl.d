@@ -1,0 +1,1 @@
+lib/cloudia/redeploy.ml: Cloudsim Cost Cp_solver Float Graphs List Prng Types

@@ -1,0 +1,1 @@
+lib/cloudia/redeploy.mli: Cloudsim Graphs Prng

@@ -1,0 +1,1 @@
+lib/cloudia/reduction.ml: Array Graphs Hashtbl Prng Types

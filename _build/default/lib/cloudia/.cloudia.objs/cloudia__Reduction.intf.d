@@ -1,0 +1,1 @@
+lib/cloudia/reduction.mli: Graphs Prng Types

@@ -1,0 +1,1 @@
+lib/cloudia/types.ml: Array Float Format Graphs Hashtbl Prng

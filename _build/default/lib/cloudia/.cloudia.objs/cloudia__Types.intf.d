@@ -1,0 +1,1 @@
+lib/cloudia/types.mli: Format Graphs Prng

@@ -1,0 +1,1 @@
+lib/cloudia/weighted.ml: Anneal Array Cost Cp_solver Float Graphs Hashtbl List Mip_solver Random_search Types

@@ -1,0 +1,1 @@
+lib/cloudia/weighted.mli: Anneal Cost Cp_solver Mip_solver Prng Types

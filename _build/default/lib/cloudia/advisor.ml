@@ -1,0 +1,101 @@
+type strategy =
+  | Greedy_g1
+  | Greedy_g2
+  | Random_r1 of int
+  | Random_r2 of float
+  | Anneal of Anneal.options
+  | Cp of Cp_solver.options
+  | Mip of Mip_solver.options
+
+let strategy_to_string = function
+  | Greedy_g1 -> "G1"
+  | Greedy_g2 -> "G2"
+  | Random_r1 n -> Printf.sprintf "R1(%d)" n
+  | Random_r2 s -> Printf.sprintf "R2(%.1fs)" s
+  | Anneal _ -> "SA"
+  | Cp _ -> "CP"
+  | Mip _ -> "MIP"
+
+type config = {
+  graph : Graphs.Digraph.t;
+  objective : Cost.objective;
+  metric : Metrics.t;
+  over_allocation : float;
+  samples_per_pair : int;
+  strategy : strategy;
+}
+
+type report = {
+  env : Cloudsim.Env.t;
+  problem : Types.problem;
+  plan : Types.plan;
+  default_plan : Types.plan;
+  cost : float;
+  default_cost : float;
+  improvement_pct : float;
+  measurement_minutes : float;
+  search_seconds : float;
+  terminated : int list;
+}
+
+let search rng strategy objective problem =
+  match strategy with
+  | Greedy_g1 -> Greedy.g1 problem
+  | Greedy_g2 -> Greedy.g2 problem
+  | Random_r1 trials -> fst (Random_search.r1 rng objective problem ~trials)
+  | Random_r2 budget ->
+      let plan, _, _ = Random_search.r2 rng objective problem ~time_limit:budget in
+      plan
+  | Anneal options -> (Anneal.solve_objective ~options rng objective problem).Anneal.plan
+  | Cp options -> (
+      match objective with
+      | Cost.Longest_link -> (Cp_solver.solve ~options rng problem).Cp_solver.plan
+      | Cost.Longest_path ->
+          invalid_arg
+            "Advisor: the CP strategy only supports the longest-link objective")
+  | Mip options -> (
+      match objective with
+      | Cost.Longest_link ->
+          (Mip_solver.solve_longest_link ~options rng problem).Mip_solver.plan
+      | Cost.Longest_path ->
+          (Mip_solver.solve_longest_path ~options rng problem).Mip_solver.plan)
+
+let run rng provider config =
+  if config.over_allocation < 0.0 then
+    invalid_arg "Advisor.run: over-allocation ratio must be non-negative";
+  let nodes = Graphs.Digraph.n config.graph in
+  if nodes = 0 then invalid_arg "Advisor.run: empty communication graph";
+  (* Step 1: allocate with over-allocation. *)
+  let count =
+    int_of_float (Float.ceil (float_of_int nodes *. (1.0 +. config.over_allocation)))
+  in
+  let env = Cloudsim.Env.allocate rng provider ~count in
+  (* Step 2: measure. The per-pair sampling below is what the staged scheme
+     of Sect. 5 would collect; we charge its time budget. *)
+  let costs = Metrics.estimate rng env config.metric ~samples_per_pair:config.samples_per_pair in
+  let problem = Types.problem ~graph:config.graph ~costs in
+  let measurement_minutes =
+    Netmeasure.Schemes.staged_time_for ~n:count ~reference_minutes:5.0
+  in
+  (* Step 3: search. *)
+  let started = Unix.gettimeofday () in
+  let plan = search rng config.strategy config.objective problem in
+  let search_seconds = Unix.gettimeofday () -. started in
+  Types.validate problem plan;
+  let default_plan = Types.identity_plan problem in
+  let cost = Cost.eval config.objective problem plan in
+  let default_cost = Cost.eval config.objective problem default_plan in
+  (* Step 4: terminate the instances the plan does not use. *)
+  let terminated = Types.unused_instances problem plan in
+  {
+    env;
+    problem;
+    plan;
+    default_plan;
+    cost;
+    default_cost;
+    improvement_pct = Cost.improvement ~default:default_cost ~optimized:cost;
+    measurement_minutes;
+    search_seconds;
+    terminated;
+  }

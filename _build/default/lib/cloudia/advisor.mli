@@ -1,0 +1,57 @@
+(** The end-to-end deployment advisor (Sect. 2.2, Fig. 3).
+
+    One call runs the paper's four-step tuning methodology against a
+    simulated public cloud:
+
+    + {b Allocate instances} — [(1 + over_allocation) · nodes] instances,
+      in provider allocation order;
+    + {b Get measurements} — interference-free RTT samples per ordered
+      pair, reduced under the chosen latency metric (the staged scheme's
+      time cost is accounted, not simulated probe by probe);
+    + {b Search deployment} — any of the paper's strategies;
+    + {b Terminate extra instances} — instances the plan leaves unused.
+
+    The report compares against the default deployment (nodes mapped to
+    instances in allocation order), which is what a tenant gets without
+    ClouDiA. *)
+
+type strategy =
+  | Greedy_g1
+  | Greedy_g2
+  | Random_r1 of int            (** best of N random plans *)
+  | Random_r2 of float          (** random plans for a time budget (s) *)
+  | Anneal of Anneal.options    (** simulated annealing (either objective) *)
+  | Cp of Cp_solver.options     (** LLNDP only *)
+  | Mip of Mip_solver.options
+
+val strategy_to_string : strategy -> string
+
+type config = {
+  graph : Graphs.Digraph.t;        (** application communication graph *)
+  objective : Cost.objective;
+  metric : Metrics.t;
+  over_allocation : float;         (** e.g. [0.1] for the paper's 10 % *)
+  samples_per_pair : int;          (** measurement effort per link *)
+  strategy : strategy;
+}
+
+type report = {
+  env : Cloudsim.Env.t;            (** the allocation (before termination) *)
+  problem : Types.problem;         (** measured costs + communication graph *)
+  plan : Types.plan;
+  default_plan : Types.plan;
+  cost : float;                    (** optimized deployment cost (measured) *)
+  default_cost : float;            (** default deployment cost (measured) *)
+  improvement_pct : float;         (** relative cost reduction vs default *)
+  measurement_minutes : float;     (** staged-scheme time budget charged *)
+  search_seconds : float;          (** wall-clock spent searching *)
+  terminated : int list;           (** over-allocated instances shut down *)
+}
+
+val run : Prng.t -> Cloudsim.Provider.t -> config -> report
+(** Raises [Invalid_argument] when the strategy cannot handle the
+    objective (CP handles longest link only, per Sect. 4.4's argument that
+    the longest-path objective defeats the iterated-SIP scheme). *)
+
+val search : Prng.t -> strategy -> Cost.objective -> Types.problem -> Types.plan
+(** Just step 3: run a strategy on an existing problem. *)

@@ -1,0 +1,100 @@
+type options = {
+  time_limit : float;
+  initial_temperature : float;
+  cooling : float;
+  moves_per_temperature : int;
+  restarts : int;
+}
+
+let default_options =
+  {
+    time_limit = 2.0;
+    initial_temperature = 0.5;
+    cooling = 0.999;
+    moves_per_temperature = 50;
+    restarts = 3;
+  }
+
+type result = {
+  plan : Types.plan;
+  cost : float;
+  moves_tried : int;
+  moves_accepted : int;
+}
+
+(* One annealing run from a random start; shares the move counters. *)
+let run rng eval (t : Types.problem) options ~deadline ~tried ~accepted =
+  let n = Types.node_count t and m = Types.instance_count t in
+  let plan = Types.random_plan rng t in
+  let cost = ref (eval plan) in
+  let best_plan = ref (Array.copy plan) in
+  let best_cost = ref !cost in
+  (* node_of.(instance) = node currently there, or -1: needed to find swap
+     partners and free instances in O(1). *)
+  let node_of = Array.make m (-1) in
+  Array.iteri (fun node inst -> node_of.(inst) <- node) plan;
+  let temperature = ref options.initial_temperature in
+  let min_temperature = 1e-4 *. options.initial_temperature in
+  while !temperature > min_temperature && Unix.gettimeofday () < deadline do
+    for _ = 1 to options.moves_per_temperature do
+      incr tried;
+      (* Propose: pick a node and a target instance; swap or relocate
+         depending on whether the target is occupied. *)
+      let node = Prng.int rng n in
+      let target = Prng.int rng m in
+      let source = plan.(node) in
+      if target <> source then begin
+        let other = node_of.(target) in
+        let apply () =
+          plan.(node) <- target;
+          node_of.(target) <- node;
+          node_of.(source) <- other;
+          if other <> -1 then plan.(other) <- source
+        in
+        let revert () =
+          plan.(node) <- source;
+          node_of.(source) <- node;
+          node_of.(target) <- other;
+          if other <> -1 then plan.(other) <- target
+        in
+        apply ();
+        let candidate = eval plan in
+        let delta = candidate -. !cost in
+        let accept =
+          delta <= 0.0 || Prng.uniform rng < exp (-.delta /. !temperature)
+        in
+        if accept then begin
+          incr accepted;
+          cost := candidate;
+          if candidate < !best_cost then begin
+            best_cost := candidate;
+            Array.blit plan 0 !best_plan 0 n
+          end
+        end
+        else revert ()
+      end
+    done;
+    temperature := !temperature *. options.cooling
+  done;
+  (!best_plan, !best_cost)
+
+let solve ?(options = default_options) rng ~eval (t : Types.problem) =
+  if options.time_limit <= 0.0 then invalid_arg "Anneal.solve: need a positive time limit";
+  if options.restarts <= 0 then invalid_arg "Anneal.solve: need at least one restart";
+  let deadline = Unix.gettimeofday () +. options.time_limit in
+  let tried = ref 0 and accepted = ref 0 in
+  let best_plan = ref (Types.random_plan rng t) in
+  let best_cost = ref (eval !best_plan) in
+  let remaining = ref options.restarts in
+  while !remaining > 0 && Unix.gettimeofday () < deadline do
+    decr remaining;
+    let plan, cost = run rng eval t options ~deadline ~tried ~accepted in
+    if cost < !best_cost then begin
+      best_cost := cost;
+      best_plan := plan
+    end
+  done;
+  { plan = !best_plan; cost = !best_cost; moves_tried = !tried; moves_accepted = !accepted }
+
+let solve_objective ?options rng objective t =
+  solve ?options rng ~eval:(fun plan -> Cost.eval objective t plan) t

@@ -1,0 +1,44 @@
+(** Simulated-annealing deployment search.
+
+    A lightweight anytime solver that sits between the paper's randomized
+    baselines (R1/R2, Sect. 4.3.1) and the exact solvers: local search over
+    deployment plans with two move kinds — {e swap} the instances of two
+    nodes, and {e relocate} a node onto an unused instance (the move that
+    exploits over-allocation) — under a geometric cooling schedule.
+    Works for any deployment cost function, including the weighted and
+    bandwidth objectives ({!Weighted}, {!Bandwidth}) that the exact
+    encodings need special-casing for. *)
+
+type options = {
+  time_limit : float;        (** wall-clock budget, seconds *)
+  initial_temperature : float;
+      (** starting acceptance temperature, in cost units; a value around
+          the cost spread of random plans works well *)
+  cooling : float;           (** geometric factor per step, e.g. 0.9995 *)
+  moves_per_temperature : int;
+  restarts : int;            (** independent annealing runs; best kept *)
+}
+
+val default_options : options
+(** 2 s, T₀ = 0.5, cooling 0.999, 50 moves per temperature, 3 restarts. *)
+
+type result = {
+  plan : Types.plan;
+  cost : float;
+  moves_tried : int;
+  moves_accepted : int;
+}
+
+val solve :
+  ?options:options ->
+  Prng.t ->
+  eval:(Types.plan -> float) ->
+  Types.problem ->
+  result
+(** [solve rng ~eval problem] minimizes an arbitrary plan cost [eval]
+    (e.g. [Cost.eval objective problem]). The returned plan is always a
+    valid injection. *)
+
+val solve_objective :
+  ?options:options -> Prng.t -> Cost.objective -> Types.problem -> result
+(** Convenience wrapper for the two standard objectives. *)

@@ -1,0 +1,16 @@
+let cost_matrix env =
+  let n = Cloudsim.Env.count env in
+  Array.init n (fun i ->
+      Array.init n (fun j -> if i = j then 0.0 else 1.0 /. Cloudsim.Env.bandwidth env i j))
+
+let problem_of env graph = Types.problem ~graph ~costs:(cost_matrix env)
+
+let bottleneck_gbps env graph plan =
+  Array.fold_left
+    (fun acc (i, i') -> Float.min acc (Cloudsim.Env.bandwidth env plan.(i) plan.(i')))
+    infinity (Graphs.Digraph.edges graph)
+
+let solve_cp ?options rng env graph =
+  let problem = problem_of env graph in
+  let r = Cp_solver.solve ?options rng problem in
+  (r.Cp_solver.plan, bottleneck_gbps env graph r.Cp_solver.plan)

@@ -1,0 +1,29 @@
+(** Bandwidth as the deployment criterion.
+
+    "We will investigate the deployment problem under other criteria, such
+    as bandwidth, for additional classes of cloud applications" (Sect. 8).
+    For throughput-bound applications the natural objective is to
+    {e maximize the bottleneck} — the smallest achievable bandwidth among
+    the links the application uses.
+
+    Maximizing the minimum bandwidth is exactly minimizing the maximum of
+    the reciprocal costs, so the entire longest-link machinery (greedy,
+    random, annealing, CP, MIP) applies unchanged to a problem whose cost
+    matrix is [1 / bandwidth]. *)
+
+val cost_matrix : Cloudsim.Env.t -> float array array
+(** [1 / bandwidth] per ordered pair, in s/Gbit; zero on the diagonal. *)
+
+val problem_of : Cloudsim.Env.t -> Graphs.Digraph.t -> Types.problem
+(** Deployment problem whose longest-link cost is the reciprocal of the
+    bottleneck bandwidth. *)
+
+val bottleneck_gbps : Cloudsim.Env.t -> Graphs.Digraph.t -> Types.plan -> float
+(** The smallest bandwidth among the communication links under the plan
+    (Gbit/s); [infinity] for an edgeless graph. *)
+
+val solve_cp :
+  ?options:Cp_solver.options -> Prng.t -> Cloudsim.Env.t -> Graphs.Digraph.t ->
+  Types.plan * float
+(** Maximize the bottleneck bandwidth with the CP solver; returns the plan
+    and its bottleneck in Gbit/s. *)

@@ -1,0 +1,63 @@
+let solve ?(max_instances = 10) objective (t : Types.problem) =
+  let n = Types.node_count t and m = Types.instance_count t in
+  if m > max_instances then
+    invalid_arg "Brute_force.solve: instance count exceeds the safety bound";
+  let plan = Array.make n (-1) in
+  let used = Array.make m false in
+  let best_plan = ref None and best_cost = ref infinity in
+  (* For the longest-link objective the partial maximum only grows, so we
+     can prune as soon as it reaches the incumbent. Longest path lacks
+     that monotone partial evaluation, so it is evaluated at the leaves. *)
+  let partial_ll node inst =
+    (* Max cost of communication edges between [node] (about to be placed
+       on [inst]) and already-placed neighbors. *)
+    let worst = ref 0.0 in
+    Array.iter
+      (fun w ->
+        if plan.(w) <> -1 then begin
+          if Graphs.Digraph.mem_edge t.Types.graph node w then
+            worst := Float.max !worst t.Types.costs.(inst).(plan.(w));
+          if Graphs.Digraph.mem_edge t.Types.graph w node then
+            worst := Float.max !worst t.Types.costs.(plan.(w)).(inst)
+        end)
+      (Graphs.Digraph.undirected_neighbors t.Types.graph node);
+    !worst
+  in
+  let rec go node current_ll =
+    if node = n then begin
+      let c =
+        match objective with
+        | Cost.Longest_link -> current_ll
+        | Cost.Longest_path -> Cost.longest_path t plan
+      in
+      if c < !best_cost then begin
+        best_cost := c;
+        best_plan := Some (Array.copy plan)
+      end
+    end
+    else
+      for inst = 0 to m - 1 do
+        if not used.(inst) then begin
+          let extension =
+            match objective with
+            | Cost.Longest_link -> Float.max current_ll (partial_ll node inst)
+            | Cost.Longest_path -> current_ll
+          in
+          if extension < !best_cost || objective = Cost.Longest_path then begin
+            plan.(node) <- inst;
+            used.(inst) <- true;
+            go (node + 1) extension;
+            used.(inst) <- false;
+            plan.(node) <- -1
+          end
+        end
+      done
+  in
+  go 0 0.0;
+  match !best_plan with
+  | Some p -> (p, !best_cost)
+  | None ->
+      (* n >= 1 and m >= n guarantee at least one injection exists; the
+         only way to get here is pruning every branch, which cannot happen
+         because the first full plan is always accepted. *)
+      assert false

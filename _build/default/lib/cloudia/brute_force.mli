@@ -1,0 +1,13 @@
+(** Exact deployment search by exhaustive enumeration.
+
+    Enumerates all injections of nodes into instances — m!/(m−n)! plans —
+    with branch-and-bound pruning on the partial longest link. Only viable
+    for tiny instances; its purpose is to certify the optimality claims of
+    the other solvers in tests and in the small-scale experiment of
+    Sect. 6.5.3 (where MIP at 15 instances "was always able to find optimal
+    solutions"). *)
+
+val solve : ?max_instances:int -> Cost.objective -> Types.problem -> Types.plan * float
+(** Optimal plan and cost. Raises [Invalid_argument] if the problem has
+    more than [max_instances] (default 10) instances, as a guard against
+    accidental factorial blow-ups. *)

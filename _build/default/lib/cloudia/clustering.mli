@@ -1,0 +1,24 @@
+(** Link-cost clustering (Sect. 6.3).
+
+    "We use k-means to cluster link costs … all costs are modified to the
+    mean of the containing cluster and then passed to the solver." Fewer
+    distinct cost values means fewer iterations for the CP scheme
+    (Sect. 4.2) at the price of approximating the objective. *)
+
+type t = {
+  rounded : float array array; (** costs with every entry snapped to its
+                                   cluster mean; diagonal preserved at 0 *)
+  levels : float array;        (** distinct cluster means, ascending *)
+}
+
+val cluster : k:int -> float array array -> t
+(** Optimal 1-D k-means over the off-diagonal entries. [k <= 0] raises. *)
+
+val none : float array array -> t
+(** No clustering: [rounded] is the input (copied); [levels] are its
+    distinct off-diagonal values ascending. This is the "no clustering"
+    configuration of Figs. 6 and 9. *)
+
+val thresholds_below : t -> float -> float list
+(** Cluster levels strictly below the given cost, descending — the
+    successive goals [c] of the iterated-subgraph-isomorphism search. *)

@@ -1,0 +1,30 @@
+type objective = Longest_link | Longest_path
+
+let objective_to_string = function
+  | Longest_link -> "longest-link"
+  | Longest_path -> "longest-path"
+
+let longest_link_witness (t : Types.problem) plan =
+  let best = ref 0.0 and witness = ref None in
+  Array.iter
+    (fun (i, i') ->
+      let c = t.Types.costs.(plan.(i)).(plan.(i')) in
+      if c > !best then begin
+        best := c;
+        witness := Some (i, i')
+      end)
+    (Graphs.Digraph.edges t.Types.graph);
+  (!best, !witness)
+
+let longest_link t plan = fst (longest_link_witness t plan)
+
+let longest_path (t : Types.problem) plan =
+  Graphs.Digraph.longest_path t.Types.graph ~weight:(fun i i' ->
+      t.Types.costs.(plan.(i)).(plan.(i')))
+
+let eval = function
+  | Longest_link -> longest_link
+  | Longest_path -> longest_path
+
+let improvement ~default ~optimized =
+  if default = 0.0 then 0.0 else (default -. optimized) /. default *. 100.0

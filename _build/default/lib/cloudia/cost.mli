@@ -1,0 +1,27 @@
+(** Deployment cost functions (Sect. 3.3, Classes 1 and 2).
+
+    Longest link models barrier-synchronized HPC applications: one slow
+    link delays every tick. Longest path models service-call trees: costs
+    along a causal chain of messages add up. *)
+
+type objective = Longest_link | Longest_path
+
+val objective_to_string : objective -> string
+
+val longest_link : Types.problem -> Types.plan -> float
+(** [max over communication edges (i,i') of costs(plan i)(plan i')].
+    Zero for an edgeless graph. *)
+
+val longest_link_witness : Types.problem -> Types.plan -> float * (int * int) option
+(** The longest link's cost and the communication edge achieving it. *)
+
+val longest_path : Types.problem -> Types.plan -> float
+(** Maximum over directed paths of the summed link costs under the plan.
+    Requires an acyclic communication graph (raises [Invalid_argument]
+    otherwise, as in Definition Class 2). *)
+
+val eval : objective -> Types.problem -> Types.plan -> float
+
+val improvement : default:float -> optimized:float -> float
+(** Relative reduction in percent: [(default - optimized) / default · 100].
+    [0.] when the default cost is zero. *)

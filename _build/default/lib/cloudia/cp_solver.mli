@@ -1,0 +1,62 @@
+(** CP solver for the Longest Link Node Deployment Problem (Sect. 4.2).
+
+    The paper's key insight: a deployment of cost ≤ c exists iff the
+    communication graph embeds (subgraph-isomorphically) into the
+    threshold graph [Gc = (S, {(j,j') : CL(j,j') ≤ c})]. The solver
+    therefore iterates feasibility problems: start from an incumbent (best
+    of a few random plans), repeatedly ask for an embedding strictly
+    cheaper than the incumbent's worst link, and stop at UNSAT (optimal
+    under the rounded costs) or timeout.
+
+    Each feasibility problem is the CSP of the paper's (CP) encoding —
+    [alldifferent] over the node variables plus forbidden pairs
+    [(u_i, u_i') ≠ (j, j')] for links above the threshold — with optional
+    root filtering by iterated-degree compatibility labels (Zampelli et
+    al.), and k-means cost clustering to bound the number of iterations. *)
+
+type options = {
+  clusters : int option;         (** k-means cluster count; [None] = exact costs *)
+  time_limit : float;            (** overall wall-clock budget, seconds *)
+  iteration_time_limit : float option;
+      (** cap per feasibility solve; [None] = whatever remains *)
+  use_labeling : bool;           (** apply degree-compatibility root filtering *)
+  bootstrap_trials : int;        (** random plans seeding the incumbent (paper: 10) *)
+}
+
+val default_options : options
+(** k = 20 clusters, 60 s budget, no per-iteration cap, labeling on,
+    10 bootstrap trials. *)
+
+type result = {
+  plan : Types.plan;
+  cost : float;                  (** true (uncluster-ed) longest-link cost *)
+  trace : (float * float) list;  (** (elapsed seconds, true cost) at each
+                                     incumbent improvement, oldest first;
+                                     includes the bootstrap incumbent at
+                                     time ~0 *)
+  iterations : int;              (** feasibility problems solved *)
+  proven_optimal : bool;         (** UNSAT reached: optimal w.r.t. the
+                                     rounded cost matrix *)
+}
+
+val solve :
+  ?options:options ->
+  ?edge_weight:(int -> int -> float) ->
+  ?order_values:bool ->
+  Prng.t ->
+  Types.problem ->
+  result
+(** [edge_weight i i'] scales the cost of communication edge [(i, i')] in
+    the objective — the weighted-communication-graph extension the paper
+    lists as future work (Sect. 8). Weights must be positive; the
+    threshold iteration generalizes to the candidate values
+    {weight × cost level}, and each distinct weight gets its own
+    forbidden-pair matrix. Compatibility labeling is disabled when weights
+    are non-uniform (different edges then see different threshold graphs,
+    so a single degree-compatibility test would be unsound). Default: all
+    weights 1 (the paper's problem).
+
+    [order_values] (default [true]) branches on instances with the
+    cheapest average connectivity first — a value-ordering heuristic that
+    speeds the feasibility dives without affecting completeness; disable
+    it to reproduce plain lexicographic search. *)

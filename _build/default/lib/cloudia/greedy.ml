@@ -1,0 +1,191 @@
+(* Shared machinery for the two greedy algorithms. A partial deployment is
+   tracked both ways: node_of.(instance) and inst_of.(node), -1 for unset. *)
+
+type state = {
+  problem : Types.problem;
+  node_of : int array; (* instance -> node *)
+  inst_of : int array; (* node -> instance *)
+  mutable mapped : int;
+}
+
+let make_state problem =
+  {
+    problem;
+    node_of = Array.make (Types.instance_count problem) (-1);
+    inst_of = Array.make (Types.node_count problem) (-1);
+    mapped = 0;
+  }
+
+let assign st node inst =
+  st.node_of.(inst) <- node;
+  st.inst_of.(node) <- inst;
+  st.mapped <- st.mapped + 1
+
+let neighbors st node = Graphs.Digraph.undirected_neighbors st.problem.Types.graph node
+
+let has_unmapped_neighbor st node =
+  Array.exists (fun w -> st.inst_of.(w) = -1) (neighbors st node)
+
+let some_unmapped_neighbor st node =
+  let found = ref (-1) in
+  Array.iter (fun w -> if !found = -1 && st.inst_of.(w) = -1 then found := w) (neighbors st node);
+  !found
+
+(* Cheapest instance pair (u0, v0), u0 <> v0, treating the matrix as the
+   cost of the directed link u0 -> v0. *)
+let cheapest_pair (t : Types.problem) =
+  let m = Types.instance_count t in
+  let best = ref infinity and bu = ref 0 and bv = ref 1 in
+  for u = 0 to m - 1 do
+    for v = 0 to m - 1 do
+      if u <> v && t.Types.costs.(u).(v) < !best then begin
+        best := t.Types.costs.(u).(v);
+        bu := u;
+        bv := v
+      end
+    done
+  done;
+  (!bu, !bv)
+
+(* Seed a fresh component: map the endpoints of an arbitrary unmapped edge
+   (x, y) onto the cheapest pair of free instances; a fully isolated node
+   goes on one free instance. *)
+let seed_component st =
+  let t = st.problem in
+  let n = Types.node_count t and m = Types.instance_count t in
+  (* Pick an unmapped node with an unmapped neighbor if possible. *)
+  let x = ref (-1) and y = ref (-1) in
+  for node = n - 1 downto 0 do
+    if st.inst_of.(node) = -1 then begin
+      let w = some_unmapped_neighbor st node in
+      if w <> -1 then begin
+        x := node;
+        y := w
+      end
+      else if !x = -1 then x := node
+    end
+  done;
+  if !x = -1 then ()
+  else if !y = -1 then begin
+    (* Isolated node: any free instance. *)
+    let inst = ref (-1) in
+    for u = m - 1 downto 0 do
+      if st.node_of.(u) = -1 then inst := u
+    done;
+    assign st !x !inst
+  end
+  else begin
+    let best = ref infinity and bu = ref (-1) and bv = ref (-1) in
+    for u = 0 to m - 1 do
+      if st.node_of.(u) = -1 then
+        for v = 0 to m - 1 do
+          if v <> u && st.node_of.(v) = -1 && t.Types.costs.(u).(v) < !best then begin
+            best := t.Types.costs.(u).(v);
+            bu := u;
+            bv := v
+          end
+        done
+    done;
+    assign st !x !bu;
+    assign st !y !bv
+  end
+
+let finish st =
+  (* All nodes must be mapped by construction; return the plan. *)
+  Array.copy st.inst_of
+
+let g1 (t : Types.problem) =
+  let n = Types.node_count t and m = Types.instance_count t in
+  let st = make_state t in
+  if n = 1 then begin
+    seed_component st;
+    finish st
+  end
+  else begin
+    (* Lines 1–3: cheapest pair carries an arbitrary edge. *)
+    let u0, v0 = cheapest_pair t in
+    (match Graphs.Digraph.edges t.Types.graph with
+    | [||] -> seed_component st
+    | edges ->
+        let x, y = edges.(0) in
+        assign st x u0;
+        assign st y v0);
+    (* Lines 4–16: repeatedly attach the cheapest extension link. *)
+    while st.mapped < n do
+      let cmin = ref infinity and umin = ref (-1) and vmin = ref (-1) in
+      for u = 0 to m - 1 do
+        let node = st.node_of.(u) in
+        if node <> -1 && has_unmapped_neighbor st node then
+          for v = 0 to m - 1 do
+            if st.node_of.(v) = -1 && v <> u && t.Types.costs.(u).(v) < !cmin then begin
+              cmin := t.Types.costs.(u).(v);
+              umin := u;
+              vmin := v
+            end
+          done
+      done;
+      if !umin = -1 then seed_component st
+      else begin
+        let w = some_unmapped_neighbor st st.node_of.(!umin) in
+        assign st w !vmin
+      end
+    done;
+    finish st
+  end
+
+let g2 (t : Types.problem) =
+  let n = Types.node_count t and m = Types.instance_count t in
+  let st = make_state t in
+  if n = 1 then begin
+    seed_component st;
+    finish st
+  end
+  else begin
+    let u0, v0 = cheapest_pair t in
+    (match Graphs.Digraph.edges t.Types.graph with
+    | [||] -> seed_component st
+    | edges ->
+        let x, y = edges.(0) in
+        assign st x u0;
+        assign st y v0);
+    (* Cost of attaching node w to instance v: the worst link among the
+       explicit link (u, v) and every link between v and the instances of
+       w's already-mapped neighbors, in both edge directions. *)
+    let extension_cost u v w =
+      let cost = ref t.Types.costs.(u).(v) in
+      Array.iter
+        (fun x ->
+          let inst = st.inst_of.(x) in
+          if inst <> -1 then begin
+            if Graphs.Digraph.mem_edge t.Types.graph w x then
+              cost := Float.max !cost t.Types.costs.(v).(inst);
+            if Graphs.Digraph.mem_edge t.Types.graph x w then
+              cost := Float.max !cost t.Types.costs.(inst).(v)
+          end)
+        (neighbors st w);
+      !cost
+    in
+    while st.mapped < n do
+      let cmin = ref infinity and vmin = ref (-1) and wmin = ref (-1) in
+      for u = 0 to m - 1 do
+        let node = st.node_of.(u) in
+        if node <> -1 then
+          Array.iter
+            (fun w ->
+              if st.inst_of.(w) = -1 then
+                for v = 0 to m - 1 do
+                  if st.node_of.(v) = -1 && v <> u then begin
+                    let c = extension_cost u v w in
+                    if c < !cmin then begin
+                      cmin := c;
+                      vmin := v;
+                      wmin := w
+                    end
+                  end
+                done)
+            (neighbors st node)
+      done;
+      if !wmin = -1 then seed_component st else assign st !wmin !vmin
+    done;
+    finish st
+  end

@@ -1,0 +1,21 @@
+(** Lightweight greedy deployment heuristics (Sect. 4.3.2, Algorithms 1–2).
+
+    Both grow a partial deployment one node at a time starting from the
+    cheapest instance pair:
+
+    - {b G1} always extends along the cheapest available instance link,
+      ignoring the cost of the other links the extension implicitly adds.
+    - {b G2} costs each candidate extension by the worst link it would
+      add — explicit and implicit — and picks the candidate minimizing
+      that worst cost, i.e. it locally minimizes the longest-link
+      objective at every step.
+
+    Both need the communication graph to be connected in the undirected
+    sense to grow frontier-first; disconnected remainders are seeded again
+    from the cheapest remaining pair. *)
+
+val g1 : Types.problem -> Types.plan
+(** Algorithm 1. *)
+
+val g2 : Types.problem -> Types.plan
+(** Algorithm 2. *)

@@ -1,0 +1,64 @@
+let parse text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  if lines = [] then Error "empty input"
+  else begin
+    let parse_row lineno line =
+      let cells = String.split_on_char ',' line |> List.map String.trim in
+      let values = List.map float_of_string_opt cells in
+      if List.exists Option.is_none values then
+        Error (Printf.sprintf "line %d: not a number in %S" lineno line)
+      else Ok (Array.of_list (List.map Option.get values))
+    in
+    let rec collect lineno acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | line :: rest -> (
+          match parse_row lineno line with
+          | Ok row -> collect (lineno + 1) (row :: acc) rest
+          | Error _ as e -> e)
+    in
+    match collect 1 [] lines with
+    | Error e -> Error e
+    | Ok matrix ->
+        let n = Array.length matrix in
+        let problem = ref None in
+        Array.iteri
+          (fun i row ->
+            if !problem = None then
+              if Array.length row <> n then
+                problem := Some (Printf.sprintf "row %d has %d entries, expected %d" (i + 1)
+                                   (Array.length row) n)
+              else
+                Array.iteri
+                  (fun j v ->
+                    if !problem = None then
+                      if i = j && v <> 0.0 then
+                        problem := Some (Printf.sprintf "diagonal entry (%d,%d) must be 0" i j)
+                      else if (not (Float.is_finite v)) || v < 0.0 then
+                        problem :=
+                          Some (Printf.sprintf "entry (%d,%d) must be finite and >= 0" i j))
+                  row)
+          matrix;
+        (match !problem with Some e -> Error e | None -> Ok matrix)
+  end
+
+let print matrix =
+  let buf = Buffer.create 256 in
+  Array.iter
+    (fun row ->
+      Array.iteri
+        (fun j v ->
+          if j > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf (Printf.sprintf "%.6g" v))
+        row;
+      Buffer.add_char buf '\n')
+    matrix;
+  Buffer.contents buf
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | text -> parse text

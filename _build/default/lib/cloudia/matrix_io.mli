@@ -1,0 +1,26 @@
+(** Cost-matrix input/output.
+
+    A tenant who has measured their own allocation (with this repository's
+    schemes or any external prober) can hand ClouDiA the pairwise cost
+    matrix directly instead of using the simulator. The format is plain
+    CSV: one row per source instance, comma-separated millisecond costs,
+    zero diagonal; [#]-prefixed lines are comments.
+
+    {v
+      # 3 instances
+      0, 0.41, 0.52
+      0.40, 0, 0.77
+      0.55, 0.79, 0
+    v} *)
+
+val parse : string -> (float array array, string) result
+(** Parse CSV text into a square cost matrix. Validates squareness, zero
+    diagonal, and finite non-negative entries (the {!Types.problem}
+    invariants), returning a descriptive error otherwise. *)
+
+val print : float array array -> string
+(** Render a matrix back to the CSV form ([%.6g] per entry; round-trips
+    through {!parse} up to that precision). *)
+
+val load : string -> (float array array, string) result
+(** Read and {!parse} a file. *)

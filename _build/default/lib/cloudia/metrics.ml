@@ -1,0 +1,36 @@
+type t = Mean | Mean_plus_sd | P99
+
+let to_string = function
+  | Mean -> "mean"
+  | Mean_plus_sd -> "mean+sd"
+  | P99 -> "p99"
+
+let of_string = function
+  | "mean" -> Some Mean
+  | "mean+sd" -> Some Mean_plus_sd
+  | "p99" -> Some P99
+  | _ -> None
+
+let of_samples metric samples =
+  match metric with
+  | Mean -> Stats.Summary.mean samples
+  | Mean_plus_sd -> Stats.Summary.mean samples +. Stats.Summary.stddev samples
+  | P99 -> Stats.Summary.percentile samples 99.0
+
+let draw_samples rng env ~samples_per_pair =
+  if samples_per_pair <= 0 then invalid_arg "Metrics: need a positive sample count";
+  let n = Cloudsim.Env.count env in
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          if i = j then [||]
+          else Array.init samples_per_pair (fun _ -> Cloudsim.Env.sample_rtt rng env i j)))
+
+let reduce metric samples =
+  Array.map (Array.map (fun s -> if Array.length s = 0 then 0.0 else of_samples metric s)) samples
+
+let estimate rng env metric ~samples_per_pair =
+  reduce metric (draw_samples rng env ~samples_per_pair)
+
+let estimate_all rng env ~samples_per_pair =
+  let samples = draw_samples rng env ~samples_per_pair in
+  fun metric -> reduce metric samples

@@ -1,0 +1,33 @@
+(** Latency metrics for the communication-cost function (Sect. 3.2).
+
+    The cost [CL(i, j)] fed to the solvers can characterize a link's RTT
+    distribution in different ways. The paper studies three: the mean, the
+    mean plus one standard deviation (for jitter-sensitive applications),
+    and the 99th percentile, and finds the mean robust across its
+    workloads (Figs. 10–11). *)
+
+type t = Mean | Mean_plus_sd | P99
+
+val to_string : t -> string
+
+val of_string : string -> t option
+(** Accepts ["mean"], ["mean+sd"], ["p99"]. *)
+
+val of_samples : t -> float array -> float
+(** Reduce one link's RTT samples to a scalar cost. Raises on empty
+    input. *)
+
+val estimate :
+  Prng.t -> Cloudsim.Env.t -> t -> samples_per_pair:int -> float array array
+(** Draw [samples_per_pair] interference-free RTT samples per ordered pair
+    (what the staged scheme of Sect. 5 delivers) and reduce them with the
+    metric, yielding the cost matrix for {!Types.problem}. The diagonal is
+    zero. *)
+
+val estimate_all :
+  Prng.t -> Cloudsim.Env.t -> samples_per_pair:int ->
+  (t -> float array array)
+(** Single-measurement variant: draw one set of samples per link and
+    derive all three metric matrices from the same data, as one real
+    measurement phase would. The returned function reduces the cached
+    samples under any metric. *)

@@ -1,0 +1,213 @@
+type options = {
+  clusters : int option;
+  time_limit : float;
+  node_limit : int option;
+  bootstrap_trials : int;
+}
+
+let default_options =
+  { clusters = None; time_limit = 30.0; node_limit = None; bootstrap_trials = 10 }
+
+type result = {
+  plan : Types.plan;
+  cost : float;
+  trace : (float * float) list;
+  proven_optimal : bool;
+  nodes_explored : int;
+}
+
+(* Assignment variables for the padded one-to-one mapping: x.(i).(j) for
+   node i (real nodes first, then dummies up to m) on instance j. *)
+let assignment_vars model m =
+  Array.init m (fun i ->
+      Array.init m (fun j ->
+          Lp.Model.add_var model ~integer:true ~ub:1.0 (Printf.sprintf "x_%d_%d" i j)))
+
+let add_assignment_constraints model x m =
+  for j = 0 to m - 1 do
+    Lp.Model.add_constraint model
+      (List.init m (fun i -> (x.(i).(j), 1.0)))
+      Lp.Simplex.Eq 1.0
+  done;
+  for i = 0 to m - 1 do
+    Lp.Model.add_constraint model
+      (List.init m (fun j -> (x.(i).(j), 1.0)))
+      Lp.Simplex.Eq 1.0
+  done
+
+(* A full solution vector encoding a plan, for seeding branch and bound:
+   real nodes per the plan, dummies on the leftover instances in order. *)
+let seed_solution ~nvars ~(x : Lp.Model.var array array) ~m ~n plan extras =
+  ignore m;
+  let sol = Array.make nvars 0.0 in
+  Array.iteri (fun i j -> sol.((x.(i).(j) :> int)) <- 1.0) (Array.sub plan 0 n);
+  let free = Types.unused_instances extras plan in
+  List.iteri (fun k j -> sol.((x.(n + k).(j) :> int)) <- 1.0) free;
+  sol
+
+(* Extract the plan for the n real nodes out of an LP solution. *)
+let plan_of_solution ~(x : Lp.Model.var array array) ~m ~n sol =
+  Array.init n (fun i ->
+      let found = ref 0 in
+      for j = 0 to m - 1 do
+        if Lp.Model.value sol x.(i).(j) > 0.5 then found := j
+      done;
+      !found)
+
+let linearized_max_constraints model x costs graph ~weight ~cap_var =
+  let m = Array.length costs in
+  Array.iter
+    (fun (i, i') ->
+      let w = weight i i' in
+      for j = 0 to m - 1 do
+        for j' = 0 to m - 1 do
+          let c = w *. costs.(j).(j') in
+          if j <> j' && c > 0.0 then
+            (* w·CL·x_ij + w·CL·x_i'j' − cap ≤ w·CL *)
+            Lp.Model.add_constraint model
+              [ (x.(i).(j), c); (x.(i').(j'), c); (cap_var, -1.0) ]
+              Lp.Simplex.Le c
+        done
+      done)
+    (Graphs.Digraph.edges graph)
+
+let check_weights graph weight =
+  Array.iter
+    (fun (i, i') ->
+      if weight i i' <= 0.0 then
+        invalid_arg "Mip_solver: edge weights must be positive")
+    (Graphs.Digraph.edges graph)
+
+(* Weighted deployment costs over an arbitrary cost matrix. *)
+let weighted_ll graph weight costs plan =
+  Array.fold_left
+    (fun acc (i, i') -> Float.max acc (weight i i' *. costs.(plan.(i)).(plan.(i'))))
+    0.0 (Graphs.Digraph.edges graph)
+
+let weighted_lp graph weight costs plan =
+  Graphs.Digraph.longest_path graph ~weight:(fun i i' ->
+      weight i i' *. costs.(plan.(i)).(plan.(i')))
+
+let rounded_costs options (t : Types.problem) =
+  match options.clusters with
+  | Some k -> (Clustering.cluster ~k t.Types.costs).Clustering.rounded
+  | None -> t.Types.costs
+
+let run_bnb ~options ~model ~x ~m ~n ~seed_obj ~seed_sol ~true_eval =
+  let trace = ref [] in
+  let start = Unix.gettimeofday () in
+  let best_plan = ref (plan_of_solution ~x ~m ~n seed_sol) in
+  trace := [ (0.0, true_eval !best_plan) ];
+  let on_incumbent ~obj:_ ~solution ~elapsed =
+    let plan = plan_of_solution ~x ~m ~n solution in
+    best_plan := plan;
+    trace := (elapsed, true_eval plan) :: !trace
+  in
+  let outcome, stats =
+    Lp.Mip.solve ~time_limit:options.time_limit ?node_limit:options.node_limit
+      ~on_incumbent ~initial_incumbent:(seed_obj, seed_sol) model
+  in
+  ignore start;
+  let proven =
+    match outcome with Lp.Mip.Mip_optimal _ -> true | _ -> stats.Lp.Mip.proven_optimal
+  in
+  {
+    plan = !best_plan;
+    cost = true_eval !best_plan;
+    trace = List.rev !trace;
+    proven_optimal = proven;
+    nodes_explored = stats.Lp.Mip.nodes_explored;
+  }
+
+let solve_longest_link ?(options = default_options) ?edge_weight rng (t : Types.problem) =
+  let n = Types.node_count t and m = Types.instance_count t in
+  let weight = match edge_weight with Some w -> w | None -> fun _ _ -> 1.0 in
+  check_weights t.Types.graph weight;
+  let costs = rounded_costs options t in
+  let model = Lp.Model.create () in
+  let x = assignment_vars model m in
+  let c = Lp.Model.add_var model ~obj:1.0 "c" in
+  add_assignment_constraints model x m;
+  linearized_max_constraints model x costs t.Types.graph ~weight ~cap_var:c;
+  let rounded_problem = Types.problem ~graph:t.Types.graph ~costs in
+  let rounded_eval plan = weighted_ll t.Types.graph weight costs plan in
+  let plan0 =
+    Random_search.best_of_eval rng ~eval:rounded_eval rounded_problem
+      (max 1 options.bootstrap_trials)
+  in
+  let nvars = Lp.Model.var_count model in
+  let seed_sol = seed_solution ~nvars ~x ~m ~n plan0 rounded_problem in
+  let seed_obj = rounded_eval plan0 in
+  seed_sol.((c :> int)) <- seed_obj;
+  run_bnb ~options ~model ~x ~m ~n ~seed_obj ~seed_sol
+    ~true_eval:(weighted_ll t.Types.graph weight t.Types.costs)
+
+let solve_longest_path ?(options = default_options) ?edge_weight rng (t : Types.problem) =
+  if not (Graphs.Digraph.is_dag t.Types.graph) then
+    invalid_arg "Mip_solver.solve_longest_path: communication graph must be acyclic";
+  let n = Types.node_count t and m = Types.instance_count t in
+  let weight = match edge_weight with Some w -> w | None -> fun _ _ -> 1.0 in
+  check_weights t.Types.graph weight;
+  let costs = rounded_costs options t in
+  let model = Lp.Model.create () in
+  let x = assignment_vars model m in
+  let edges = Graphs.Digraph.edges t.Types.graph in
+  (* Per-edge realized cost c_ii' and per-node longest-prefix t_i. *)
+  let edge_cost =
+    Array.map (fun (i, i') -> Lp.Model.add_var model (Printf.sprintf "c_%d_%d" i i')) edges
+  in
+  let t_node = Array.init n (fun i -> Lp.Model.add_var model (Printf.sprintf "t_%d" i)) in
+  let t_max = Lp.Model.add_var model ~obj:1.0 "t" in
+  add_assignment_constraints model x m;
+  Array.iteri
+    (fun e (i, i') ->
+      let w = weight i i' in
+      for j = 0 to m - 1 do
+        for j' = 0 to m - 1 do
+          let cval = w *. costs.(j).(j') in
+          if j <> j' && cval > 0.0 then
+            Lp.Model.add_constraint model
+              [ (x.(i).(j), cval); (x.(i').(j'), cval); (edge_cost.(e), -1.0) ]
+              Lp.Simplex.Le cval
+        done
+      done;
+      (* t_i' ≥ t_i + c_ii'  ⇔  t_i − t_i' + c_ii' ≤ 0 *)
+      Lp.Model.add_constraint model
+        [ (t_node.(i), 1.0); (t_node.(i'), -1.0); (edge_cost.(e), 1.0) ]
+        Lp.Simplex.Le 0.0)
+    edges;
+  Array.iter
+    (fun ti ->
+      Lp.Model.add_constraint model [ (ti, 1.0); (t_max, -1.0) ] Lp.Simplex.Le 0.0)
+    t_node;
+  let rounded_problem = Types.problem ~graph:t.Types.graph ~costs in
+  let rounded_eval plan = weighted_lp t.Types.graph weight costs plan in
+  let plan0 =
+    Random_search.best_of_eval rng ~eval:rounded_eval rounded_problem
+      (max 1 options.bootstrap_trials)
+  in
+  let nvars = Lp.Model.var_count model in
+  let seed_sol = seed_solution ~nvars ~x ~m ~n plan0 rounded_problem in
+  (* Consistent auxiliary values for the seed: realized edge costs and the
+     longest rounded prefix reaching each node. *)
+  Array.iteri
+    (fun e (i, i') ->
+      seed_sol.((edge_cost.(e) :> int)) <- weight i i' *. costs.(plan0.(i)).(plan0.(i')))
+    edges;
+  let prefix = Array.make n 0.0 in
+  (match Graphs.Digraph.topological_order t.Types.graph with
+  | None -> assert false
+  | Some order ->
+      Array.iter
+        (fun i ->
+          Array.iter
+            (fun i' ->
+              let cand = prefix.(i) +. (weight i i' *. costs.(plan0.(i)).(plan0.(i'))) in
+              if cand > prefix.(i') then prefix.(i') <- cand)
+            (Graphs.Digraph.out_neighbors t.Types.graph i))
+        order);
+  Array.iteri (fun i (ti : Lp.Model.var) -> seed_sol.((ti :> int)) <- prefix.(i)) t_node;
+  let seed_obj = rounded_eval plan0 in
+  seed_sol.((t_max :> int)) <- seed_obj;
+  run_bnb ~options ~model ~x ~m ~n ~seed_obj ~seed_sol
+    ~true_eval:(weighted_lp t.Types.graph weight t.Types.costs)

@@ -1,0 +1,61 @@
+(** Mixed-integer programming solvers for both deployment problems
+    (Sects. 4.1 and 4.4).
+
+    The encodings mirror the paper's exactly. Longest link:
+
+    {v
+      minimize c
+      s.t.  Σ_i x_ij = 1            ∀ j ∈ S          (1)
+            Σ_j x_ij = 1            ∀ i ∈ V          (2)
+            c ≥ CL(j,j')·(x_ij + x_i'j' − 1)
+                                    ∀(i,i') ∈ E, ∀ j ≠ j' ∈ S   (3)
+    v}
+
+    with V padded by dummy (edgeless) nodes so |V| = |S|. Longest path
+    adds per-edge cost variables [c_ii'] bounded by the same product
+    linearization, longest-prefix variables [t_i ≥ t_i' + c_i'i] along
+    edges, and minimizes their maximum [t].
+
+    The LP relaxation of (3) is weak — [x_ij + x_i'j'] must exceed 1
+    before the constraint binds — which is one of the two reasons the
+    paper finds MIP uncompetitive with CP on LLNDP (Fig. 7); running these
+    encodings through the from-scratch {!Lp.Mip} solver reproduces that
+    behaviour at reduced scale. *)
+
+type options = {
+  clusters : int option;      (** k-means cost clustering before encoding *)
+  time_limit : float;         (** branch-and-bound budget, seconds *)
+  node_limit : int option;
+  bootstrap_trials : int;     (** random plans seeding the incumbent *)
+}
+
+val default_options : options
+(** No clustering, 30 s, no node cap, 10 bootstrap trials. *)
+
+type result = {
+  plan : Types.plan;
+  cost : float;                 (** true cost of the returned plan *)
+  trace : (float * float) list; (** (elapsed, true cost) per incumbent *)
+  proven_optimal : bool;
+  nodes_explored : int;
+}
+
+val solve_longest_link :
+  ?options:options ->
+  ?edge_weight:(int -> int -> float) ->
+  Prng.t ->
+  Types.problem ->
+  result
+(** [edge_weight i i'] scales edge [(i, i')]'s contribution to the
+    objective (the weighted-graph extension of Sect. 8); constraint (3)
+    becomes [c ≥ w_ii'·CL(j,j')·(x_ij + x_i'j' − 1)]. Weights must be
+    positive; default 1 everywhere. *)
+
+val solve_longest_path :
+  ?options:options ->
+  ?edge_weight:(int -> int -> float) ->
+  Prng.t ->
+  Types.problem ->
+  result
+(** Requires an acyclic communication graph. [edge_weight] as in
+    {!solve_longest_link}. *)

@@ -1,0 +1,95 @@
+type config = {
+  measurement_seconds : float;
+  interference : float;
+  noise_sigma : float;
+  migration_seconds : float;
+  total_ticks : int;
+  solver_budget : float;
+}
+
+let default_config =
+  {
+    measurement_seconds = 60.0;
+    interference = 0.15;
+    noise_sigma = 0.10;
+    migration_seconds = 30.0;
+    total_ticks = 100_000;
+    solver_budget = 2.0;
+  }
+
+type analysis = {
+  sequential_seconds : float;
+  overlapped_seconds : float;
+  sequential_plan_cost : float;
+  overlapped_plan_cost : float;
+  ticks_during_measurement : int;
+}
+
+let optimize config rng problem =
+  (Cp_solver.solve
+     ~options:
+       {
+         Cp_solver.clusters = Some 20;
+         time_limit = config.solver_budget;
+         iteration_time_limit = None;
+         use_labeling = true;
+         bootstrap_trials = 10;
+       }
+     rng problem)
+    .Cp_solver.plan
+
+let analyze ?(config = default_config) rng provider ~rows ~cols ~over_allocation =
+  if config.measurement_seconds <= 0.0 then
+    invalid_arg "Overlap.analyze: measurement phase must be positive";
+  if config.interference < 0.0 then invalid_arg "Overlap.analyze: negative interference";
+  let nodes = rows * cols in
+  let count = int_of_float (Float.ceil (float_of_int nodes *. (1.0 +. over_allocation))) in
+  let env = Cloudsim.Env.allocate rng provider ~count in
+  let graph = Graphs.Templates.mesh2d ~rows ~cols in
+  let clean = Cloudsim.Env.mean_matrix env in
+  let clean_problem = Types.problem ~graph ~costs:clean in
+  let default_plan = Types.identity_plan clean_problem in
+  (* Per-tick cost (ms) under a plan = longest mean link; the tick-based
+     application is barrier-synchronized (Sect. 6.1.1). *)
+  let tick_ms plan = Cost.longest_link clean_problem plan in
+  (* Sequential: idle during measurement, then run on the plan from clean
+     measurements. *)
+  let sequential_plan = optimize config rng clean_problem in
+  let sequential_seconds =
+    config.measurement_seconds
+    +. (float_of_int config.total_ticks *. tick_ms sequential_plan /. 1000.0)
+  in
+  (* Overlapped: application traffic perturbs the measurements... *)
+  let noisy =
+    Array.mapi
+      (fun i row ->
+        Array.mapi
+          (fun j c ->
+            if i = j then 0.0
+            else c *. Prng.lognormal rng ~mu:0.0 ~sigma:config.noise_sigma)
+          row)
+      clean
+  in
+  let overlapped_plan = optimize config rng (Types.problem ~graph ~costs:noisy) in
+  (* ...while completing ticks at the default plan's rate, slowed by the
+     probes sharing the links. *)
+  let slowed_tick_ms = tick_ms default_plan *. (1.0 +. config.interference) in
+  let ticks_during_measurement =
+    min config.total_ticks
+      (int_of_float (config.measurement_seconds *. 1000.0 /. slowed_tick_ms))
+  in
+  let remaining = config.total_ticks - ticks_during_measurement in
+  let overlapped_seconds =
+    config.measurement_seconds
+    +. (if remaining > 0 then config.migration_seconds else 0.0)
+    +. (float_of_int remaining *. tick_ms overlapped_plan /. 1000.0)
+  in
+  {
+    sequential_seconds;
+    overlapped_seconds;
+    sequential_plan_cost = tick_ms sequential_plan;
+    overlapped_plan_cost = tick_ms overlapped_plan;
+    ticks_during_measurement;
+  }
+
+let migration_headroom a = a.sequential_seconds -. a.overlapped_seconds

@@ -1,0 +1,62 @@
+(** Overlapping ClouDiA with application execution (Sect. 2.2.2).
+
+    The paper sketches an alternative to idling during measurement:
+    "Instead of wasting idle compute cycles while ClouDiA performs network
+    measurements and searches for a deployment plan, we could instead begin
+    execution of the application over the initially allocated instances, in
+    parallel with ClouDiA", at the price of (a) interference between
+    measurement probes and application traffic, and (b) a state-migration
+    cost when switching to the optimized plan.
+
+    This module quantifies that trade for a tick-based application:
+
+    - {b Sequential} (the paper's Fig. 3 architecture): measure for
+      [measurement_seconds], then run all [total_ticks] under the
+      optimized plan.
+    - {b Overlapped}: run under the default plan during measurement —
+      slowed by [interference] and with measurement noise [noise_sigma]
+      degrading the matrix the solver sees — then pay
+      [migration_seconds] and finish under the (slightly worse)
+      optimized plan.
+
+    Overlap wins exactly when the work done during measurement outweighs
+    the migration cost plus the quality loss from noisy measurements —
+    the condition Sect. 2.2.2 says must be "carefully controlled". *)
+
+type config = {
+  measurement_seconds : float;  (** length of the measurement phase *)
+  interference : float;         (** relative app slowdown while probing,
+                                    e.g. 0.15 = 15 % slower ticks *)
+  noise_sigma : float;          (** extra lognormal σ on measured means
+                                    caused by application traffic *)
+  migration_seconds : float;    (** cost of moving state to the new plan *)
+  total_ticks : int;            (** application work to complete *)
+  solver_budget : float;        (** CP budget for both variants, seconds *)
+}
+
+val default_config : config
+
+type analysis = {
+  sequential_seconds : float;    (** measure idle, then run optimally *)
+  overlapped_seconds : float;    (** run during measurement, migrate, finish *)
+  sequential_plan_cost : float;  (** longest link of the clean-measurement plan *)
+  overlapped_plan_cost : float;  (** longest link of the noisy-measurement plan *)
+  ticks_during_measurement : int; (** work completed while measuring *)
+}
+
+val analyze :
+  ?config:config ->
+  Prng.t ->
+  Cloudsim.Provider.t ->
+  rows:int ->
+  cols:int ->
+  over_allocation:float ->
+  analysis
+(** Compare both architectures on a [rows]×[cols] behavioral mesh. *)
+
+val migration_headroom : analysis -> float
+(** [sequential_seconds − overlapped_seconds]: how much additional
+    migration cost the overlapped architecture could absorb before losing
+    its advantage (the overlapped total is linear in the migration cost
+    with unit slope). Positive means overlap currently wins — the
+    condition Sect. 2.2.2 asks to check before adopting the strategy. *)

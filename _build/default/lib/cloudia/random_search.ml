@@ -1,0 +1,62 @@
+let r1_eval rng ~eval problem ~trials =
+  if trials <= 0 then invalid_arg "Random_search.r1: need a positive trial count";
+  let best_plan = ref (Types.random_plan rng problem) in
+  let best_cost = ref (eval !best_plan) in
+  for _ = 2 to trials do
+    let plan = Types.random_plan rng problem in
+    let c = eval plan in
+    if c < !best_cost then begin
+      best_cost := c;
+      best_plan := plan
+    end
+  done;
+  (!best_plan, !best_cost)
+
+let r2_eval rng ~eval problem ~time_limit =
+  if time_limit <= 0.0 then invalid_arg "Random_search.r2: need a positive time limit";
+  let deadline = Unix.gettimeofday () +. time_limit in
+  let best_plan = ref (Types.random_plan rng problem) in
+  let best_cost = ref (eval !best_plan) in
+  let trials = ref 1 in
+  while Unix.gettimeofday () < deadline do
+    let plan = Types.random_plan rng problem in
+    let c = eval plan in
+    incr trials;
+    if c < !best_cost then begin
+      best_cost := c;
+      best_plan := plan
+    end
+  done;
+  (!best_plan, !best_cost, !trials)
+
+let r1 rng objective problem ~trials =
+  r1_eval rng ~eval:(fun plan -> Cost.eval objective problem plan) problem ~trials
+
+let r2 rng objective problem ~time_limit =
+  r2_eval rng ~eval:(fun plan -> Cost.eval objective problem plan) problem ~time_limit
+
+let best_of rng objective problem k = fst (r1 rng objective problem ~trials:k)
+
+let best_of_eval rng ~eval problem k = fst (r1_eval rng ~eval problem ~trials:k)
+
+let r2_parallel ?(domains = 4) rng objective problem ~time_limit =
+  if domains <= 0 then invalid_arg "Random_search.r2_parallel: need at least one domain";
+  if time_limit <= 0.0 then invalid_arg "Random_search.r2_parallel: need a positive time limit";
+  (* Independent streams per domain; evaluation is pure, so workers share
+     nothing but the immutable problem. *)
+  let seeds = Array.init domains (fun _ -> Prng.split rng) in
+  let worker stream =
+    Domain.spawn (fun () ->
+        r2_eval stream
+          ~eval:(fun plan -> Cost.eval objective problem plan)
+          problem ~time_limit)
+  in
+  let handles = Array.map worker seeds in
+  let results = Array.map Domain.join handles in
+  Array.fold_left
+    (fun (best_plan, best_cost, total) (plan, cost, trials) ->
+      if cost < best_cost then (plan, cost, total + trials)
+      else (best_plan, best_cost, total + trials))
+    (let p, c, t = results.(0) in
+     (p, c, t))
+    (Array.sub results 1 (Array.length results - 1))

@@ -1,0 +1,51 @@
+(** Randomized deployment search (Sects. 4.3.1 and 4.5.1).
+
+    Generating random injections and keeping the best is "computationally
+    cheaper and easier to parallelize" than systematic search; the paper's
+    R1 fixes the trial count at 1,000 and R2 spends the same wall-clock
+    budget as the CP/MIP solver.
+
+    The [_eval] variants take an arbitrary plan-cost function, which is how
+    the weighted and bandwidth objectives reuse this solver. *)
+
+val r1_eval :
+  Prng.t -> eval:(Types.plan -> float) -> Types.problem -> trials:int ->
+  Types.plan * float
+(** Best of [trials] uniformly random plans under an arbitrary cost. *)
+
+val r2_eval :
+  Prng.t -> eval:(Types.plan -> float) -> Types.problem -> time_limit:float ->
+  Types.plan * float * int
+(** Random plans until [time_limit] seconds elapse; returns the best plan,
+    its cost, and the number of plans tried. *)
+
+val r1 : Prng.t -> Cost.objective -> Types.problem -> trials:int -> Types.plan * float
+(** Best of [trials] random plans (the paper's R1 uses 1,000). *)
+
+val r2 :
+  Prng.t -> Cost.objective -> Types.problem -> time_limit:float ->
+  Types.plan * float * int
+(** Time-budgeted variant of {!r1}. *)
+
+val best_of : Prng.t -> Cost.objective -> Types.problem -> int -> Types.plan
+(** Convenience used to bootstrap the exact solvers: the paper seeds its
+    search with the best of 10 random deployment plans (Sect. 6.3.1). *)
+
+val best_of_eval : Prng.t -> eval:(Types.plan -> float) -> Types.problem -> int -> Types.plan
+(** Arbitrary-cost variant of {!best_of}. *)
+
+val r2_parallel :
+  ?domains:int ->
+  Prng.t ->
+  Cost.objective ->
+  Types.problem ->
+  time_limit:float ->
+  Types.plan * float * int
+(** Multicore R2: "since generating deployments is computationally cheaper
+    and easier to parallelize, it is possible to explore a larger portion
+    of the search space given the same amount of time" (Sect. 4.3.1) — the
+    paper's R2 runs "in parallel using the same amount of wall-clock time
+    as well as the same hardware given to the CP or MIP solvers". Spawns
+    [domains] (default 4) OCaml domains, each running an independent
+    PRNG-split stream for [time_limit] seconds; returns the best plan,
+    its cost, and the total plans tried across domains. *)

@@ -1,0 +1,96 @@
+type config = {
+  epochs : int;
+  change_prob : float;
+  change_fraction : float;
+  change_magnitude : float;
+  migration_cost : float;
+  solver_budget : float;
+}
+
+let default_config =
+  {
+    epochs = 20;
+    change_prob = 0.3;
+    change_fraction = 0.2;
+    change_magnitude = 0.5;
+    migration_cost = 1.0;
+    solver_budget = 1.0;
+  }
+
+type epoch_record = {
+  epoch : int;
+  changed : bool;
+  cost_current : float;
+  cost_candidate : float;
+  migrated : bool;
+}
+
+type summary = {
+  records : epoch_record list;
+  migrations : int;
+  adaptive_total : float;
+  static_total : float;
+  oracle_total : float;
+}
+
+let optimize config rng problem =
+  (Cp_solver.solve
+     ~options:
+       {
+         Cp_solver.clusters = Some 20;
+         time_limit = config.solver_budget;
+         iteration_time_limit = None;
+         use_labeling = true;
+         bootstrap_trials = 10;
+       }
+     rng problem)
+    .Cp_solver.plan
+
+let simulate ?(config = default_config) rng provider ~graph ~over_allocation =
+  if config.epochs <= 0 then invalid_arg "Redeploy.simulate: need a positive horizon";
+  let nodes = Graphs.Digraph.n graph in
+  let count =
+    int_of_float (Float.ceil (float_of_int nodes *. (1.0 +. over_allocation)))
+  in
+  let env = ref (Cloudsim.Env.allocate rng provider ~count) in
+  let problem_of env = Types.problem ~graph ~costs:(Cloudsim.Env.mean_matrix env) in
+  let initial_plan = optimize config rng (problem_of !env) in
+  let adaptive_plan = ref initial_plan in
+  let static_plan = initial_plan in
+  let migrations = ref 0 in
+  let adaptive_total = ref 0.0 in
+  let static_total = ref 0.0 in
+  let oracle_total = ref 0.0 in
+  let records = ref [] in
+  for epoch = 1 to config.epochs do
+    let changed = Prng.uniform rng < config.change_prob in
+    if changed then
+      env :=
+        Cloudsim.Env.perturb rng !env ~fraction:config.change_fraction
+          ~magnitude:config.change_magnitude;
+    let problem = problem_of !env in
+    let cost_current = Cost.longest_link problem !adaptive_plan in
+    let candidate = optimize config rng problem in
+    let cost_candidate = Cost.longest_link problem candidate in
+    (* Re-deploy when the saving over the remaining horizon beats the
+       one-off migration cost. *)
+    let remaining = float_of_int (config.epochs - epoch + 1) in
+    let saving = (cost_current -. cost_candidate) *. remaining in
+    let migrated = saving > config.migration_cost in
+    if migrated then begin
+      incr migrations;
+      adaptive_plan := candidate;
+      adaptive_total := !adaptive_total +. config.migration_cost
+    end;
+    adaptive_total := !adaptive_total +. Cost.longest_link problem !adaptive_plan;
+    static_total := !static_total +. Cost.longest_link problem static_plan;
+    oracle_total := !oracle_total +. cost_candidate;
+    records := { epoch; changed; cost_current; cost_candidate; migrated } :: !records
+  done;
+  {
+    records = List.rev !records;
+    migrations = !migrations;
+    adaptive_total = !adaptive_total;
+    static_total = !static_total;
+    oracle_total = !oracle_total;
+  }

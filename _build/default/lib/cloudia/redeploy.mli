@@ -1,0 +1,57 @@
+(** Iterative re-deployment under changing network conditions
+    (Sect. 2.2.1).
+
+    The paper's architecture assumes stable conditions but sketches the
+    dynamic case: "re-deployment can be achieved via iterations of the
+    architecture above: getting new measurements, searching for a new
+    optimal plan, and re-deploying the application", at the price of
+    migrating application state. This module simulates that loop over a
+    sequence of epochs and applies the natural economic policy: re-deploy
+    exactly when the measured per-epoch saving, over the remaining
+    epochs, exceeds the one-off migration cost.
+
+    Costs are in "deployment-cost × epochs" units: an epoch spent under a
+    plan contributes the plan's deployment cost; a migration contributes
+    [migration_cost]. *)
+
+type config = {
+  epochs : int;               (** length of the simulated horizon *)
+  change_prob : float;        (** per-epoch probability of a network change *)
+  change_fraction : float;    (** fraction of links a change re-levels *)
+  change_magnitude : float;   (** lognormal σ of the re-leveling factor *)
+  migration_cost : float;     (** one-off cost of moving the application *)
+  solver_budget : float;      (** CP time limit per re-optimization, seconds *)
+}
+
+val default_config : config
+(** 20 epochs, 30 % change probability, 20 % of links, σ = 0.5, migration
+    cost 1.0, 1 s solver budget. *)
+
+type epoch_record = {
+  epoch : int;
+  changed : bool;             (** network conditions changed this epoch *)
+  cost_current : float;       (** deployment cost of the running plan *)
+  cost_candidate : float;     (** cost of the freshly optimized plan *)
+  migrated : bool;
+}
+
+type summary = {
+  records : epoch_record list;             (** oldest first *)
+  migrations : int;
+  adaptive_total : float;     (** Σ epoch costs + migrations × cost *)
+  static_total : float;       (** never re-deploying after the initial plan *)
+  oracle_total : float;       (** re-optimizing every epoch for free — a
+                                  lower bound no real policy can beat *)
+}
+
+val simulate :
+  ?config:config ->
+  Prng.t ->
+  Cloudsim.Provider.t ->
+  graph:Graphs.Digraph.t ->
+  over_allocation:float ->
+  summary
+(** Run the adaptive loop: allocate once (with over-allocation, so unused
+    instances are available as migration targets), deploy optimally, then
+    per epoch possibly perturb the network, re-measure, re-optimize, and
+    migrate when worthwhile. *)

@@ -1,0 +1,47 @@
+let cost_matrix target ~edge_cost ~non_edge_cost =
+  let m = Graphs.Digraph.n target in
+  Array.init m (fun j ->
+      Array.init m (fun j' ->
+          if j = j' then 0.0
+          else if Graphs.Digraph.mem_edge target j j' then edge_cost
+          else non_edge_cost))
+
+let llndp_of_sip ~pattern ~target =
+  if Graphs.Digraph.n pattern > Graphs.Digraph.n target then
+    invalid_arg "Reduction.llndp_of_sip: pattern larger than target";
+  Types.problem ~graph:pattern
+    ~costs:(cost_matrix target ~edge_cost:1.0 ~non_edge_cost:2.0)
+
+let lpndp_of_sip ~pattern ~target =
+  if Graphs.Digraph.n pattern > Graphs.Digraph.n target then
+    invalid_arg "Reduction.lpndp_of_sip: pattern larger than target";
+  if not (Graphs.Digraph.is_dag pattern) then
+    invalid_arg "Reduction.lpndp_of_sip: pattern must be acyclic for LPNDP";
+  let penalty = float_of_int (Graphs.Digraph.edge_count pattern + 1) in
+  Types.problem ~graph:pattern
+    ~costs:(cost_matrix target ~edge_cost:1.0 ~non_edge_cost:penalty)
+
+let embeds ~pattern ~target plan =
+  Array.length plan = Graphs.Digraph.n pattern
+  && (let seen = Hashtbl.create (Array.length plan) in
+      Array.for_all
+        (fun s ->
+          if s < 0 || s >= Graphs.Digraph.n target || Hashtbl.mem seen s then false
+          else begin
+            Hashtbl.add seen s ();
+            true
+          end)
+        plan)
+  && Array.for_all
+       (fun (i, i') -> Graphs.Digraph.mem_edge target plan.(i) plan.(i'))
+       (Graphs.Digraph.edges pattern)
+
+let distinct_costs rng (t : Types.problem) =
+  let m = Types.instance_count t in
+  let costs =
+    Array.init m (fun j ->
+        Array.init m (fun j' ->
+            if j = j' then 0.0
+            else t.Types.costs.(j).(j') +. Prng.float rng 1e-6))
+  in
+  Types.problem ~graph:t.Types.graph ~costs

@@ -1,0 +1,30 @@
+(** NP-hardness reductions (Appendix 1).
+
+    Subgraph isomorphism reduces to both deployment problems: give every
+    target edge cost 1 and every non-edge a cost that any embedding must
+    avoid. Solving the resulting deployment problem then decides SIP.
+    These constructions back the paper's Theorems 1 and 4, and give the
+    test suite an independent oracle: the deployment solvers must find a
+    cost-1 (resp. ≤ |E1|) plan exactly when an embedding exists. *)
+
+val llndp_of_sip :
+  pattern:Graphs.Digraph.t -> target:Graphs.Digraph.t -> Types.problem
+(** Theorem 1 construction: [CL(j,j') = 1] if [(j,j')] is a target edge,
+    [2] otherwise. The pattern embeds into the target iff the optimal
+    longest-link cost is 1 (provided the pattern has at least one edge). *)
+
+val lpndp_of_sip :
+  pattern:Graphs.Digraph.t -> target:Graphs.Digraph.t -> Types.problem
+(** Theorem 4 construction: non-edges cost [|E1| + 1]. The pattern (a DAG)
+    embeds iff the optimal longest-path cost is at most [|E1|]. *)
+
+val embeds : pattern:Graphs.Digraph.t -> target:Graphs.Digraph.t -> Types.plan -> bool
+(** [embeds ~pattern ~target plan] checks that [plan] is an isomorphism
+    witness: injective and edge-preserving. *)
+
+val distinct_costs : Prng.t -> Types.problem -> Types.problem
+(** Perturb a problem's off-diagonal costs by tiny distinct amounts so all
+    values differ — the premise of the inapproximability theorems
+    (Theorems 2–3 assume all communication costs distinct, "fairly
+    realistic [as] costs are experimentally measured reals"). Preserves
+    the cost ordering of links whose costs differed by more than 1e-6. *)

@@ -1,0 +1,49 @@
+(** Core types of the node deployment problem (Sect. 3.3 of the paper).
+
+    A {e problem} couples a communication graph over application nodes with
+    a communication-cost matrix over allocated instances (Definition 1).
+    A {e deployment plan} (Definition 2) is an injection of nodes into
+    instances; instances left unmapped are the over-allocated ones ClouDiA
+    terminates. *)
+
+type problem = private {
+  graph : Graphs.Digraph.t;  (** communication graph over nodes 0..n-1 *)
+  costs : float array array; (** [costs.(j).(j')] = link cost from instance
+                                 j to j' (ms); square, zero diagonal,
+                                 possibly asymmetric, no triangle
+                                 inequality assumed *)
+}
+
+val problem : graph:Graphs.Digraph.t -> costs:float array array -> problem
+(** Validates: the cost matrix is square with zero diagonal and
+    non-negative finite entries, and has at least as many instances as the
+    graph has nodes. *)
+
+val node_count : problem -> int
+(** Number of application nodes. *)
+
+val instance_count : problem -> int
+(** Number of allocated instances (≥ node count). *)
+
+type plan = int array
+(** [plan.(i)] is the instance hosting application node [i]. *)
+
+val is_valid : problem -> plan -> bool
+(** Length equals node count, every entry in range, no two nodes share an
+    instance. *)
+
+val validate : problem -> plan -> unit
+(** Raise [Invalid_argument] with a description if {!is_valid} is false. *)
+
+val identity_plan : problem -> plan
+(** Node [i] on instance [i] — the provider-order "default deployment" the
+    paper compares against. *)
+
+val random_plan : Prng.t -> problem -> plan
+(** A uniformly random injection of nodes into instances. *)
+
+val unused_instances : problem -> plan -> int list
+(** Instances the plan leaves empty (the ones ClouDiA would terminate),
+    ascending. *)
+
+val pp_plan : Format.formatter -> plan -> unit

@@ -1,0 +1,158 @@
+type t = {
+  problem : Types.problem;
+  (* Dense per-edge weight map keyed by (i, i'); edges only. *)
+  table : (int * int, float) Hashtbl.t;
+}
+
+let make (p : Types.problem) ~weight =
+  let table = Hashtbl.create 64 in
+  Array.iter
+    (fun (i, i') ->
+      let w = weight i i' in
+      if w <= 0.0 || not (Float.is_finite w) then
+        invalid_arg "Weighted.make: edge weights must be positive and finite";
+      Hashtbl.replace table (i, i') w)
+    (Graphs.Digraph.edges p.Types.graph);
+  { problem = p; table }
+
+let of_assoc (p : Types.problem) ~default assoc =
+  List.iter
+    (fun ((i, i'), _) ->
+      if not (Graphs.Digraph.mem_edge p.Types.graph i i') then
+        invalid_arg "Weighted.of_assoc: weight given for a non-edge")
+    assoc;
+  make p ~weight:(fun i i' ->
+      match List.assoc_opt (i, i') assoc with Some w -> w | None -> default)
+
+let problem t = t.problem
+
+let weight t i i' = match Hashtbl.find_opt t.table (i, i') with Some w -> w | None -> 1.0
+
+let longest_link t plan =
+  Array.fold_left
+    (fun acc (i, i') ->
+      Float.max acc (weight t i i' *. t.problem.Types.costs.(plan.(i)).(plan.(i'))))
+    0.0
+    (Graphs.Digraph.edges t.problem.Types.graph)
+
+let longest_path t plan =
+  Graphs.Digraph.longest_path t.problem.Types.graph ~weight:(fun i i' ->
+      weight t i i' *. t.problem.Types.costs.(plan.(i)).(plan.(i')))
+
+let eval objective t plan =
+  match objective with
+  | Cost.Longest_link -> longest_link t plan
+  | Cost.Longest_path -> longest_path t plan
+
+(* Weight-aware G2: identical to Greedy.g2 except every link cost that
+   enters the extension cost is scaled by its edge weight. *)
+let g2 t =
+  let p = t.problem in
+  let n = Types.node_count p and m = Types.instance_count p in
+  let node_of = Array.make m (-1) in
+  let inst_of = Array.make n (-1) in
+  let mapped = ref 0 in
+  let assign node inst =
+    node_of.(inst) <- node;
+    inst_of.(node) <- inst;
+    incr mapped
+  in
+  let neighbors node = Graphs.Digraph.undirected_neighbors p.Types.graph node in
+  let cheapest_free_pair () =
+    let best = ref infinity and bu = ref (-1) and bv = ref (-1) in
+    for u = 0 to m - 1 do
+      if node_of.(u) = -1 then
+        for v = 0 to m - 1 do
+          if v <> u && node_of.(v) = -1 && p.Types.costs.(u).(v) < !best then begin
+            best := p.Types.costs.(u).(v);
+            bu := u;
+            bv := v
+          end
+        done
+    done;
+    (!bu, !bv)
+  in
+  let seed_component () =
+    let x = ref (-1) and y = ref (-1) in
+    for node = n - 1 downto 0 do
+      if inst_of.(node) = -1 then begin
+        let unmapped_neighbor = ref (-1) in
+        Array.iter
+          (fun w -> if !unmapped_neighbor = -1 && inst_of.(w) = -1 then unmapped_neighbor := w)
+          (neighbors node);
+        if !unmapped_neighbor <> -1 then begin
+          x := node;
+          y := !unmapped_neighbor
+        end
+        else if !x = -1 then x := node
+      end
+    done;
+    if !x = -1 then ()
+    else if !y = -1 then begin
+      let inst = ref (-1) in
+      for u = m - 1 downto 0 do
+        if node_of.(u) = -1 then inst := u
+      done;
+      assign !x !inst
+    end
+    else begin
+      let u, v = cheapest_free_pair () in
+      assign !x u;
+      assign !y v
+    end
+  in
+  if n = 0 then [||]
+  else begin
+    seed_component ();
+    let extension_cost u v w =
+      let cost = ref (weight t node_of.(u) w *. p.Types.costs.(u).(v)) in
+      Array.iter
+        (fun x ->
+          let inst = inst_of.(x) in
+          if inst <> -1 then begin
+            if Graphs.Digraph.mem_edge p.Types.graph w x then
+              cost := Float.max !cost (weight t w x *. p.Types.costs.(v).(inst));
+            if Graphs.Digraph.mem_edge p.Types.graph x w then
+              cost := Float.max !cost (weight t x w *. p.Types.costs.(inst).(v))
+          end)
+        (neighbors w);
+      !cost
+    in
+    while !mapped < n do
+      let cmin = ref infinity and vmin = ref (-1) and wmin = ref (-1) in
+      for u = 0 to m - 1 do
+        let node = node_of.(u) in
+        if node <> -1 then
+          Array.iter
+            (fun w ->
+              if inst_of.(w) = -1 then
+                for v = 0 to m - 1 do
+                  if node_of.(v) = -1 && v <> u then begin
+                    let c = extension_cost u v w in
+                    if c < !cmin then begin
+                      cmin := c;
+                      vmin := v;
+                      wmin := w
+                    end
+                  end
+                done)
+            (neighbors node)
+      done;
+      if !wmin = -1 then seed_component () else assign !wmin !vmin
+    done;
+    Array.copy inst_of
+  end
+
+let solve_cp ?options rng t =
+  Cp_solver.solve ?options ~edge_weight:(weight t) rng t.problem
+
+let solve_mip ?options objective rng t =
+  match objective with
+  | Cost.Longest_link -> Mip_solver.solve_longest_link ?options ~edge_weight:(weight t) rng t.problem
+  | Cost.Longest_path -> Mip_solver.solve_longest_path ?options ~edge_weight:(weight t) rng t.problem
+
+let solve_anneal ?options objective rng t =
+  Anneal.solve ?options rng ~eval:(eval objective t) t.problem
+
+let r1 rng objective t ~trials =
+  Random_search.r1_eval rng ~eval:(eval objective t) t.problem ~trials

@@ -1,0 +1,55 @@
+(** Weighted communication graphs.
+
+    "As future work, we plan to extend our formulation to support weighted
+    communication graphs" (Sect. 8). A weight on edge [(i, i')] scales that
+    link's contribution to the deployment cost — modeling, e.g., message
+    frequency or size differences between node pairs (the aggregation
+    workload's messages grow toward the root; a mesh boundary exchanges
+    less state than the interior).
+
+    The weighted deployment costs generalize Classes 1 and 2:
+    - weighted longest link: [max w_ii' · CL(D i, D i')]
+    - weighted longest path: [max over paths Σ w_ii' · CL(D i, D i')]
+
+    All solver families support them: CP and MIP natively (via their
+    [?edge_weight] parameters), the lightweight baselines through the
+    generic plan-cost interface, and G2 through a weight-aware variant of
+    its extension cost. *)
+
+type t
+(** A deployment problem plus positive per-edge weights. *)
+
+val make : Types.problem -> weight:(int -> int -> float) -> t
+(** [make p ~weight] attaches weights; [weight] is consulted once per
+    communication edge and must be positive there. Raises
+    [Invalid_argument] on a non-positive weight. *)
+
+val of_assoc : Types.problem -> default:float -> ((int * int) * float) list -> t
+(** Weights from an association list over edges; missing edges get
+    [default]. Entries for non-edges are rejected. *)
+
+val problem : t -> Types.problem
+
+val weight : t -> int -> int -> float
+(** Weight of a communication edge; 1.0 for pairs that are not edges. *)
+
+val longest_link : t -> Types.plan -> float
+val longest_path : t -> Types.plan -> float
+
+val eval : Cost.objective -> t -> Types.plan -> float
+
+val g2 : t -> Types.plan
+(** Weight-aware refinement of Algorithm 2: each candidate extension is
+    costed by the worst {e weighted} link it would add. *)
+
+val solve_cp : ?options:Cp_solver.options -> Prng.t -> t -> Cp_solver.result
+(** Weighted longest-link via the iterated-threshold CP scheme. *)
+
+val solve_mip : ?options:Mip_solver.options -> Cost.objective -> Prng.t -> t -> Mip_solver.result
+(** Weighted MIP for either objective. *)
+
+val solve_anneal : ?options:Anneal.options -> Cost.objective -> Prng.t -> t -> Anneal.result
+(** Simulated annealing under the weighted objective. *)
+
+val r1 : Prng.t -> Cost.objective -> t -> trials:int -> Types.plan * float
+(** Best of N random plans under the weighted objective. *)

@@ -1,0 +1,1 @@
+lib/cloudsim/env.ml: Array Float Hashtbl Prng Provider Topology

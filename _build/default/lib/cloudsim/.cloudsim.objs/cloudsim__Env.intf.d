@@ -1,0 +1,1 @@
+lib/cloudsim/env.mli: Prng Provider

@@ -1,0 +1,1 @@
+lib/cloudsim/provider.mli: Topology

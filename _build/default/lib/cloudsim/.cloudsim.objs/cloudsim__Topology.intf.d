@@ -1,0 +1,1 @@
+lib/cloudsim/topology.mli:

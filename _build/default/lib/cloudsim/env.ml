@@ -1,0 +1,164 @@
+type t = {
+  provider : Provider.t;
+  hosts : int array;
+  means : float array array;
+  bandwidths : float array array; (* Gbit/s; infinity on the diagonal *)
+}
+
+let base_rtt (p : Provider.t) tier =
+  match tier with
+  | Topology.Same_host -> 0.0
+  | Topology.Same_rack -> p.Provider.rack_rtt
+  | Topology.Same_pod -> p.Provider.pod_rtt
+  | Topology.Cross_pod -> p.Provider.core_rtt
+
+(* Non-contiguous allocation: geometric-length runs of hosts within a rack,
+   hopping to a fresh random rack between runs. *)
+let allocate_hosts rng (p : Provider.t) count =
+  let topo = p.Provider.topology in
+  let total = Topology.host_count topo in
+  if count > total then invalid_arg "Env.allocate: not enough hosts in topology";
+  let hosts_per_rack =
+    total / (Topology.rack_of topo (total - 1) + 1)
+  in
+  let racks = total / hosts_per_rack in
+  let used = Hashtbl.create count in
+  let out = Array.make count 0 in
+  let filled = ref 0 in
+  while !filled < count do
+    let rack = Prng.int rng racks in
+    (* Geometric run length with parameter [spread]. *)
+    let run = ref 1 in
+    while Prng.uniform rng > p.Provider.spread && !run < hosts_per_rack do
+      incr run
+    done;
+    let start = Prng.int rng hosts_per_rack in
+    let k = ref 0 in
+    while !k < !run && !filled < count do
+      let host = (rack * hosts_per_rack) + ((start + !k) mod hosts_per_rack) in
+      if not (Hashtbl.mem used host) then begin
+        Hashtbl.add used host ();
+        out.(!filled) <- host;
+        incr filled
+      end;
+      incr k
+    done
+  done;
+  out
+
+let build_means rng (p : Provider.t) hosts =
+  let n = Array.length hosts in
+  let topo = p.Provider.topology in
+  let means = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let base = base_rtt p (Topology.tier topo hosts.(i) hosts.(j)) in
+      (* Per-link lognormal offset centered at 1 (mu = 0): some pairs are
+         persistently better or worse connected than their tier's base. *)
+      let pair_factor = Prng.lognormal rng ~mu:0.0 ~sigma:p.Provider.pair_sigma in
+      let forward = base *. pair_factor in
+      let backward = forward *. Prng.lognormal rng ~mu:0.0 ~sigma:p.Provider.asym_sigma in
+      means.(i).(j) <- forward;
+      means.(j).(i) <- backward
+    done
+  done;
+  means
+
+let base_gbps (p : Provider.t) tier =
+  match tier with
+  | Topology.Same_host -> infinity
+  | Topology.Same_rack -> p.Provider.rack_gbps
+  | Topology.Same_pod -> p.Provider.pod_gbps
+  | Topology.Cross_pod -> p.Provider.core_gbps
+
+let build_bandwidths rng (p : Provider.t) hosts =
+  let n = Array.length hosts in
+  let topo = p.Provider.topology in
+  let bw = Array.make_matrix n n infinity in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let base = base_gbps p (Topology.tier topo hosts.(i) hosts.(j)) in
+      (* Per-link achievable share of the nominal rate; cross-traffic makes
+         it vary persistently per pair, never exceed nominal by much. *)
+      let factor = Float.min 1.1 (Prng.lognormal rng ~mu:(-0.1) ~sigma:p.Provider.bw_sigma) in
+      let v = base *. factor in
+      bw.(i).(j) <- v;
+      bw.(j).(i) <- v
+    done
+  done;
+  bw
+
+let allocate rng p ~count =
+  if count <= 0 then invalid_arg "Env.allocate: count must be positive";
+  let hosts = allocate_hosts rng p count in
+  let means = build_means rng p hosts in
+  { provider = p; hosts; means; bandwidths = build_bandwidths rng p hosts }
+
+let count t = Array.length t.hosts
+let provider t = t.provider
+let host t i = t.hosts.(i)
+
+let mean_latency t i j = t.means.(i).(j)
+
+let bandwidth t i j = t.bandwidths.(i).(j)
+
+let mean_matrix t = Array.map Array.copy t.means
+
+let sample_rtt rng t i j =
+  let m = t.means.(i).(j) in
+  (* E[lognormal(mu, s)] = exp(mu + s²/2); shift mu so the sample mean is
+     the link mean. *)
+  let s = t.provider.Provider.jitter_sigma in
+  m *. Prng.lognormal rng ~mu:(-.(s *. s) /. 2.0) ~sigma:s
+
+let hop_count t i j =
+  Topology.hop_count t.provider.Provider.topology t.hosts.(i) t.hosts.(j)
+
+let ip_address t i = Topology.ip_address t.provider.Provider.topology t.hosts.(i)
+
+let time_series rng t i j ~buckets =
+  let m = t.means.(i).(j) in
+  let p = t.provider in
+  Array.init buckets (fun _ ->
+      let drift = Prng.normal rng ~mean:0.0 ~sd:p.Provider.drift_sigma in
+      let spike =
+        if Prng.uniform rng < p.Provider.spike_prob then
+          1.0 +. Prng.float rng 0.4
+        else 1.0
+      in
+      m *. (1.0 +. drift) *. spike)
+
+let sub_env t instances =
+  let n = Array.length instances in
+  let seen = Hashtbl.create n in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= count t then invalid_arg "Env.sub_env: instance out of range";
+      if Hashtbl.mem seen i then invalid_arg "Env.sub_env: duplicate instance";
+      Hashtbl.add seen i ())
+    instances;
+  {
+    provider = t.provider;
+    hosts = Array.map (fun i -> t.hosts.(i)) instances;
+    means = Array.map (fun i -> Array.map (fun j -> t.means.(i).(j)) instances) instances;
+    bandwidths =
+      Array.map (fun i -> Array.map (fun j -> t.bandwidths.(i).(j)) instances) instances;
+  }
+
+let perturb rng t ~fraction ~magnitude =
+  if fraction < 0.0 || fraction > 1.0 then invalid_arg "Env.perturb: fraction out of [0,1]";
+  if magnitude < 0.0 then invalid_arg "Env.perturb: magnitude must be non-negative";
+  let n = Array.length t.hosts in
+  let means = Array.map Array.copy t.means in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Prng.uniform rng < fraction then begin
+        (* A routing or colocation change shifts this pair's mean to a new
+           stable level; both directions move together. *)
+        let factor = Prng.lognormal rng ~mu:0.0 ~sigma:magnitude in
+        means.(i).(j) <- means.(i).(j) *. factor;
+        means.(j).(i) <- means.(j).(i) *. factor
+      end
+    done
+  done;
+  { t with means }

@@ -1,0 +1,70 @@
+(** An allocated set of cloud instances and its latency behaviour.
+
+    [Env.allocate] plays the role of [ec2-run-instance]: it places the
+    requested number of instances on distinct hosts, non-contiguously —
+    runs of instances land in one rack, then the allocator jumps to another
+    rack, as shared-tenancy fragmentation forces real providers to do. The
+    resulting per-pair mean latencies are fixed for the lifetime of the
+    environment (the paper's mean-stability observation, Fig. 2), while
+    individual RTT samples jitter around the mean (lognormal, matching the
+    heavy-tailed jitter reported for EC2). *)
+
+type t
+
+val allocate : Prng.t -> Provider.t -> count:int -> t
+(** Allocate [count] instances. Raises [Invalid_argument] if the topology
+    cannot host them. Instance indices are [0 .. count-1] in allocation
+    order — the order the provider's API would return, which the paper's
+    "default deployment" uses verbatim. *)
+
+val count : t -> int
+
+val provider : t -> Provider.t
+
+val host : t -> int -> int
+(** Physical host of an instance (not visible to the advisor; used by tests
+    and by the hop-count / IP oracles of Appendix 2). *)
+
+val mean_latency : t -> int -> int -> float
+(** True mean RTT in milliseconds between two distinct instances.
+    Asymmetric in general; [mean_latency t i i = 0.]. *)
+
+val mean_matrix : t -> float array array
+(** Full ground-truth mean matrix (fresh copy). *)
+
+val bandwidth : t -> int -> int -> float
+(** Achievable bandwidth between two instances in Gbit/s (symmetric;
+    [infinity] for an instance with itself). Derived from the locality
+    tier's nominal rate — cross-pod links are oversubscribed — times a
+    persistent per-pair factor. Supports the bandwidth deployment
+    criterion the paper names as future work (Sect. 8). *)
+
+val sample_rtt : Prng.t -> t -> int -> int -> float
+(** One observed RTT: the pair's mean scaled by multiplicative lognormal
+    jitter. *)
+
+val hop_count : t -> int -> int -> int
+(** Router hops between two instances' hosts. *)
+
+val ip_address : t -> int -> int * int * int * int
+(** Internal IPv4 address of an instance's host. *)
+
+val time_series : Prng.t -> t -> int -> int -> buckets:int -> float array
+(** [time_series rng t i j ~buckets] are per-bucket observed mean latencies
+    for link (i, j) over consecutive time buckets: the true mean plus small
+    relative drift and rare transient spikes. Means are stable by
+    construction, reproducing Figs. 2, 19, 21. *)
+
+val perturb : Prng.t -> t -> fraction:float -> magnitude:float -> t
+(** [perturb rng t ~fraction ~magnitude] models a network-condition change
+    (Sect. 2.2.1): each unordered instance pair independently has its mean
+    latency re-leveled with probability [fraction], multiplying both
+    directions by a lognormal factor of σ [magnitude]. Returns a new
+    environment; [t] is unchanged. Host placement and bandwidths are
+    preserved. *)
+
+val sub_env : t -> int array -> t
+(** [sub_env t instances] restricts the environment to the given distinct
+    instance indices (re-indexed 0..k-1 in the given order): the paper's
+    scalability experiment draws random subsets of a 100-instance
+    allocation (Fig. 8). *)

@@ -1,0 +1,80 @@
+type name = Ec2 | Gce | Rackspace
+
+type t = {
+  provider : name;
+  topology : Topology.t;
+  rack_rtt : float;
+  pod_rtt : float;
+  core_rtt : float;
+  pair_sigma : float;
+  asym_sigma : float;
+  jitter_sigma : float;
+  spread : float;
+  drift_sigma : float;
+  spike_prob : float;
+  rack_gbps : float;
+  pod_gbps : float;
+  core_gbps : float;
+  bw_sigma : float;
+}
+
+let get = function
+  | Ec2 ->
+      {
+        provider = Ec2;
+        topology = Topology.create ~hosts_per_rack:20 ~racks_per_pod:10 ~pods:8;
+        rack_rtt = 0.32;
+        pod_rtt = 0.48;
+        core_rtt = 0.68;
+        pair_sigma = 0.22;
+        asym_sigma = 0.02;
+        jitter_sigma = 0.35;
+        spread = 0.25;
+        drift_sigma = 0.03;
+        spike_prob = 0.02;
+        rack_gbps = 10.0;
+        pod_gbps = 4.0;
+        core_gbps = 1.0;
+        bw_sigma = 0.30;
+      }
+  | Gce ->
+      {
+        provider = Gce;
+        topology = Topology.create ~hosts_per_rack:24 ~racks_per_pod:12 ~pods:6;
+        rack_rtt = 0.30;
+        pod_rtt = 0.38;
+        core_rtt = 0.46;
+        pair_sigma = 0.12;
+        asym_sigma = 0.02;
+        jitter_sigma = 0.25;
+        spread = 0.30;
+        drift_sigma = 0.025;
+        spike_prob = 0.015;
+        rack_gbps = 10.0;
+        pod_gbps = 6.0;
+        core_gbps = 2.0;
+        bw_sigma = 0.20;
+      }
+  | Rackspace ->
+      {
+        provider = Rackspace;
+        topology = Topology.create ~hosts_per_rack:16 ~racks_per_pod:10 ~pods:6;
+        rack_rtt = 0.24;
+        pod_rtt = 0.30;
+        core_rtt = 0.36;
+        pair_sigma = 0.10;
+        asym_sigma = 0.02;
+        jitter_sigma = 0.22;
+        spread = 0.35;
+        drift_sigma = 0.02;
+        spike_prob = 0.01;
+        rack_gbps = 10.0;
+        pod_gbps = 5.0;
+        core_gbps = 2.0;
+        bw_sigma = 0.20;
+      }
+
+let to_string = function
+  | Ec2 -> "ec2"
+  | Gce -> "gce"
+  | Rackspace -> "rackspace"

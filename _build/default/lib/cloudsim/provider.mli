@@ -1,0 +1,35 @@
+(** Public-cloud provider presets.
+
+    Parameters calibrated so that an allocation's pairwise mean-latency CDF
+    reproduces the shape the paper measured: Fig. 1 (EC2 m1.large, US East:
+    ≈10 % of pairs above 0.7 ms, ≈10 % below 0.4 ms), Fig. 18 (GCE
+    n1-standard-1, us-central1-a: ≈5 % below 0.32 ms, ≈5 % above 0.5 ms)
+    and Fig. 20 (Rackspace performance 1-1, IAD: ≈5 % below 0.24 ms, ≈5 %
+    above 0.38 ms). *)
+
+type name = Ec2 | Gce | Rackspace
+
+type t = {
+  provider : name;
+  topology : Topology.t;
+  rack_rtt : float;      (** base mean RTT (ms) within a rack *)
+  pod_rtt : float;       (** base mean RTT (ms) across racks in a pod *)
+  core_rtt : float;      (** base mean RTT (ms) across pods *)
+  pair_sigma : float;    (** lognormal σ of the per-link mean offset *)
+  asym_sigma : float;    (** lognormal σ of direction asymmetry *)
+  jitter_sigma : float;  (** lognormal σ of per-sample RTT jitter *)
+  spread : float;        (** geometric parameter of per-rack allocation runs:
+                             smaller ⇒ allocations fragment across more
+                             racks ⇒ more heterogeneity *)
+  drift_sigma : float;   (** per-bucket relative noise of time-series means *)
+  spike_prob : float;    (** per-bucket probability of a transient spike *)
+  rack_gbps : float;     (** nominal intra-rack bandwidth (Gbit/s) *)
+  pod_gbps : float;      (** nominal intra-pod bandwidth *)
+  core_gbps : float;     (** nominal cross-pod bandwidth (oversubscribed) *)
+  bw_sigma : float;      (** lognormal σ of the per-link bandwidth factor *)
+}
+
+val get : name -> t
+(** Preset parameters for the given provider. *)
+
+val to_string : name -> string

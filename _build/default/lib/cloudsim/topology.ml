@@ -1,0 +1,47 @@
+type t = {
+  hosts_per_rack : int;
+  racks_per_pod : int;
+  pods : int;
+}
+
+type tier = Same_host | Same_rack | Same_pod | Cross_pod
+
+let create ~hosts_per_rack ~racks_per_pod ~pods =
+  if hosts_per_rack <= 0 || racks_per_pod <= 0 || pods <= 0 then
+    invalid_arg "Topology.create: all dimensions must be positive";
+  { hosts_per_rack; racks_per_pod; pods }
+
+let host_count t = t.hosts_per_rack * t.racks_per_pod * t.pods
+
+let check t h =
+  if h < 0 || h >= host_count t then invalid_arg "Topology: host out of range"
+
+let rack_of t h =
+  check t h;
+  h / t.hosts_per_rack
+
+let pod_of t h =
+  check t h;
+  h / (t.hosts_per_rack * t.racks_per_pod)
+
+let tier t a b =
+  if a = b then Same_host
+  else if rack_of t a = rack_of t b then Same_rack
+  else if pod_of t a = pod_of t b then Same_pod
+  else Cross_pod
+
+let hop_count t a b =
+  match tier t a b with
+  | Same_host -> 0
+  | Same_rack -> 1
+  | Same_pod -> 3
+  | Cross_pod -> 5
+
+let ip_address t h =
+  check t h;
+  if t.racks_per_pod > 254 || t.hosts_per_rack > 254 then
+    invalid_arg "Topology.ip_address: topology too wide for /8 addressing";
+  let pod = pod_of t h in
+  let rack_in_pod = rack_of t h mod t.racks_per_pod in
+  let host_in_rack = h mod t.hosts_per_rack in
+  (10, pod + 1, rack_in_pod + 1, host_in_rack + 1)

@@ -1,0 +1,38 @@
+(** Physical datacenter topology.
+
+    A three-tier tree, the structure the paper cites as typical of current
+    clouds (Sect. 3.1, citing Benson et al.): hosts plug into top-of-rack
+    switches, racks aggregate into pods, pods connect through a core layer.
+    The simulator never exposes this structure to the deployment advisor —
+    the paper's point is precisely that tenants cannot observe it — but the
+    latency model, hop counts and IP addressing all derive from it. *)
+
+type t
+
+val create : hosts_per_rack:int -> racks_per_pod:int -> pods:int -> t
+(** All three arguments must be positive. *)
+
+val host_count : t -> int
+
+val rack_of : t -> int -> int
+(** Global rack index of a host. *)
+
+val pod_of : t -> int -> int
+(** Pod index of a host. *)
+
+val hop_count : t -> int -> int -> int
+(** Router hops between two hosts: [0] on the same host, [1] within a rack
+    (through the ToR switch), [3] across racks within a pod, [5] across
+    pods (through the core). These are the distance tiers an EC2-style tree
+    exhibits; the paper's Fig. 17 observes hop counts 0, 1 and 3 from
+    traceroute TTLs — our tiers are the same ordering one level deeper. *)
+
+type tier = Same_host | Same_rack | Same_pod | Cross_pod
+
+val tier : t -> int -> int -> tier
+(** Locality tier of a host pair. *)
+
+val ip_address : t -> int -> int * int * int * int
+(** Internal IPv4 address of a host, [10.pod.rack_in_pod.host_in_rack] —
+    mirroring EC2's 10.0.0.0/8 internal addressing that Appendix 2 probes
+    with IP-distance. Requires racks_per_pod and hosts_per_rack ≤ 254. *)

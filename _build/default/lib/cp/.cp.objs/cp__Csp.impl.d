@@ -1,0 +1,1 @@
+lib/cp/csp.ml: Array Domain Graphs Hashtbl List Queue

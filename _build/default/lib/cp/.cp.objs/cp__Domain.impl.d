@@ -1,0 +1,1 @@
+lib/cp/domain.ml: Array List

@@ -1,0 +1,1 @@
+lib/cp/search.ml: Array Csp Domain List Option Unix

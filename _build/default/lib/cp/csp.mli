@@ -1,0 +1,58 @@
+(** Finite-domain constraint satisfaction problems.
+
+    The model matches the paper's CP encoding of the longest-link node
+    deployment problem (Sect. 4.2):
+
+    - one integer variable [u_i] per application node, ranging over
+      instances (values [0 .. nvalues-1]);
+    - one global [alldifferent] over all variables (injective deployment);
+    - binary "forbidden pair" constraints
+      [(u_i, u_i') <> (j, j')] for every communication edge [(i, i')] and
+      every instance pair with link cost above the threshold [c].
+
+    Propagation is AC for the binary constraints (bitset support tests) and
+    Régin's matching-based filtering for [alldifferent]. *)
+
+type t
+(** A CSP instance: mutable domains plus a fixed set of propagators. *)
+
+type propagation = Progress | Fixpoint | Failure
+
+val create : nvars:int -> nvalues:int -> t
+(** Fresh problem with every variable ranging over all values. Requires
+    [0 < nvars <= nvalues] (injective problems only). *)
+
+val nvars : t -> int
+val nvalues : t -> int
+
+val domain : t -> int -> Domain.t
+(** The live domain of a variable (mutating it directly is allowed before
+    search starts; during search use the solver's branching). *)
+
+val restrict : t -> var:int -> allowed:(int -> bool) -> unit
+(** Remove from [var]'s domain every value failing [allowed] — used for
+    root-level compatibility filtering (degree labeling). *)
+
+val add_alldifferent : t -> unit
+(** Add the global injectivity constraint over all variables. *)
+
+val add_forbidden_pairs : t -> x:int -> y:int -> bad:Domain.t array -> unit
+(** [add_forbidden_pairs t ~x ~y ~bad] forbids simultaneous assignment
+    [x = j ∧ y ∈ bad.(j)]. [bad] has one entry per value [j] of [x]; each
+    entry is a set over the value universe. The transposed direction is
+    derived internally, so a single call gives arc consistency both ways.
+    The [bad] array is shared, not copied: callers may reuse one matrix
+    across many edge constraints (the paper's encoding does — the forbidden
+    set depends only on the link-cost threshold). *)
+
+val propagate : t -> propagation
+(** Run all propagators to fixpoint. [Failure] means some domain emptied. *)
+
+val save : t -> Domain.t array
+(** Snapshot all domains (for search backtracking). *)
+
+val restore : t -> Domain.t array -> unit
+(** Restore a snapshot taken by {!save}. *)
+
+val assignment : t -> int array option
+(** If every domain is a singleton, the assignment; otherwise [None]. *)

@@ -1,0 +1,145 @@
+type t = {
+  universe : int;
+  words : int array; (* 63 usable bits per word *)
+}
+
+let bits_per_word = 63
+
+let word_count universe = (universe + bits_per_word - 1) / bits_per_word
+
+let full universe =
+  if universe < 0 then invalid_arg "Domain.full: negative universe";
+  let nw = word_count universe in
+  let words = Array.make (max nw 1) 0 in
+  for v = 0 to universe - 1 do
+    let w = v / bits_per_word and b = v mod bits_per_word in
+    words.(w) <- words.(w) lor (1 lsl b)
+  done;
+  { universe; words }
+
+let empty universe =
+  if universe < 0 then invalid_arg "Domain.empty: negative universe";
+  { universe; words = Array.make (max (word_count universe) 1) 0 }
+
+let universe t = t.universe
+
+let copy t = { universe = t.universe; words = Array.copy t.words }
+
+let blit ~src ~dst =
+  if src.universe <> dst.universe then invalid_arg "Domain.blit: universe mismatch";
+  Array.blit src.words 0 dst.words 0 (Array.length src.words)
+
+let check t v =
+  if v < 0 || v >= t.universe then invalid_arg "Domain: value out of universe"
+
+let mem t v =
+  check t v;
+  t.words.(v / bits_per_word) land (1 lsl (v mod bits_per_word)) <> 0
+
+let remove t v =
+  check t v;
+  let w = v / bits_per_word and b = 1 lsl (v mod bits_per_word) in
+  if t.words.(w) land b <> 0 then begin
+    t.words.(w) <- t.words.(w) lxor b;
+    true
+  end
+  else false
+
+let add t v =
+  check t v;
+  let w = v / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (v mod bits_per_word))
+
+let fix t v =
+  check t v;
+  Array.fill t.words 0 (Array.length t.words) 0;
+  add t v
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let size t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let is_singleton t =
+  (* Exactly one bit set across all words. *)
+  let seen = ref 0 in
+  (try
+     Array.iter
+       (fun w ->
+         if w <> 0 then begin
+           if w land (w - 1) <> 0 then begin
+             seen := 2;
+             raise Exit
+           end;
+           incr seen;
+           if !seen > 1 then raise Exit
+         end)
+       t.words
+   with Exit -> ());
+  !seen = 1
+
+let min_value t =
+  let result = ref (-1) in
+  (try
+     Array.iteri
+       (fun wi w ->
+         if w <> 0 then begin
+           let b = ref 0 in
+           while w land (1 lsl !b) = 0 do
+             incr b
+           done;
+           result := (wi * bits_per_word) + !b;
+           raise Exit
+         end)
+       t.words
+   with Exit -> ());
+  if !result = -1 then raise Not_found else !result
+
+let iter f t =
+  Array.iteri
+    (fun wi w ->
+      if w <> 0 then
+        for b = 0 to bits_per_word - 1 do
+          if w land (1 lsl b) <> 0 then f ((wi * bits_per_word) + b)
+        done)
+    t.words
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun v -> acc := f !acc v) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc v -> v :: acc) [] t)
+
+let keep_only t pred =
+  let changed = ref false in
+  iter (fun v -> if (not (pred v)) && remove t v then changed := true) t;
+  !changed
+
+let intersects_complement d bad =
+  if d.universe <> bad.universe then invalid_arg "Domain.intersects_complement: universe mismatch";
+  let result = ref false in
+  (try
+     for i = 0 to Array.length d.words - 1 do
+       if d.words.(i) land lnot bad.words.(i) <> 0 then begin
+         result := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !result
+
+let subtract d bad =
+  if d.universe <> bad.universe then invalid_arg "Domain.subtract: universe mismatch";
+  let changed = ref false in
+  for i = 0 to Array.length d.words - 1 do
+    let nw = d.words.(i) land lnot bad.words.(i) in
+    if nw <> d.words.(i) then begin
+      d.words.(i) <- nw;
+      changed := true
+    end
+  done;
+  !changed

@@ -1,0 +1,62 @@
+(** Finite integer domains as bitsets.
+
+    A domain is a mutable subset of [0 .. universe-1], stored as packed bit
+    words. The CP search copies domains when branching, so copying must be
+    cheap — at the scales used here (universe ≤ a few hundred) a domain is
+    a handful of machine words. *)
+
+type t
+
+val full : int -> t
+(** [full universe] is the domain \{0, …, universe-1\}. *)
+
+val empty : int -> t
+(** The empty domain over the given universe. *)
+
+val universe : t -> int
+
+val copy : t -> t
+
+val blit : src:t -> dst:t -> unit
+(** Overwrite [dst] with [src]'s contents. Universes must match. *)
+
+val mem : t -> int -> bool
+
+val remove : t -> int -> bool
+(** Remove a value; returns [true] if the value was present. *)
+
+val add : t -> int -> unit
+
+val fix : t -> int -> unit
+(** Collapse the domain to a single value. *)
+
+val size : t -> int
+(** Cardinality (population count). *)
+
+val is_empty : t -> bool
+
+val is_singleton : t -> bool
+
+val min_value : t -> int
+(** Smallest member. Raises [Not_found] on an empty domain. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate members in ascending order. *)
+
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+
+val to_list : t -> int list
+(** Members in ascending order. *)
+
+val keep_only : t -> (int -> bool) -> bool
+(** [keep_only d pred] removes every member failing [pred]; returns [true]
+    if anything was removed. *)
+
+val intersects_complement : t -> t -> bool
+(** [intersects_complement d bad] is true iff [d] has a member outside
+    [bad] — i.e. [d \ bad ≠ ∅]. This is the support test of the
+    forbidden-pair propagator. *)
+
+val subtract : t -> t -> bool
+(** [subtract d bad] removes from [d] every member of [bad]; returns [true]
+    if [d] changed. *)

@@ -1,0 +1,71 @@
+type result =
+  | Sat of int array
+  | Unsat
+  | Timeout
+
+type stats = {
+  nodes : int;
+  failures : int;
+  elapsed : float;
+}
+
+exception Found of int array
+exception Out_of_budget
+
+let solve ?time_limit ?node_limit ?(value_order = fun ~var:_ values -> values) csp =
+  let start = Unix.gettimeofday () in
+  let nodes = ref 0 and failures = ref 0 in
+  let deadline = Option.map (fun l -> start +. l) time_limit in
+  let check_budget () =
+    (match node_limit with Some l when !nodes >= l -> raise Out_of_budget | _ -> ());
+    (* The time check is cheap enough to run at every node. *)
+    match deadline with
+    | Some d when Unix.gettimeofday () > d -> raise Out_of_budget
+    | _ -> ()
+  in
+  let initial = Csp.save csp in
+  (* MRV: unassigned variable with the smallest domain. *)
+  let select_variable () =
+    let best = ref (-1) and best_size = ref max_int in
+    for v = 0 to Csp.nvars csp - 1 do
+      let s = Domain.size (Csp.domain csp v) in
+      if s > 1 && s < !best_size then begin
+        best := v;
+        best_size := s
+      end
+    done;
+    !best
+  in
+  let rec search () =
+    check_budget ();
+    match Csp.propagate csp with
+    | Csp.Failure -> incr failures
+    | Csp.Progress | Csp.Fixpoint -> (
+        match Csp.assignment csp with
+        | Some a -> raise (Found (Array.copy a))
+        | None ->
+            let var = select_variable () in
+            if var = -1 then
+              (* No branching variable but not a full assignment: some
+                 domain is empty (propagate would have failed) — defensive. *)
+              incr failures
+            else begin
+              let values = value_order ~var (Domain.to_list (Csp.domain csp var)) in
+              let snapshot = Csp.save csp in
+              List.iter
+                (fun v ->
+                  incr nodes;
+                  Domain.fix (Csp.domain csp var) v;
+                  search ();
+                  Csp.restore csp snapshot)
+                values
+            end)
+  in
+  let finish outcome =
+    Csp.restore csp initial;
+    (outcome, { nodes = !nodes; failures = !failures; elapsed = Unix.gettimeofday () -. start })
+  in
+  match search () with
+  | () -> finish Unsat
+  | exception Found a -> finish (Sat a)
+  | exception Out_of_budget -> finish Timeout

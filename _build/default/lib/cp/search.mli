@@ -1,0 +1,29 @@
+(** Backtracking search for {!Csp} problems.
+
+    Depth-first search with propagation at every node, minimum-remaining-
+    values (MRV) variable selection, and a pluggable value-ordering
+    heuristic. A wall-clock time limit and a node limit make the solver
+    safe to embed in anytime optimization loops (the iterated
+    subgraph-isomorphism scheme of the paper re-solves satisfaction
+    problems under a shrinking threshold until UNSAT or timeout). *)
+
+type result =
+  | Sat of int array   (** one solution: value per variable *)
+  | Unsat              (** proven unsatisfiable *)
+  | Timeout            (** a limit was hit before a solution or proof *)
+
+type stats = {
+  nodes : int;          (** search nodes (assignments tried) *)
+  failures : int;       (** dead ends reached *)
+  elapsed : float;      (** wall-clock seconds *)
+}
+
+val solve :
+  ?time_limit:float ->
+  ?node_limit:int ->
+  ?value_order:(var:int -> int list -> int list) ->
+  Csp.t ->
+  result * stats
+(** [solve csp] searches for a single solution. [value_order] reorders a
+    variable's candidate values before branching (default: ascending).
+    The CSP's domains are restored to their pre-search state on exit. *)

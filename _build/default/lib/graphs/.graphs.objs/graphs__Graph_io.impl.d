@@ -1,0 +1,1 @@
+lib/graphs/graph_io.ml: Array Buffer Digraph List Option Printf String Templates

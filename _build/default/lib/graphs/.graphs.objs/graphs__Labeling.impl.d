@@ -1,0 +1,1 @@
+lib/graphs/labeling.ml: Array Digraph

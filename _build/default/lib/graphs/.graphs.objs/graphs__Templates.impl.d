@@ -1,0 +1,1 @@
+lib/graphs/templates.ml: Array Digraph List Prng

@@ -1,0 +1,1 @@
+lib/graphs/templates.mli: Digraph Prng

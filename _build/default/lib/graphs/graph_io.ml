@@ -1,0 +1,99 @@
+let tokens_of line =
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let parse_spec spec =
+  let fail () = Error (Printf.sprintf "unrecognized graph spec: %S" spec) in
+  let int s = int_of_string_opt s in
+  match tokens_of (String.trim spec) with
+  | [ "mesh2d"; r; c ] -> (
+      match (int r, int c) with
+      | Some rows, Some cols when rows > 0 && cols > 0 -> Ok (Templates.mesh2d ~rows ~cols)
+      | _ -> fail ())
+  | [ "torus2d"; r; c ] -> (
+      match (int r, int c) with
+      | Some rows, Some cols when rows >= 3 && cols >= 3 -> Ok (Templates.torus2d ~rows ~cols)
+      | _ -> fail ())
+  | [ "mesh3d"; x; y; z ] -> (
+      match (int x, int y, int z) with
+      | Some nx, Some ny, Some nz when nx > 0 && ny > 0 && nz > 0 ->
+          Ok (Templates.mesh3d ~nx ~ny ~nz)
+      | _ -> fail ())
+  | [ "tree"; f; d ] -> (
+      match (int f, int d) with
+      | Some fanout, Some depth when fanout > 0 && depth >= 0 ->
+          Ok (Templates.aggregation_tree ~fanout ~depth)
+      | _ -> fail ())
+  | [ "bipartite"; f; s ] -> (
+      match (int f, int s) with
+      | Some front_ends, Some storage when front_ends > 0 && storage > 0 ->
+          Ok (Templates.bipartite ~front_ends ~storage)
+      | _ -> fail ())
+  | [ "ring"; n ] -> (
+      match int n with Some n when n >= 3 -> Ok (Templates.ring ~n) | _ -> fail ())
+  | [ "star"; n ] -> (
+      match int n with Some n when n >= 1 -> Ok (Templates.star ~n) | _ -> fail ())
+  | [ "hypercube"; d ] -> (
+      match int d with
+      | Some dims when dims >= 0 && dims <= 20 -> Ok (Templates.hypercube ~dims)
+      | _ -> fail ())
+  | _ -> fail ()
+
+let parse_edge_list text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match lines with
+  | [] -> Error "empty input"
+  | header :: rest -> (
+      match tokens_of header with
+      | [ "nodes"; n ] -> (
+          match int_of_string_opt n with
+          | None -> Error "nodes line: not a number"
+          | Some n when n <= 0 -> Error "nodes line: need a positive count"
+          | Some n -> (
+              let parse_edge lineno line =
+                match tokens_of line with
+                | [ u; v ] -> (
+                    match (int_of_string_opt u, int_of_string_opt v) with
+                    | Some u, Some v -> Ok ((u, v), None)
+                    | _ -> Error (Printf.sprintf "line %d: bad edge %S" lineno line))
+                | [ u; v; w ] -> (
+                    match (int_of_string_opt u, int_of_string_opt v, float_of_string_opt w) with
+                    | Some u, Some v, Some w when w > 0.0 -> Ok ((u, v), Some w)
+                    | _ -> Error (Printf.sprintf "line %d: bad weighted edge %S" lineno line))
+                | _ -> Error (Printf.sprintf "line %d: expected 'src dst [weight]'" lineno)
+              in
+              let rec collect lineno acc = function
+                | [] -> Ok (List.rev acc)
+                | line :: rest -> (
+                    match parse_edge lineno line with
+                    | Ok e -> collect (lineno + 1) (e :: acc) rest
+                    | Error _ as e -> e)
+              in
+              match collect 2 [] rest with
+              | Error e -> Error e
+              | Ok entries -> (
+                  let edges = List.map fst entries in
+                  match Digraph.create ~n edges with
+                  | exception Invalid_argument msg -> Error msg
+                  | graph ->
+                      let weights =
+                        List.filter_map
+                          (fun (e, w) -> Option.map (fun w -> (e, w)) w)
+                          entries
+                      in
+                      Ok (graph, weights))))
+      | _ -> Error "first non-comment line must be 'nodes N'")
+
+let print_edge_list ?(weights = []) g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "nodes %d\n" (Digraph.n g));
+  Array.iter
+    (fun (u, v) ->
+      match List.assoc_opt (u, v) weights with
+      | Some w -> Buffer.add_string buf (Printf.sprintf "%d %d %g\n" u v w)
+      | None -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v))
+    (Digraph.edges g);
+  Buffer.contents buf

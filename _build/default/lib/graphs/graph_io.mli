@@ -1,0 +1,35 @@
+(** Textual communication-graph input and output.
+
+    ClouDiA's tenants describe their application's [talks] relation either
+    through a template ("communication graph templates for certain common
+    graph structures such as meshes or bipartite graphs", Sect. 3.3) or as
+    an explicit edge list; this module parses both forms for the CLI.
+
+    Template specs (whitespace-separated):
+    {v
+      mesh2d ROWS COLS          torus2d ROWS COLS    mesh3d NX NY NZ
+      tree FANOUT DEPTH         bipartite FRONT STORAGE
+      ring N                    star N               hypercube DIMS
+    v}
+
+    Edge-list format — comments start with [#]; the [nodes] line is
+    required and comes first; each edge line is [src dst] with an optional
+    positive weight:
+    {v
+      # my app
+      nodes 4
+      0 1
+      1 2 2.5
+      2 3
+    v} *)
+
+val parse_spec : string -> (Digraph.t, string) result
+(** Parse a template spec string. *)
+
+val parse_edge_list : string -> (Digraph.t * ((int * int) * float) list, string) result
+(** Parse edge-list text; returns the graph and the explicit edge weights
+    (edges without a weight column are omitted from the list). *)
+
+val print_edge_list : ?weights:((int * int) * float) list -> Digraph.t -> string
+(** Render a graph back to the edge-list format (round-trips with
+    {!parse_edge_list}). *)

@@ -1,0 +1,67 @@
+type t = {
+  size : int;
+  pair_left : int array;
+  pair_right : int array;
+}
+
+let inf = max_int
+
+let maximum ~n_left ~n_right ~adj =
+  if Array.length adj <> n_left then invalid_arg "Matching.maximum: adj length";
+  let pair_left = Array.make n_left (-1) in
+  let pair_right = Array.make n_right (-1) in
+  let dist = Array.make n_left inf in
+  let queue = Queue.create () in
+  (* BFS phase: layer the graph from free left vertices. Returns true if an
+     augmenting path exists. *)
+  let bfs () =
+    Queue.clear queue;
+    let found = ref false in
+    for u = 0 to n_left - 1 do
+      if pair_left.(u) = -1 then begin
+        dist.(u) <- 0;
+        Queue.add u queue
+      end
+      else dist.(u) <- inf
+    done;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      Array.iter
+        (fun v ->
+          let u' = pair_right.(v) in
+          if u' = -1 then found := true
+          else if dist.(u') = inf then begin
+            dist.(u') <- dist.(u) + 1;
+            Queue.add u' queue
+          end)
+        adj.(u)
+    done;
+    !found
+  in
+  (* DFS phase: find vertex-disjoint shortest augmenting paths. *)
+  let rec dfs u =
+    let found = ref false in
+    let i = ref 0 in
+    let a = adj.(u) in
+    while (not !found) && !i < Array.length a do
+      let v = a.(!i) in
+      incr i;
+      let u' = pair_right.(v) in
+      if u' = -1 || (dist.(u') = dist.(u) + 1 && dfs u') then begin
+        pair_left.(u) <- v;
+        pair_right.(v) <- u;
+        found := true
+      end
+    done;
+    if not !found then dist.(u) <- inf;
+    !found
+  in
+  let size = ref 0 in
+  while bfs () do
+    for u = 0 to n_left - 1 do
+      if pair_left.(u) = -1 && dfs u then incr size
+    done
+  done;
+  { size = !size; pair_left; pair_right }
+
+let is_perfect_left t = Array.for_all (fun v -> v <> -1) t.pair_left

@@ -1,0 +1,19 @@
+(** Maximum bipartite matching (Hopcroft–Karp).
+
+    Used by the CP solver's alldifferent propagator (Régin's algorithm first
+    computes a maximum matching between variables and values) and by tests
+    that check feasibility of partial deployments. *)
+
+type t = {
+  size : int;                (** cardinality of the maximum matching *)
+  pair_left : int array;     (** for each left node, matched right node or -1 *)
+  pair_right : int array;    (** for each right node, matched left node or -1 *)
+}
+
+val maximum : n_left:int -> n_right:int -> adj:int array array -> t
+(** [maximum ~n_left ~n_right ~adj] computes a maximum matching in the
+    bipartite graph where left node [u] is adjacent to the right nodes
+    [adj.(u)]. O(E √V). [adj] entries must lie in \[0, n_right). *)
+
+val is_perfect_left : t -> bool
+(** True iff every left node is matched. *)

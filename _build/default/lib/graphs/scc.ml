@@ -1,0 +1,64 @@
+(* Iterative Tarjan to avoid stack overflow on large value graphs. *)
+let tarjan ~n ~succ =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  (* Explicit DFS state: (node, next-child position). *)
+  for root = 0 to n - 1 do
+    if index.(root) = -1 then begin
+      let call_stack = ref [ (root, ref 0) ] in
+      index.(root) <- !next_index;
+      lowlink.(root) <- !next_index;
+      incr next_index;
+      stack := root :: !stack;
+      on_stack.(root) <- true;
+      while !call_stack <> [] do
+        match !call_stack with
+        | [] -> ()
+        | (v, pos) :: rest ->
+            let children = succ v in
+            if !pos < Array.length children then begin
+              let w = children.(!pos) in
+              incr pos;
+              if index.(w) = -1 then begin
+                index.(w) <- !next_index;
+                lowlink.(w) <- !next_index;
+                incr next_index;
+                stack := w :: !stack;
+                on_stack.(w) <- true;
+                call_stack := (w, ref 0) :: !call_stack
+              end
+              else if on_stack.(w) then
+                lowlink.(v) <- min lowlink.(v) index.(w)
+            end
+            else begin
+              call_stack := rest;
+              (match rest with
+              | (parent, _) :: _ -> lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+              | [] -> ());
+              if lowlink.(v) = index.(v) then begin
+                (* Pop the component rooted at v. *)
+                let continue = ref true in
+                while !continue do
+                  match !stack with
+                  | [] -> continue := false
+                  | w :: tl ->
+                      stack := tl;
+                      on_stack.(w) <- false;
+                      comp.(w) <- !next_comp;
+                      if w = v then continue := false
+                done;
+                incr next_comp
+              end
+            end
+      done
+    end
+  done;
+  comp
+
+let count comp =
+  Array.fold_left (fun acc c -> max acc (c + 1)) 0 comp

@@ -1,0 +1,125 @@
+let both u v = [ (u, v); (v, u) ]
+
+let mesh2d ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Templates.mesh2d: dims must be positive";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := both (id r c) (id r (c + 1)) @ !edges;
+      if r + 1 < rows then edges := both (id r c) (id (r + 1) c) @ !edges
+    done
+  done;
+  Digraph.create ~n:(rows * cols) !edges
+
+let mesh3d ~nx ~ny ~nz =
+  if nx <= 0 || ny <= 0 || nz <= 0 then invalid_arg "Templates.mesh3d: dims must be positive";
+  let id x y z = (((x * ny) + y) * nz) + z in
+  let edges = ref [] in
+  for x = 0 to nx - 1 do
+    for y = 0 to ny - 1 do
+      for z = 0 to nz - 1 do
+        if x + 1 < nx then edges := both (id x y z) (id (x + 1) y z) @ !edges;
+        if y + 1 < ny then edges := both (id x y z) (id x (y + 1) z) @ !edges;
+        if z + 1 < nz then edges := both (id x y z) (id x y (z + 1)) @ !edges
+      done
+    done
+  done;
+  Digraph.create ~n:(nx * ny * nz) !edges
+
+let torus2d ~rows ~cols =
+  if rows < 3 || cols < 3 then invalid_arg "Templates.torus2d: dims must be >= 3";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      edges := both (id r c) (id r ((c + 1) mod cols)) @ !edges;
+      edges := both (id r c) (id ((r + 1) mod rows) c) @ !edges
+    done
+  done;
+  Digraph.create ~n:(rows * cols) !edges
+
+let aggregation_tree ~fanout ~depth =
+  if fanout <= 0 then invalid_arg "Templates.aggregation_tree: fanout must be positive";
+  if depth < 0 then invalid_arg "Templates.aggregation_tree: depth must be non-negative";
+  (* Breadth-first numbering: node 0 is the root; each internal node at
+     index i has children fanout*i + 1 .. fanout*i + fanout. *)
+  let rec count_nodes d = if d = 0 then 1 else 1 + (fanout * count_nodes (d - 1)) in
+  (* count_nodes computes 1 + f + f^2 + ... + f^depth via Horner. *)
+  let n = count_nodes depth in
+  let edges = ref [] in
+  let internal_count = if depth = 0 then 0 else count_nodes (depth - 1) in
+  for i = 0 to internal_count - 1 do
+    for c = 1 to fanout do
+      let child = (fanout * i) + c in
+      if child < n then edges := (child, i) :: !edges
+    done
+  done;
+  Digraph.create ~n !edges
+
+let bipartite ~front_ends ~storage =
+  if front_ends <= 0 || storage <= 0 then
+    invalid_arg "Templates.bipartite: both sides must be non-empty";
+  let edges = ref [] in
+  for f = 0 to front_ends - 1 do
+    for s = 0 to storage - 1 do
+      edges := (f, front_ends + s) :: !edges
+    done
+  done;
+  Digraph.create ~n:(front_ends + storage) !edges
+
+let ring ~n =
+  if n < 3 then invalid_arg "Templates.ring: need n >= 3";
+  Digraph.create ~n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let star ~n =
+  if n < 1 then invalid_arg "Templates.star: need n >= 1";
+  Digraph.create ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let hypercube ~dims =
+  if dims < 0 || dims > 20 then invalid_arg "Templates.hypercube: dims out of range";
+  let n = 1 lsl dims in
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    for b = 0 to dims - 1 do
+      let w = v lxor (1 lsl b) in
+      if v < w then edges := both v w @ !edges
+    done
+  done;
+  Digraph.create ~n !edges
+
+let random_dag rng ~n ~edge_prob =
+  if n < 0 then invalid_arg "Templates.random_dag: negative n";
+  if edge_prob < 0.0 || edge_prob > 1.0 then
+    invalid_arg "Templates.random_dag: edge_prob out of [0,1]";
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Prng.uniform rng < edge_prob then edges := (i, j) :: !edges
+    done
+  done;
+  Digraph.create ~n !edges
+
+let random_connected rng ~n ~extra_edges =
+  if n <= 0 then invalid_arg "Templates.random_connected: need n >= 1";
+  if extra_edges < 0 then invalid_arg "Templates.random_connected: negative extra_edges";
+  let order = Prng.permutation rng n in
+  let edges = ref [] in
+  (* Random spanning tree: attach each node (in random order) to a random
+     earlier node. *)
+  for i = 1 to n - 1 do
+    let parent = order.(Prng.int rng i) in
+    edges := both order.(i) parent @ !edges
+  done;
+  let added = ref 0 and attempts = ref 0 in
+  let g = ref (Digraph.create ~n !edges) in
+  while !added < extra_edges && !attempts < extra_edges * 20 do
+    incr attempts;
+    let u = Prng.int rng n and v = Prng.int rng n in
+    if u <> v && not (Digraph.mem_edge !g u v) then begin
+      edges := (u, v) :: !edges;
+      g := Digraph.create ~n !edges;
+      incr added
+    end
+  done;
+  !g

@@ -1,0 +1,50 @@
+(** Communication-graph templates.
+
+    Sect. 3.3: "ClouDiA therefore provides communication graph templates for
+    certain common graph structures such as meshes or bipartite graphs to
+    minimize human involvement." These constructors generate the graphs used
+    by the paper's three workloads and by the benchmarks.
+
+    All templates produce directed graphs. Where the application communicates
+    bidirectionally (meshes), both edge directions are included; tree and
+    bipartite templates are directed along the data flow. *)
+
+val mesh2d : rows:int -> cols:int -> Digraph.t
+(** 4-neighbor 2-D mesh (the behavioral-simulation communication graph).
+    Both directions of every adjacency are present. Node [(r, c)] is
+    [r * cols + c]. *)
+
+val mesh3d : nx:int -> ny:int -> nz:int -> Digraph.t
+(** 6-neighbor 3-D mesh, both directions per adjacency. *)
+
+val torus2d : rows:int -> cols:int -> Digraph.t
+(** 2-D mesh with wraparound links. Requires [rows >= 3] and [cols >= 3] to
+    avoid duplicate edges between the same pair. *)
+
+val aggregation_tree : fanout:int -> depth:int -> Digraph.t
+(** Complete [fanout]-ary tree of the given [depth] with edges directed from
+    leaves toward the root (node 0), matching the paper's multi-level
+    aggregation-query workload. [depth = 0] is a single node. *)
+
+val bipartite : front_ends:int -> storage:int -> Digraph.t
+(** Complete bipartite graph directed from each of [front_ends] front-end
+    nodes to each of [storage] storage nodes (the key-value store workload).
+    Front-ends are nodes [0 .. front_ends-1]. *)
+
+val ring : n:int -> Digraph.t
+(** Directed cycle 0 → 1 → … → n-1 → 0. Requires [n >= 3] (as a
+    communication graph; a 2-ring would duplicate edges). Note: not a DAG. *)
+
+val star : n:int -> Digraph.t
+(** Edges from the hub (node 0) to each of the other [n - 1] nodes. *)
+
+val hypercube : dims:int -> Digraph.t
+(** [2^dims]-node hypercube, both directions per edge. *)
+
+val random_dag : Prng.t -> n:int -> edge_prob:float -> Digraph.t
+(** Random DAG: for [i < j], edge [i → j] with probability [edge_prob]. *)
+
+val random_connected : Prng.t -> n:int -> extra_edges:int -> Digraph.t
+(** A random undirected-connected communication graph: a random spanning
+    tree (both edge directions) plus [extra_edges] random additional
+    directed edges. *)

@@ -1,0 +1,97 @@
+type var = int
+
+type var_info = {
+  name : string;
+  integer : bool;
+  lb : float;
+  ub : float;
+  mutable obj : float;
+}
+
+type t = {
+  mutable vars : var_info list; (* reversed *)
+  mutable nvars : int;
+  mutable rows : (var array * float array * Simplex.relation * float) list; (* reversed *)
+  mutable nrows : int;
+}
+
+let create () = { vars = []; nvars = 0; rows = []; nrows = 0 }
+
+let add_var t ?(integer = false) ?(lb = 0.0) ?(ub = infinity) ?(obj = 0.0) name =
+  if lb < 0.0 then invalid_arg "Model.add_var: lb must be >= 0 (see interface)";
+  if ub < lb then invalid_arg "Model.add_var: ub < lb";
+  let v = t.nvars in
+  t.vars <- { name; integer; lb; ub; obj } :: t.vars;
+  t.nvars <- t.nvars + 1;
+  v
+
+let var_array t = Array.of_list (List.rev t.vars)
+
+let add_constraint t terms rel rhs =
+  (* Sum repeated variables. *)
+  let tbl = Hashtbl.create (List.length terms) in
+  List.iter
+    (fun (v, c) ->
+      if v < 0 || v >= t.nvars then invalid_arg "Model.add_constraint: unknown variable";
+      let cur = try Hashtbl.find tbl v with Not_found -> 0.0 in
+      Hashtbl.replace tbl v (cur +. c))
+    terms;
+  let pairs = Hashtbl.fold (fun v c acc -> (v, c) :: acc) tbl [] in
+  let pairs = List.sort compare pairs in
+  let vars = Array.of_list (List.map fst pairs) in
+  let coeffs = Array.of_list (List.map snd pairs) in
+  t.rows <- (vars, coeffs, rel, rhs) :: t.rows;
+  t.nrows <- t.nrows + 1
+
+let set_obj t v c =
+  if v < 0 || v >= t.nvars then invalid_arg "Model.set_obj: unknown variable";
+  let info = List.nth t.vars (t.nvars - 1 - v) in
+  info.obj <- c
+
+let var_count t = t.nvars
+let constraint_count t = t.nrows
+
+let var_name t v = (var_array t).(v).name
+let is_integer t v = (var_array t).(v).integer
+
+let integer_vars t =
+  let infos = var_array t in
+  let acc = ref [] in
+  for v = t.nvars - 1 downto 0 do
+    if infos.(v).integer then acc := v :: !acc
+  done;
+  !acc
+
+let solve_relaxation ?(extra = []) t =
+  let infos = var_array t in
+  let n = t.nvars in
+  let objective = Array.map (fun i -> i.obj) infos in
+  let dense (vars, coeffs, rel, rhs) =
+    let row = Array.make n 0.0 in
+    Array.iteri (fun k v -> row.(v) <- coeffs.(k)) vars;
+    (row, rel, rhs)
+  in
+  let base = List.rev_map dense t.rows in
+  (* Materialize declared bounds: lb > 0 as Ge rows, finite ub as Le rows. *)
+  let bound_rows = ref [] in
+  Array.iteri
+    (fun v info ->
+      let unit_row value rel =
+        let row = Array.make n 0.0 in
+        row.(v) <- 1.0;
+        (row, rel, value)
+      in
+      if info.lb > 0.0 then bound_rows := unit_row info.lb Simplex.Ge :: !bound_rows;
+      if info.ub < infinity then bound_rows := unit_row info.ub Simplex.Le :: !bound_rows)
+    infos;
+  let extra_rows =
+    List.map
+      (fun (v, rel, rhs) ->
+        let row = Array.make n 0.0 in
+        row.(v) <- 1.0;
+        (row, rel, rhs))
+      extra
+  in
+  Simplex.solve ~objective ~rows:(base @ !bound_rows @ extra_rows) ()
+
+let value solution v = solution.(v)

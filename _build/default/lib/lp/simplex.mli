@@ -1,0 +1,31 @@
+(** Two-phase primal simplex on the dense tableau.
+
+    Solves  minimize cᵀx  subject to  Ax {≤,=,≥} b,  x ≥ 0.
+
+    This is the LP kernel underneath the branch-and-bound MIP solver
+    ({!Mip}). The implementation is the textbook two-phase tableau method:
+    phase 1 minimizes the sum of artificial variables to find a basic
+    feasible solution; phase 2 minimizes the true objective. Pricing is
+    Dantzig (most negative reduced cost) with an automatic switch to Bland's
+    rule after an iteration threshold, which guarantees termination in the
+    presence of degeneracy. Dense storage is adequate for the problem sizes
+    in this repository (thousands of rows). *)
+
+type relation = Le | Ge | Eq
+
+type status =
+  | Optimal of float * float array  (** objective value and primal solution *)
+  | Infeasible
+  | Unbounded
+
+val solve :
+  ?max_iters:int ->
+  objective:float array ->
+  rows:(float array * relation * float) list ->
+  unit ->
+  status
+(** [solve ~objective ~rows ()] minimizes [objective]·x over x ≥ 0 subject
+    to [rows], each [(coeffs, rel, rhs)] with [coeffs] of the same length as
+    [objective]. [max_iters] (default [50_000]) bounds total pivots across
+    both phases; exceeding it raises [Failure]. Raises [Invalid_argument] on
+    dimension mismatches. *)

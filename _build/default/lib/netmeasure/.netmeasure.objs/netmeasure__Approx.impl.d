@@ -1,0 +1,1 @@
+lib/netmeasure/approx.ml: Array Cloudsim Hashtbl List

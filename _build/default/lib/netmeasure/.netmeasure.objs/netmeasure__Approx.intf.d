@@ -1,0 +1,1 @@
+lib/netmeasure/approx.mli: Cloudsim

@@ -1,0 +1,1 @@
+lib/netmeasure/schemes.ml: Array Cloudsim Prng

@@ -1,0 +1,1 @@
+lib/netmeasure/schemes.mli: Cloudsim Prng

@@ -1,0 +1,60 @@
+let ip_to_int (a, b, c, d) = (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+let ip_distance ?(granularity = 8) env i j =
+  if granularity < 1 || granularity >= 32 then
+    invalid_arg "Approx.ip_distance: granularity out of [1,31]";
+  if i = j then 0
+  else begin
+    let x = ip_to_int (Cloudsim.Env.ip_address env i) in
+    let y = ip_to_int (Cloudsim.Env.ip_address env j) in
+    let diff = x lxor y in
+    (* Longest shared prefix length in bits. *)
+    let shared = ref 0 in
+    while !shared < 32 && diff land (1 lsl (31 - !shared)) = 0 do
+      incr shared
+    done;
+    (* Distance counts granularity-sized blocks not fully shared. *)
+    let blocks = (32 + granularity - 1) / granularity in
+    blocks - (!shared / granularity)
+  end
+
+let hop_count env i j = Cloudsim.Env.hop_count env i j
+
+let latency_by_group env ~group =
+  let n = Cloudsim.Env.count env in
+  let buckets = Hashtbl.create 8 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let g = group i j in
+        let cur = try Hashtbl.find buckets g with Not_found -> [] in
+        Hashtbl.replace buckets g (Cloudsim.Env.mean_latency env i j :: cur)
+      end
+    done
+  done;
+  Hashtbl.fold (fun g lats acc -> (g, lats) :: acc) buckets []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (g, lats) ->
+         let a = Array.of_list lats in
+         Array.sort compare a;
+         (g, a))
+
+let monotonicity_violations groups =
+  (* Count cross-group inversions: a link in a lower group with strictly
+     higher latency than a link in a higher group. O(total²) is fine at
+     the sizes used. *)
+  let rec go acc = function
+    | [] -> acc
+    | (_, low) :: rest ->
+        let acc =
+          List.fold_left
+            (fun acc (_, high) ->
+              Array.fold_left
+                (fun acc l ->
+                  acc + Array.fold_left (fun c h -> if l > h then c + 1 else c) 0 high)
+                acc low)
+            acc rest
+        in
+        go acc rest
+  in
+  go 0 groups

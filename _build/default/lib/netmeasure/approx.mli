@@ -1,0 +1,28 @@
+(** Cheap network-distance approximations (Appendix 2).
+
+    The paper evaluated IP distance and hop count as free substitutes for
+    RTT measurement and found both non-monotone in actual latency; these
+    oracles let the benchmarks reproduce that negative result (Figs. 16,
+    17). *)
+
+val ip_distance : ?granularity:int -> Cloudsim.Env.t -> int -> int -> int
+(** [ip_distance env i j] compares the two instances' internal IPv4
+    addresses [granularity] bits at a time (default 8): two instances
+    sharing a /24 but not longer have distance 1, sharing /16 only have
+    distance 2, /8 only distance 3, nothing distance 4. Symmetric;
+    [0] for an instance with itself. *)
+
+val hop_count : Cloudsim.Env.t -> int -> int -> int
+(** Router hops between two instances (what traceroute TTLs would show). *)
+
+val latency_by_group :
+  Cloudsim.Env.t -> group:(int -> int -> int) -> (int * float array) list
+(** [latency_by_group env ~group] buckets every ordered instance pair by
+    [group i j] and returns, per bucket in increasing group value, the
+    ascending mean latencies of its links — exactly the series plotted in
+    Figs. 16 and 17 (links sorted by latency within each group). *)
+
+val monotonicity_violations : (int * float array) list -> int
+(** Number of link pairs (a, b) with [group a < group b] but
+    [latency a > latency b] — the quantitative form of "such monotonicity
+    does not always hold". *)

@@ -1,0 +1,136 @@
+type t = {
+  means : float array array;
+  samples : int array array;
+  sim_seconds : float;
+}
+
+(* Interference delays in milliseconds (see the interface comment): each
+   extra probe converging on the destination adds a queueing delay, and a
+   destination that is itself mid-probe replies late. These are additive
+   biases, not noise — they do not average out with more samples, which is
+   why the paper finds uncoordinated measurement persistently inaccurate
+   (Fig. 4): fast links are distorted proportionally more than slow ones,
+   changing the shape of the normalized latency vector. *)
+let collision_delay_ms = 0.30
+let busy_sender_delay_ms = 0.05
+
+type accumulator = {
+  sums : float array array;
+  counts : int array array;
+  mutable clock_ms : float;
+}
+
+let make_acc n =
+  { sums = Array.make_matrix n n 0.0; counts = Array.make_matrix n n 0; clock_ms = 0.0 }
+
+let record acc i j rtt =
+  acc.sums.(i).(j) <- acc.sums.(i).(j) +. rtt;
+  acc.counts.(i).(j) <- acc.counts.(i).(j) + 1
+
+let finish acc =
+  let n = Array.length acc.sums in
+  let means =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            if i = j then 0.0
+            else if acc.counts.(i).(j) = 0 then nan
+            else acc.sums.(i).(j) /. float_of_int acc.counts.(i).(j)))
+  in
+  { means; samples = Array.map Array.copy acc.counts; sim_seconds = acc.clock_ms /. 1000.0 }
+
+let token_passing rng env ~samples_per_pair =
+  if samples_per_pair <= 0 then invalid_arg "Schemes.token_passing: need positive sample count";
+  let n = Cloudsim.Env.count env in
+  let acc = make_acc n in
+  (* Token pass itself costs one one-way message; model as half the mean
+     RTT between consecutive pair owners. We charge a flat small cost. *)
+  let token_cost = 0.1 in
+  for _ = 1 to samples_per_pair do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j then begin
+          let rtt = Cloudsim.Env.sample_rtt rng env i j in
+          record acc i j rtt;
+          acc.clock_ms <- acc.clock_ms +. rtt +. token_cost
+        end
+      done
+    done
+  done;
+  finish acc
+
+let uncoordinated rng env ~rounds =
+  if rounds <= 0 then invalid_arg "Schemes.uncoordinated: need positive rounds";
+  let n = Cloudsim.Env.count env in
+  if n < 2 then invalid_arg "Schemes.uncoordinated: need at least two instances";
+  let acc = make_acc n in
+  let dest = Array.make n 0 in
+  let indegree = Array.make n 0 in
+  for _ = 1 to rounds do
+    Array.fill indegree 0 n 0;
+    for i = 0 to n - 1 do
+      (* Uniform destination other than self. *)
+      let d = Prng.int rng (n - 1) in
+      let d = if d >= i then d + 1 else d in
+      dest.(i) <- d;
+      indegree.(d) <- indegree.(d) + 1
+    done;
+    let round_max = ref 0.0 in
+    for i = 0 to n - 1 do
+      let d = dest.(i) in
+      let base = Cloudsim.Env.sample_rtt rng env i d in
+      (* Destination overload: other probes converging on d; plus d is
+         itself sending this round (always true in this scheme). *)
+      let collisions = float_of_int (indegree.(d) - 1) in
+      let inflated =
+        base +. (collision_delay_ms *. collisions) +. busy_sender_delay_ms
+      in
+      record acc i d inflated;
+      if inflated > !round_max then round_max := inflated
+    done;
+    (* All probes of a round fly in parallel: the round costs its slowest. *)
+    acc.clock_ms <- acc.clock_ms +. !round_max
+  done;
+  finish acc
+
+let staged rng env ~ks ~stages =
+  if ks <= 0 || stages <= 0 then invalid_arg "Schemes.staged: need positive ks and stages";
+  let n = Cloudsim.Env.count env in
+  if n < 2 then invalid_arg "Schemes.staged: need at least two instances";
+  let acc = make_acc n in
+  let coordination_cost = 0.2 in
+  for _ = 1 to stages do
+    (* The coordinator draws a random perfect matching: shuffle and pair
+       consecutive instances (one leftover sits the stage out if n is odd). *)
+    let order = Prng.permutation rng n in
+    let stage_max = ref 0.0 in
+    let p = ref 0 in
+    while (2 * !p) + 1 < n do
+      let i = order.(2 * !p) and j = order.((2 * !p) + 1) in
+      let pair_total = ref 0.0 in
+      for _ = 1 to ks do
+        let rtt = Cloudsim.Env.sample_rtt rng env i j in
+        record acc i j rtt;
+        pair_total := !pair_total +. rtt
+      done;
+      if !pair_total > !stage_max then stage_max := !pair_total;
+      incr p
+    done;
+    acc.clock_ms <- acc.clock_ms +. !stage_max +. coordination_cost
+  done;
+  finish acc
+
+let staged_time_for ~n ~reference_minutes = reference_minutes *. float_of_int n /. 100.0
+
+let link_vector t =
+  let n = Array.length t.means in
+  let out = Array.make (n * (n - 1)) 0.0 in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        out.(!k) <- t.means.(i).(j);
+        incr k
+      end
+    done
+  done;
+  out

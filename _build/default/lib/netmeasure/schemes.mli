@@ -1,0 +1,53 @@
+(** Pairwise mean-latency measurement schemes (Sect. 5 of the paper).
+
+    Three organizations of the same task — estimate the full n×n mean RTT
+    matrix of an allocation:
+
+    - {b Token passing}: a unique token serializes all probes, so no two
+      messages are ever in flight together. Interference-free but serial:
+      measurement time grows as n² × samples.
+    - {b Uncoordinated}: every instance independently probes a random
+      destination each round. Fully parallel, but probes collide — several
+      sources may pick one destination, and a replying instance may also be
+      sending — inflating observed RTTs unevenly across links.
+    - {b Staged}: a coordinator partitions instances into disjoint pairs
+      each stage and each pair exchanges [ks] consecutive probes. Parallel
+      (n/2 probes in flight) yet interference-free, because no instance is
+      ever in more than one conversation.
+
+    The interference model: a probe's observed RTT is the pair's jittered
+    RTT plus an additive queueing delay of 0.30 ms per extra probe
+    converging on the destination, plus 0.05 ms when the destination is
+    itself mid-probe. Token passing and staged never trigger either term,
+    matching the paper's design goal of measuring links "without
+    interference"; uncoordinated accumulates a per-link bias that does not
+    average out (the Fig. 4 effect). *)
+
+type t = {
+  means : float array array;   (** measured mean RTT per ordered pair (ms);
+                                   [nan] where a pair was never sampled *)
+  samples : int array array;   (** per-pair sample counts *)
+  sim_seconds : float;         (** simulated wall-clock cost of measuring *)
+}
+
+val token_passing : Prng.t -> Cloudsim.Env.t -> samples_per_pair:int -> t
+(** Visit every ordered pair round-robin, [samples_per_pair] times. *)
+
+val uncoordinated : Prng.t -> Cloudsim.Env.t -> rounds:int -> t
+(** [rounds] rounds in which every instance probes one uniformly random
+    other instance. Colliding probes are inflated per the model above. *)
+
+val staged : Prng.t -> Cloudsim.Env.t -> ks:int -> stages:int -> t
+(** [stages] coordinator-chosen random perfect matchings; each matched pair
+    exchanges [ks] back-to-back probes per stage. *)
+
+val staged_time_for : n:int -> reference_minutes:float -> float
+(** Measurement-time budget scaling rule from Sect. 6.2: the staged
+    approach probes ⌊n/2⌋ pairs in parallel out of O(n²), so the paper
+    adjusts the 5-minute budget for 100 instances linearly:
+    [5 · n / 100] minutes. Returned in minutes. *)
+
+val link_vector : t -> float array
+(** Flatten the measured means over ordered pairs (i ≠ j), row-major —
+    the latency-vector form used for error comparison (Figs. 4–5).
+    Unsampled pairs contribute [nan]. *)

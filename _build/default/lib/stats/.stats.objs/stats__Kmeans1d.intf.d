@@ -1,0 +1,1 @@
+lib/stats/kmeans1d.mli:

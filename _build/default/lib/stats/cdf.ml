@@ -1,0 +1,41 @@
+type t = { sorted : float array }
+
+let of_samples xs =
+  if Array.length xs = 0 then invalid_arg "Cdf.of_samples: empty array";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  { sorted }
+
+let n t = Array.length t.sorted
+
+(* Number of elements <= x, by binary search for the rightmost such index. *)
+let count_le t x =
+  let a = t.sorted in
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let eval t x = float_of_int (count_le t x) /. float_of_int (n t)
+
+let inverse t q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Cdf.inverse: q out of [0,1]";
+  let a = t.sorted in
+  let target = q *. float_of_int (Array.length a) in
+  let idx = int_of_float (Float.ceil target) - 1 in
+  let idx = Stdlib.max 0 (Stdlib.min idx (Array.length a - 1)) in
+  a.(idx)
+
+let support t =
+  let a = t.sorted in
+  (a.(0), a.(Array.length a - 1))
+
+let series ?(points = 20) t =
+  let lo, hi = support t in
+  if points <= 1 || hi <= lo then [ (lo, eval t lo) ]
+  else
+    List.init points (fun i ->
+        let x = lo +. (float_of_int i /. float_of_int (points - 1) *. (hi -. lo)) in
+        (x, eval t x))

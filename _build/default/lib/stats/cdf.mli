@@ -1,0 +1,28 @@
+(** Empirical cumulative distribution functions.
+
+    The paper reports heterogeneity results as CDFs over links (Figs. 1, 4,
+    18, 20); this module turns a sample array into an evaluable step
+    function and into printable (x, F(x)) series. *)
+
+type t
+(** An empirical CDF built from a finite sample. *)
+
+val of_samples : float array -> t
+(** Build from a non-empty sample array (copied and sorted internally). *)
+
+val eval : t -> float -> float
+(** [eval t x] = fraction of samples [<= x], in \[0, 1\]. *)
+
+val inverse : t -> float -> float
+(** [inverse t q] for [q] in \[0, 1\]: smallest sample value [v] such that
+    [eval t v >= q]. *)
+
+val n : t -> int
+(** Number of underlying samples. *)
+
+val support : t -> float * float
+(** [(min, max)] of the sample. *)
+
+val series : ?points:int -> t -> (float * float) list
+(** [series ~points t] samples the CDF at [points] (default 20) evenly spaced
+    x-positions spanning the support, suitable for printing a figure series. *)

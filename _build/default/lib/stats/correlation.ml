@@ -1,0 +1,54 @@
+let check name a b =
+  if Array.length a <> Array.length b then invalid_arg (name ^ ": length mismatch");
+  if Array.length a = 0 then invalid_arg (name ^ ": empty vectors")
+
+let pearson a b =
+  check "Correlation.pearson" a b;
+  let n = float_of_int (Array.length a) in
+  let ma = Array.fold_left ( +. ) 0.0 a /. n in
+  let mb = Array.fold_left ( +. ) 0.0 b /. n in
+  let sab = ref 0.0 and saa = ref 0.0 and sbb = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let da = a.(i) -. ma and db = b.(i) -. mb in
+    sab := !sab +. (da *. db);
+    saa := !saa +. (da *. da);
+    sbb := !sbb +. (db *. db)
+  done;
+  if !saa = 0.0 || !sbb = 0.0 then nan else !sab /. sqrt (!saa *. !sbb)
+
+(* Fractional ranks: ties receive the average of the ranks they span. *)
+let ranks xs =
+  let n = Array.length xs in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare xs.(i) xs.(j)) order;
+  let r = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && xs.(order.(!j + 1)) = xs.(order.(!i)) do incr j done;
+    let avg = float_of_int (!i + !j) /. 2.0 +. 1.0 in
+    for k = !i to !j do
+      r.(order.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  r
+
+let spearman a b =
+  check "Correlation.spearman" a b;
+  pearson (ranks a) (ranks b)
+
+let kendall a b =
+  check "Correlation.kendall" a b;
+  let n = Array.length a in
+  if n < 2 then invalid_arg "Correlation.kendall: need at least two points";
+  let concordant = ref 0 and discordant = ref 0 in
+  for i = 0 to n - 2 do
+    for j = i + 1 to n - 1 do
+      let sa = compare a.(i) a.(j) and sb = compare b.(i) b.(j) in
+      if sa * sb > 0 then incr concordant
+      else if sa * sb < 0 then incr discordant
+    done
+  done;
+  let pairs = float_of_int (n * (n - 1) / 2) in
+  float_of_int (!concordant - !discordant) /. pairs

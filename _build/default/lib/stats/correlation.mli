@@ -1,0 +1,17 @@
+(** Correlation coefficients.
+
+    Used to study how strongly alternative latency metrics (mean+SD, p99)
+    track mean latency (Sect. 3.2, Fig. 10), and how badly IP distance and
+    hop count track latency (Appendix 2). *)
+
+val pearson : float array -> float array -> float
+(** Pearson product-moment correlation. Returns [nan] if either vector has
+    zero variance. Raises [Invalid_argument] on mismatched or empty input. *)
+
+val spearman : float array -> float array -> float
+(** Spearman rank correlation (Pearson on fractional ranks, with ties
+    averaged). Same error conditions as {!pearson}. *)
+
+val kendall : float array -> float array -> float
+(** Kendall's tau-a (concordant minus discordant pairs over all pairs);
+    O(n²), suitable for the modest vector sizes used here. *)

@@ -1,0 +1,29 @@
+let normalize v =
+  if Array.length v = 0 then invalid_arg "Error.normalize: empty vector";
+  let norm = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 v) in
+  if norm = 0.0 then invalid_arg "Error.normalize: zero vector";
+  Array.map (fun x -> x /. norm) v
+
+let check_same_length name a b =
+  if Array.length a <> Array.length b then invalid_arg (name ^ ": length mismatch");
+  if Array.length a = 0 then invalid_arg (name ^ ": empty vectors")
+
+let rmse a b =
+  check_same_length "Error.rmse" a b;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt (!acc /. float_of_int (Array.length a))
+
+let normalized_relative_errors ~baseline v =
+  check_same_length "Error.normalized_relative_errors" baseline v;
+  let b = normalize baseline and w = normalize v in
+  Array.init (Array.length b) (fun i ->
+      if b.(i) = 0.0 then if w.(i) = 0.0 then 0.0 else infinity
+      else Float.abs (w.(i) -. b.(i)) /. b.(i))
+
+let normalized_rmse ~baseline v =
+  check_same_length "Error.normalized_rmse" baseline v;
+  rmse (normalize baseline) (normalize v)

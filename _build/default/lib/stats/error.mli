@@ -1,0 +1,25 @@
+(** Error measures between latency vectors.
+
+    The paper compares measurement schemes by treating the n² pairwise mean
+    latencies as a vector, normalizing to unit length (so a uniform over- or
+    under-estimate counts as zero error), and reporting per-dimension
+    relative error (Fig. 4) or root-mean-square error versus a ground truth
+    (Fig. 5). *)
+
+val normalize : float array -> float array
+(** Scale a vector to unit Euclidean norm. Raises [Invalid_argument] on an
+    empty or all-zero vector. *)
+
+val rmse : float array -> float array -> float
+(** Root-mean-square error between two equal-length vectors.
+    Raises on mismatched lengths or empty input. *)
+
+val normalized_relative_errors : baseline:float array -> float array -> float array
+(** [normalized_relative_errors ~baseline v]: both vectors are normalized to
+    unit length, then the per-dimension relative error
+    [|v_i - b_i| / b_i] is returned (dimensions where the baseline is zero
+    yield [0.] if both are zero, [infinity] otherwise). This is the Fig. 4
+    statistic. *)
+
+val normalized_rmse : baseline:float array -> float array -> float
+(** RMSE after normalizing both vectors to unit length (Fig. 5 statistic). *)

@@ -1,0 +1,31 @@
+type t = {
+  lo : float;
+  hi : float;
+  bins : int;
+  counts : int array;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if hi <= lo then invalid_arg "Histogram.create: hi must exceed lo";
+  { lo; hi; bins; counts = Array.make bins 0; total = 0 }
+
+let add t x =
+  let width = (t.hi -. t.lo) /. float_of_int t.bins in
+  let idx = int_of_float (Float.floor ((x -. t.lo) /. width)) in
+  let idx = max 0 (min (t.bins - 1) idx) in
+  t.counts.(idx) <- t.counts.(idx) + 1;
+  t.total <- t.total + 1
+
+let counts t = Array.copy t.counts
+
+let total t = t.total
+
+let bin_center t i =
+  let width = (t.hi -. t.lo) /. float_of_int t.bins in
+  t.lo +. ((float_of_int i +. 0.5) *. width)
+
+let fractions t =
+  if t.total = 0 then Array.make t.bins 0.0
+  else Array.map (fun c -> float_of_int c /. float_of_int t.total) t.counts

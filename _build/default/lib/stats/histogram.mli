@@ -1,0 +1,23 @@
+(** Fixed-width histograms for rendering distribution shapes in text. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** Histogram over \[lo, hi) with [bins] equal-width bins; values outside the
+    range are clamped to the edge bins. Raises [Invalid_argument] if
+    [bins <= 0] or [hi <= lo]. *)
+
+val add : t -> float -> unit
+(** Record one observation. *)
+
+val counts : t -> int array
+(** Per-bin counts, length [bins]. *)
+
+val total : t -> int
+(** Total observations recorded. *)
+
+val bin_center : t -> int -> float
+(** Mid-point value of bin [i]. *)
+
+val fractions : t -> float array
+(** Per-bin fraction of the total (all zeros if no observations). *)

@@ -1,0 +1,31 @@
+(** Optimal 1-D k-means by dynamic programming.
+
+    Sect. 6.3 of the paper clusters link costs with k-means before handing
+    them to the solvers: "Since the link costs are in one dimension, such
+    k-means can be optimally solved in O(kN) time using dynamic programming".
+    We implement the classic O(k·N²) interval DP (N = number of distinct
+    values, a few hundred here), which is exact and fast enough; the
+    SMAWK-accelerated O(kN) variant is an optimization we do not need. *)
+
+type result = {
+  centers : float array;    (** cluster means, ascending *)
+  boundaries : float array; (** ascending distinct input values at cluster starts *)
+  cost : float;             (** total within-cluster sum of squared error *)
+}
+
+val cluster : k:int -> float array -> result
+(** [cluster ~k xs] optimally partitions the multiset [xs] into at most [k]
+    contiguous clusters (in value order), minimizing within-cluster squared
+    error. If [xs] has fewer than [k] distinct values, each distinct value
+    becomes its own cluster. Raises [Invalid_argument] if [k <= 0] or [xs]
+    is empty. *)
+
+val assign : result -> float -> float
+(** [assign r x] maps [x] to its cluster's mean (the rounding the paper
+    applies to all link costs before solving). *)
+
+val assign_index : result -> float -> int
+(** Index of the cluster [x] falls into (nearest center). *)
+
+val distinct_count : float array -> int
+(** Number of distinct values, a convenience for choosing [k] sweeps. *)

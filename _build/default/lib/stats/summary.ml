@@ -1,0 +1,73 @@
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty array")
+
+let mean xs =
+  check_nonempty "Summary.mean" xs;
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  check_nonempty "Summary.variance" xs;
+  let m = mean xs in
+  let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+  acc /. float_of_int (Array.length xs)
+
+let stddev xs = sqrt (variance xs)
+
+let min xs =
+  check_nonempty "Summary.min" xs;
+  Array.fold_left Float.min xs.(0) xs
+
+let max xs =
+  check_nonempty "Summary.max" xs;
+  Array.fold_left Float.max xs.(0) xs
+
+let percentile_sorted sorted p =
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let h = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor h) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = h -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let percentile xs p =
+  check_nonempty "Summary.percentile" xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Summary.percentile: p out of [0,100]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  percentile_sorted sorted p
+
+let median xs = percentile xs 50.0
+
+type t = {
+  n : int;
+  mean : float;
+  sd : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let of_array xs =
+  check_nonempty "Summary.of_array" xs;
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  {
+    n;
+    mean = mean xs;
+    sd = stddev xs;
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    p50 = percentile_sorted sorted 50.0;
+    p90 = percentile_sorted sorted 90.0;
+    p99 = percentile_sorted sorted 99.0;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "n=%d mean=%.4f sd=%.4f min=%.4f p50=%.4f p90=%.4f p99=%.4f max=%.4f"
+    t.n t.mean t.sd t.min t.p50 t.p90 t.p99 t.max

@@ -1,0 +1,46 @@
+(** Scalar summaries of float samples.
+
+    Percentiles use linear interpolation between order statistics (the
+    "type 7" estimator of Hyndman & Fan, the R default), which is what
+    network-measurement tooling conventionally reports. *)
+
+val mean : float array -> float
+(** Arithmetic mean. Raises [Invalid_argument] on an empty array. *)
+
+val variance : float array -> float
+(** Population variance (divide by n). Raises on an empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation. Raises on an empty array. *)
+
+val min : float array -> float
+(** Smallest element. Raises on an empty array. *)
+
+val max : float array -> float
+(** Largest element. Raises on an empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in \[0, 100\]: linear-interpolated percentile.
+    Does not mutate its input. Raises on an empty array or [p] out of range. *)
+
+val median : float array -> float
+(** [percentile xs 50.]. *)
+
+type t = {
+  n : int;
+  mean : float;
+  sd : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+(** One-shot summary record. *)
+
+val of_array : float array -> t
+(** Compute all summary fields in one pass over a sorted copy. Raises on an
+    empty array. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable one-line rendering. *)

@@ -1,0 +1,1 @@
+lib/workloads/aggregation.ml: Array Cloudsim Graphs

@@ -1,0 +1,1 @@
+lib/workloads/aggregation.mli: Cloudsim Graphs Prng

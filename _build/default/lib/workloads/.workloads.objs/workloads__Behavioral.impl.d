@@ -1,0 +1,1 @@
+lib/workloads/behavioral.ml: Array Cloudsim Float Graphs

@@ -1,0 +1,1 @@
+lib/workloads/behavioral.mli: Cloudsim Graphs Prng

@@ -1,0 +1,1 @@
+lib/workloads/kv_store.ml: Array Cloudsim Float Graphs Prng

@@ -1,0 +1,1 @@
+lib/workloads/kv_store.mli: Cloudsim Graphs Prng

@@ -1,0 +1,1 @@
+lib/workloads/roadnet.ml: Array Graphs List Prng Queue

@@ -1,0 +1,1 @@
+lib/workloads/roadnet.mli: Graphs Prng

@@ -1,0 +1,1 @@
+lib/workloads/traffic.ml: Array Cloudsim Graphs

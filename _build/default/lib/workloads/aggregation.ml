@@ -1,0 +1,26 @@
+let graph ~fanout ~depth = Graphs.Templates.aggregation_tree ~fanout ~depth
+
+let response_time rng env ~plan ~fanout ~depth =
+  let g = graph ~fanout ~depth in
+  let n = Graphs.Digraph.n g in
+  if Array.length plan <> n then invalid_arg "Aggregation: plan length differs from node count";
+  (* Arrival time of the complete partial aggregate at each node: leaves
+     are ready at 0; an inner node forwards once its slowest child's
+     message has arrived. Edges point child -> parent, so we process nodes
+     in reverse breadth-first order (children have larger indices). *)
+  let arrival = Array.make n 0.0 in
+  for child = n - 1 downto 1 do
+    let parent = (Graphs.Digraph.out_neighbors g child).(0) in
+    let rtt = Cloudsim.Env.sample_rtt rng env plan.(child) plan.(parent) in
+    let t = arrival.(child) +. rtt in
+    if t > arrival.(parent) then arrival.(parent) <- t
+  done;
+  arrival.(0)
+
+let mean_response_time rng env ~plan ~fanout ~depth ~queries =
+  if queries <= 0 then invalid_arg "Aggregation.mean_response_time: need positive queries";
+  let acc = ref 0.0 in
+  for _ = 1 to queries do
+    acc := !acc +. response_time rng env ~plan ~fanout ~depth
+  done;
+  !acc /. float_of_int queries

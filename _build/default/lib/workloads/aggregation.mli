@@ -1,0 +1,27 @@
+(** Synthetic aggregation-query workload (Sect. 6.1.2).
+
+    A top-k query fans out to leaf nodes of a multi-level aggregation
+    tree; each node aggregates its children's partial results and forwards
+    them toward the root. The query's response time is the slowest
+    root-to-leaf accumulation path — the Class 2 (longest path)
+    deployment cost. *)
+
+val graph : fanout:int -> depth:int -> Graphs.Digraph.t
+(** Aggregation tree with edges directed leaf → root (node 0). *)
+
+val response_time :
+  Prng.t -> Cloudsim.Env.t -> plan:int array -> fanout:int -> depth:int -> float
+(** One query's simulated response time in milliseconds: the maximum over
+    leaves of the summed jittered RTTs along the leaf's path to the root
+    (partial aggregates at inner nodes leave as soon as their slowest
+    child arrives). *)
+
+val mean_response_time :
+  Prng.t ->
+  Cloudsim.Env.t ->
+  plan:int array ->
+  fanout:int ->
+  depth:int ->
+  queries:int ->
+  float
+(** Average of {!response_time} over [queries] independent queries. *)

@@ -1,0 +1,35 @@
+let graph ~rows ~cols = Graphs.Templates.mesh2d ~rows ~cols
+
+let check_plan env plan n =
+  if Array.length plan <> n then invalid_arg "Behavioral: plan length differs from node count";
+  Array.iter
+    (fun s ->
+      if s < 0 || s >= Cloudsim.Env.count env then
+        invalid_arg "Behavioral: plan maps outside the allocation")
+    plan
+
+let time_to_solution rng env ~plan ~rows ~cols ~ticks =
+  if ticks <= 0 then invalid_arg "Behavioral.time_to_solution: need positive ticks";
+  let g = graph ~rows ~cols in
+  check_plan env plan (Graphs.Digraph.n g);
+  let edges = Graphs.Digraph.edges g in
+  let total_ms = ref 0.0 in
+  for _ = 1 to ticks do
+    (* The tick's barrier completes when the slowest neighbor exchange
+       does. *)
+    let worst = ref 0.0 in
+    Array.iter
+      (fun (i, i') ->
+        let rtt = Cloudsim.Env.sample_rtt rng env plan.(i) plan.(i') in
+        if rtt > !worst then worst := rtt)
+      edges;
+    total_ms := !total_ms +. !worst
+  done;
+  !total_ms /. 1000.0
+
+let expected_tick_cost env ~plan ~rows ~cols =
+  let g = graph ~rows ~cols in
+  check_plan env plan (Graphs.Digraph.n g);
+  Array.fold_left
+    (fun acc (i, i') -> Float.max acc (Cloudsim.Env.mean_latency env plan.(i) plan.(i')))
+    0.0 (Graphs.Digraph.edges g)

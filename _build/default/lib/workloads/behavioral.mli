@@ -1,0 +1,31 @@
+(** Behavioral-simulation workload (Sect. 6.1.1).
+
+    Modeled on the fish-school simulation of Couzin et al.: space is
+    partitioned into a 2-D mesh of regions, one application node per
+    region; every simulation tick, neighboring nodes exchange 1 KB state
+    messages and synchronize at a barrier before the next tick. With
+    CPU-heavy computation hidden (as the paper does), a tick costs the
+    worst RTT among mesh links, so total time-to-solution is governed by
+    the longest link — the Class 1 deployment cost. *)
+
+val graph : rows:int -> cols:int -> Graphs.Digraph.t
+(** The communication graph: a 2-D mesh with both directions per
+    adjacency. *)
+
+val time_to_solution :
+  Prng.t ->
+  Cloudsim.Env.t ->
+  plan:int array ->
+  rows:int ->
+  cols:int ->
+  ticks:int ->
+  float
+(** Simulated seconds to complete [ticks] barrier-synchronized steps under
+    the node-to-instance mapping [plan] (node [r·cols + c] runs on instance
+    [plan.(r·cols + c)]). Each tick draws fresh jittered RTTs, so two runs
+    with the same plan differ slightly — like a real execution. *)
+
+val expected_tick_cost : Cloudsim.Env.t -> plan:int array -> rows:int -> cols:int -> float
+(** Analytic lower bound on a tick's cost: the longest mean link latency of
+    the deployment, in milliseconds. Useful to sanity-check simulation
+    output. *)

@@ -1,0 +1,21 @@
+let graph ~front_ends ~storage = Graphs.Templates.bipartite ~front_ends ~storage
+
+let response_time rng env ~plan ~front_ends ~storage ~touch =
+  if touch < 1 || touch > storage then invalid_arg "Kv_store: touch out of [1, storage]";
+  if Array.length plan <> front_ends + storage then
+    invalid_arg "Kv_store: plan length differs from node count";
+  let fe = Prng.int rng front_ends in
+  let touched = Prng.sample_without_replacement rng touch storage in
+  Array.fold_left
+    (fun worst s ->
+      let rtt = Cloudsim.Env.sample_rtt rng env plan.(fe) plan.(front_ends + s) in
+      Float.max worst rtt)
+    0.0 touched
+
+let mean_response_time rng env ~plan ~front_ends ~storage ~touch ~queries =
+  if queries <= 0 then invalid_arg "Kv_store.mean_response_time: need positive queries";
+  let acc = ref 0.0 in
+  for _ = 1 to queries do
+    acc := !acc +. response_time rng env ~plan ~front_ends ~storage ~touch
+  done;
+  !acc /. float_of_int queries

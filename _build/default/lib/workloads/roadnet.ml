@@ -1,0 +1,137 @@
+type network = {
+  n : int;
+  adj : int list array; (* undirected adjacency *)
+}
+
+let neighbors_in_grid ~rows ~cols v =
+  let r = v / cols and c = v mod cols in
+  List.filter_map
+    (fun (dr, dc) ->
+      let r' = r + dr and c' = c + dc in
+      if r' >= 0 && r' < rows && c' >= 0 && c' < cols then Some ((r' * cols) + c') else None)
+    [ (0, 1); (1, 0); (0, -1); (-1, 0) ]
+
+let connected_without n adj (a, b) =
+  (* BFS over the network with edge (a, b) removed. *)
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  seen.(0) <- true;
+  Queue.add 0 queue;
+  let visited = ref 1 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun w ->
+        let skip = (v = a && w = b) || (v = b && w = a) in
+        if (not skip) && not seen.(w) then begin
+          seen.(w) <- true;
+          incr visited;
+          Queue.add w queue
+        end)
+      adj.(v)
+  done;
+  !visited = n
+
+let grid rng ~rows ~cols ~keep =
+  if rows <= 0 || cols <= 0 then invalid_arg "Roadnet.grid: dimensions must be positive";
+  if keep <= 0.0 || keep > 1.0 then invalid_arg "Roadnet.grid: keep out of (0,1]";
+  let n = rows * cols in
+  let adj = Array.make n [] in
+  let add_edge a b =
+    adj.(a) <- b :: adj.(a);
+    adj.(b) <- a :: adj.(b)
+  in
+  (* Start from the full grid... *)
+  for v = 0 to n - 1 do
+    List.iter (fun w -> if v < w then add_edge v w) (neighbors_in_grid ~rows ~cols v)
+  done;
+  (* ...then try to remove each segment independently, skipping removals
+     that would disconnect the network. *)
+  let remove_edge a b =
+    adj.(a) <- List.filter (fun w -> w <> b) adj.(a);
+    adj.(b) <- List.filter (fun w -> w <> a) adj.(b)
+  in
+  for v = 0 to n - 1 do
+    List.iter
+      (fun w ->
+        if v < w && Prng.uniform rng > keep && connected_without n adj (v, w) then
+          remove_edge v w)
+      adj.(v)
+  done;
+  { n; adj }
+
+let intersection_count t = t.n
+
+let segment_count t =
+  Array.fold_left (fun acc l -> acc + List.length l) 0 t.adj / 2
+
+type partition = {
+  assignment : int array;
+  sizes : int array;
+  cut_edges : int;
+}
+
+let partition rng t ~parts =
+  if parts < 1 || parts > t.n then invalid_arg "Roadnet.partition: parts out of range";
+  let assignment = Array.make t.n (-1) in
+  let seeds = Prng.sample_without_replacement rng parts t.n in
+  let frontiers = Array.map (fun s -> Queue.create () |> fun q -> Queue.add s q; q) seeds in
+  Array.iteri (fun p s -> assignment.(s) <- p) seeds;
+  let remaining = ref (t.n - parts) in
+  (* Round-robin region growing: each partition claims one frontier
+     intersection per round, keeping regions connected and balanced. *)
+  while !remaining > 0 do
+    let progressed = ref false in
+    Array.iteri
+      (fun p q ->
+        let claimed = ref false in
+        while (not !claimed) && not (Queue.is_empty q) do
+          let v = Queue.pop q in
+          List.iter
+            (fun w ->
+              if (not !claimed) && assignment.(w) = -1 then begin
+                assignment.(w) <- p;
+                decr remaining;
+                claimed := true;
+                progressed := true;
+                Queue.add w q
+              end)
+            t.adj.(v);
+          (* Keep v on the frontier while it may still have unclaimed
+             neighbors later rounds can reach. *)
+          if List.exists (fun w -> assignment.(w) = -1) t.adj.(v) then Queue.add v q
+        done)
+      frontiers;
+    if not !progressed then begin
+      (* Isolated unassigned pockets cannot happen in a connected network,
+         but guard against an infinite loop. *)
+      Array.iteri (fun v p -> if p = -1 then begin
+        assignment.(v) <- 0;
+        decr remaining
+      end) assignment
+    end
+  done;
+  let sizes = Array.make parts 0 in
+  Array.iter (fun p -> sizes.(p) <- sizes.(p) + 1) assignment;
+  let cut = ref 0 in
+  for v = 0 to t.n - 1 do
+    List.iter (fun w -> if v < w && assignment.(v) <> assignment.(w) then incr cut) t.adj.(v)
+  done;
+  { assignment; sizes; cut_edges = !cut }
+
+let communication_graph t p =
+  let parts = Array.length p.sizes in
+  let edges = ref [] in
+  for v = 0 to t.n - 1 do
+    List.iter
+      (fun w ->
+        let a = p.assignment.(v) and b = p.assignment.(w) in
+        if a <> b then edges := (a, b) :: !edges)
+      t.adj.(v)
+  done;
+  Graphs.Digraph.create ~n:parts !edges
+
+let balance p =
+  let mn = Array.fold_left min p.sizes.(0) p.sizes in
+  let mx = Array.fold_left max p.sizes.(0) p.sizes in
+  if mn = 0 then infinity else float_of_int mx /. float_of_int mn

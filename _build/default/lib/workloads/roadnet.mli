@@ -1,0 +1,43 @@
+(** Road-network generation and partitioning for the traffic workload.
+
+    The paper's dynamic-traffic-assignment example distributes simulation
+    over nodes by "a graph partitioning of the traffic network"
+    (Sect. 2.1.1, citing Wen's MIT thesis). This module provides the
+    substrate: an urban-grid road network with randomly removed segments,
+    a multi-seed BFS region-growing partitioner, and the induced
+    partition-adjacency communication graph (two partitions talk iff some
+    road crosses between them). *)
+
+type network
+(** An undirected road network: intersections and road segments. *)
+
+val grid : Prng.t -> rows:int -> cols:int -> keep:float -> network
+(** An [rows]×[cols] street grid in which each segment survives with
+    probability [keep] (default city blocks have some closed streets),
+    constrained to remain connected: removal that would disconnect the
+    network is skipped. Requires [0 < keep <= 1]. *)
+
+val intersection_count : network -> int
+val segment_count : network -> int
+
+type partition = {
+  assignment : int array;   (** intersection → partition id, 0..k-1 *)
+  sizes : int array;        (** intersections per partition *)
+  cut_edges : int;          (** road segments crossing partitions *)
+}
+
+val partition : Prng.t -> network -> parts:int -> partition
+(** Multi-seed BFS region growing: [parts] random seeds expand in rounds,
+    each claiming a frontier intersection per round, until the network is
+    covered. Produces connected, roughly balanced regions — the standard
+    cheap geographic partitioning for traffic simulation. Requires
+    [1 <= parts <= intersection_count]. *)
+
+val communication_graph : network -> partition -> Graphs.Digraph.t
+(** Partition-adjacency graph with both edge directions: partitions
+    exchange boundary traffic each simulation round iff a road segment
+    crosses between them. This is the [graph] to deploy with ClouDiA and
+    feed to {!Traffic.run}. *)
+
+val balance : partition -> float
+(** Largest partition size over smallest (1.0 = perfectly balanced). *)

@@ -1,0 +1,44 @@
+let graph rng ~partitions =
+  if partitions <= 0 then invalid_arg "Traffic.graph: need at least one partition";
+  Graphs.Templates.random_connected rng ~n:partitions ~extra_edges:(partitions / 2)
+
+type outcome = {
+  periods_total : int;
+  periods_on_time : int;
+  mean_period_seconds : float;
+  worst_period_seconds : float;
+}
+
+let run rng env ~plan ~graph ~periods ~rounds_per_period ~deadline_seconds =
+  if periods <= 0 || rounds_per_period <= 0 then
+    invalid_arg "Traffic.run: periods and rounds must be positive";
+  if deadline_seconds <= 0.0 then invalid_arg "Traffic.run: deadline must be positive";
+  if Array.length plan <> Graphs.Digraph.n graph then
+    invalid_arg "Traffic.run: plan length differs from partition count";
+  let edges = Graphs.Digraph.edges graph in
+  let on_time = ref 0 in
+  let total = ref 0.0 and worst = ref 0.0 in
+  for _ = 1 to periods do
+    let period_ms = ref 0.0 in
+    for _ = 1 to rounds_per_period do
+      let round_worst = ref 0.0 in
+      Array.iter
+        (fun (i, i') ->
+          let rtt = Cloudsim.Env.sample_rtt rng env plan.(i) plan.(i') in
+          if rtt > !round_worst then round_worst := rtt)
+        edges;
+      period_ms := !period_ms +. !round_worst
+    done;
+    let seconds = !period_ms /. 1000.0 in
+    if seconds <= deadline_seconds then incr on_time;
+    total := !total +. seconds;
+    if seconds > !worst then worst := seconds
+  done;
+  {
+    periods_total = periods;
+    periods_on_time = !on_time;
+    mean_period_seconds = !total /. float_of_int periods;
+    worst_period_seconds = !worst;
+  }
+
+let on_time_fraction o = float_of_int o.periods_on_time /. float_of_int o.periods_total

@@ -1,0 +1,38 @@
+(** Dynamic traffic assignment workload (Sect. 2.1.1).
+
+    "Traffic patterns are extrapolated for a given time period, say 15
+    min, based on traffic data collected for the previous period.
+    Simulation must be faster than real time so that simulation results
+    can generate decisions that will improve traffic conditions for the
+    next time period." The computation is distributed by a graph
+    partitioning of the road network; partitions exchange boundary flows
+    every simulation round and synchronize — so, like the behavioral
+    workload, each round costs the worst link, but the figure of merit is
+    a {e deadline}: the fraction of periods whose simulation finishes
+    before the period ends. *)
+
+val graph : Prng.t -> partitions:int -> Graphs.Digraph.t
+(** A random connected partition-adjacency graph (road-network partitions
+    touch a few neighbors each). *)
+
+type outcome = {
+  periods_total : int;
+  periods_on_time : int;
+  mean_period_seconds : float;
+  worst_period_seconds : float;
+}
+
+val run :
+  Prng.t ->
+  Cloudsim.Env.t ->
+  plan:int array ->
+  graph:Graphs.Digraph.t ->
+  periods:int ->
+  rounds_per_period:int ->
+  deadline_seconds:float ->
+  outcome
+(** Simulate [periods] periods, each of [rounds_per_period] barrier-
+    synchronized exchange rounds; a period is on time when its simulated
+    communication completes within [deadline_seconds]. *)
+
+val on_time_fraction : outcome -> float

@@ -1,0 +1,1 @@
+test/test_cloudia.ml: Alcotest Array Brute_force Cloudia Cloudsim Clustering Cost Float Graphs Greedy List Metrics Option Printf Prng QCheck QCheck_alcotest Random_search Types Unix

@@ -1,0 +1,1 @@
+test/test_cloudsim.ml: Alcotest Array Cloudsim Env Float Hashtbl List Prng Provider QCheck QCheck_alcotest Stats Topology

@@ -1,0 +1,1 @@
+test/test_consistency.ml: Advisor Alcotest Anneal Array Brute_force Cloudia Cloudsim Cost Cp_solver Float Graphs List Metrics Netmeasure Printf Prng QCheck QCheck_alcotest Types Weighted

@@ -1,0 +1,1 @@
+test/test_cp.ml: Alcotest Array Cp Csp Digraph Domain Graphs Hashtbl List Prng QCheck QCheck_alcotest Search Templates

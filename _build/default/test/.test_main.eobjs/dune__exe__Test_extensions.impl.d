@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Anneal Array Bandwidth Brute_force Cloudia Cloudsim Cost Cp_solver Float Graphs Hashtbl List Mip_solver Printf Prng Redeploy Stats String Types Weighted Workloads

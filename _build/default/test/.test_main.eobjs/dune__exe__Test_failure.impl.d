@@ -1,0 +1,1 @@
+test/test_failure.ml: Alcotest Array Brute_force Cloudia Cloudsim Cost Cp_solver Float Graphs Greedy List Matrix_io Netmeasure Printf Prng Random_search Reduction Types

@@ -1,0 +1,1 @@
+test/test_graphs.ml: Alcotest Array Digraph Float Graphs Labeling List Matching Printf Prng QCheck QCheck_alcotest Scc Templates

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float List Lp Mip Model Printf Prng QCheck QCheck_alcotest Simplex

@@ -1,0 +1,1 @@
+test/test_netmeasure.ml: Alcotest Array Cloudsim Float List Netmeasure Printf Prng Stats

@@ -1,0 +1,1 @@
+test/test_solvers.ml: Advisor Alcotest Array Brute_force Cloudia Cloudsim Cost Cp_solver Float Graphs Greedy Hashtbl List Metrics Mip_solver Printf Prng Random_search Reduction Types Unix

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Cdf Correlation Error Float Histogram Kmeans1d List Printf Prng QCheck QCheck_alcotest Stats Summary

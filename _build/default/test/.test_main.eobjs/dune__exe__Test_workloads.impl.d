@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Cloudia Cloudsim Float Graphs Printf Prng Workloads

@@ -1,0 +1,233 @@
+open Cloudsim
+
+(* Tests for the datacenter topology, provider presets, and allocated
+   environments. *)
+
+(* ---------- Topology ---------- *)
+
+let topo = Topology.create ~hosts_per_rack:4 ~racks_per_pod:3 ~pods:2
+
+let test_topology_counts () =
+  Alcotest.(check int) "hosts" 24 (Topology.host_count topo);
+  Alcotest.(check int) "rack of host 0" 0 (Topology.rack_of topo 0);
+  Alcotest.(check int) "rack of host 4" 1 (Topology.rack_of topo 4);
+  Alcotest.(check int) "pod of host 0" 0 (Topology.pod_of topo 0);
+  Alcotest.(check int) "pod of host 12" 1 (Topology.pod_of topo 12)
+
+let test_topology_hops () =
+  Alcotest.(check int) "same host" 0 (Topology.hop_count topo 3 3);
+  Alcotest.(check int) "same rack" 1 (Topology.hop_count topo 0 3);
+  Alcotest.(check int) "same pod" 3 (Topology.hop_count topo 0 4);
+  Alcotest.(check int) "cross pod" 5 (Topology.hop_count topo 0 12)
+
+let test_topology_hops_symmetric () =
+  for a = 0 to 23 do
+    for b = 0 to 23 do
+      Alcotest.(check int) "symmetric" (Topology.hop_count topo a b) (Topology.hop_count topo b a)
+    done
+  done
+
+let test_topology_ip_addresses_distinct () =
+  let seen = Hashtbl.create 24 in
+  for h = 0 to 23 do
+    let ip = Topology.ip_address topo h in
+    Alcotest.(check bool) "fresh" false (Hashtbl.mem seen ip);
+    Hashtbl.add seen ip ()
+  done
+
+let test_topology_ip_structure () =
+  let a, b, c, d = Topology.ip_address topo 0 in
+  Alcotest.(check int) "/8 is 10" 10 a;
+  Alcotest.(check bool) "octets positive" true (b >= 1 && c >= 1 && d >= 1);
+  (* Hosts in the same rack share the first three octets. *)
+  let a', b', c', _ = Topology.ip_address topo 1 in
+  Alcotest.(check (pair int (pair int int))) "same /24" (a, (b, c)) (a', (b', c'))
+
+let test_topology_rejects_bad_dims () =
+  Alcotest.check_raises "zero pods"
+    (Invalid_argument "Topology.create: all dimensions must be positive")
+    (fun () -> ignore (Topology.create ~hosts_per_rack:1 ~racks_per_pod:1 ~pods:0))
+
+(* ---------- Env ---------- *)
+
+let ec2 = Provider.get Provider.Ec2
+
+let make_env ?(seed = 7) ?(count = 40) () =
+  Env.allocate (Prng.create seed) ec2 ~count
+
+let test_env_distinct_hosts () =
+  let env = make_env () in
+  let seen = Hashtbl.create 40 in
+  for i = 0 to Env.count env - 1 do
+    let h = Env.host env i in
+    Alcotest.(check bool) "host fresh" false (Hashtbl.mem seen h);
+    Hashtbl.add seen h ()
+  done
+
+let test_env_mean_properties () =
+  let env = make_env () in
+  let n = Env.count env in
+  for i = 0 to n - 1 do
+    Alcotest.(check (float 0.0)) "diag zero" 0.0 (Env.mean_latency env i i);
+    for j = 0 to n - 1 do
+      if i <> j then
+        Alcotest.(check bool) "positive" true (Env.mean_latency env i j > 0.0)
+    done
+  done
+
+let test_env_means_deterministic () =
+  let a = make_env ~seed:3 () and b = make_env ~seed:3 () in
+  for i = 0 to 9 do
+    for j = 0 to 9 do
+      Alcotest.(check (float 1e-12)) "same seed same means"
+        (Env.mean_latency a i j) (Env.mean_latency b i j)
+    done
+  done
+
+let test_env_heterogeneity () =
+  (* The allocation must show materially different link qualities: the
+     whole premise of the paper (Fig. 1). *)
+  let env = make_env ~count:60 () in
+  let lats = ref [] in
+  for i = 0 to 59 do
+    for j = 0 to 59 do
+      if i <> j then lats := Env.mean_latency env i j :: !lats
+    done
+  done;
+  let arr = Array.of_list !lats in
+  let s = Stats.Summary.of_array arr in
+  Alcotest.(check bool) "p90 well above p50" true (s.Stats.Summary.p90 > 1.15 *. s.Stats.Summary.p50)
+
+let test_env_sample_rtt_centers_on_mean () =
+  let env = make_env () in
+  let rng = Prng.create 11 in
+  let samples = Array.init 4000 (fun _ -> Env.sample_rtt rng env 0 1) in
+  let sample_mean = Stats.Summary.mean samples in
+  let true_mean = Env.mean_latency env 0 1 in
+  Alcotest.(check bool) "within 5%" true
+    (Float.abs (sample_mean -. true_mean) /. true_mean < 0.05)
+
+let test_env_time_series_stable_mean () =
+  let env = make_env () in
+  let rng = Prng.create 13 in
+  let series = Env.time_series rng env 2 3 ~buckets:100 in
+  Alcotest.(check int) "buckets" 100 (Array.length series);
+  let m = Stats.Summary.mean series in
+  let true_mean = Env.mean_latency env 2 3 in
+  (* Per-bucket means wobble but stay near the link mean. *)
+  Alcotest.(check bool) "stable" true (Float.abs (m -. true_mean) /. true_mean < 0.1)
+
+let test_env_sub_env () =
+  let env = make_env () in
+  let sub = Env.sub_env env [| 5; 2; 9 |] in
+  Alcotest.(check int) "count" 3 (Env.count sub);
+  Alcotest.(check int) "host mapping" (Env.host env 5) (Env.host sub 0);
+  Alcotest.(check (float 1e-12)) "mean mapping"
+    (Env.mean_latency env 2 9) (Env.mean_latency sub 1 2)
+
+let test_env_sub_env_rejects_duplicates () =
+  let env = make_env () in
+  Alcotest.check_raises "dup" (Invalid_argument "Env.sub_env: duplicate instance")
+    (fun () -> ignore (Env.sub_env env [| 1; 1 |]))
+
+let test_env_rack_locality_cheaper () =
+  (* Aggregated over many allocations, same-rack links must be faster than
+     cross-pod links on average. *)
+  let rng = Prng.create 21 in
+  let same_rack = ref [] and cross_pod = ref [] in
+  for _ = 1 to 5 do
+    let env = Env.allocate rng ec2 ~count:40 in
+    for i = 0 to 39 do
+      for j = 0 to 39 do
+        if i <> j then begin
+          let l = Env.mean_latency env i j in
+          match Env.hop_count env i j with
+          | 1 -> same_rack := l :: !same_rack
+          | 5 -> cross_pod := l :: !cross_pod
+          | _ -> ()
+        end
+      done
+    done
+  done;
+  match (!same_rack, !cross_pod) with
+  | [], _ | _, [] -> Alcotest.fail "expected both tiers in 5 allocations"
+  | sr, cp ->
+      let mean l = Stats.Summary.mean (Array.of_list l) in
+      Alcotest.(check bool) "rack faster on average" true (mean sr < mean cp)
+
+let test_provider_presets_distinct () =
+  let e = Provider.get Provider.Ec2 and g = Provider.get Provider.Gce in
+  Alcotest.(check bool) "different base" true (e.Provider.rack_rtt <> g.Provider.rack_rtt);
+  Alcotest.(check string) "name" "ec2" (Provider.to_string Provider.Ec2);
+  Alcotest.(check string) "name" "gce" (Provider.to_string Provider.Gce);
+  Alcotest.(check string) "name" "rackspace" (Provider.to_string Provider.Rackspace)
+
+let test_gce_tighter_than_ec2 () =
+  (* Fig. 18 vs Fig. 1: GCE heterogeneity is smaller than EC2's. Compare
+     the coefficient of variation of link means. *)
+  let rng = Prng.create 31 in
+  let cv provider =
+    let env = Env.allocate rng (Provider.get provider) ~count:50 in
+    let lats = ref [] in
+    for i = 0 to 49 do
+      for j = 0 to 49 do
+        if i <> j then lats := Env.mean_latency env i j :: !lats
+      done
+    done;
+    let a = Array.of_list !lats in
+    Stats.Summary.stddev a /. Stats.Summary.mean a
+  in
+  Alcotest.(check bool) "gce tighter" true (cv Provider.Gce < cv Provider.Ec2)
+
+let qcheck_props =
+  [
+    QCheck.Test.make ~name:"allocation means positive and asymmetric-safe" ~count:20
+      QCheck.(pair small_int (int_range 2 30))
+      (fun (seed, count) ->
+        let env = Env.allocate (Prng.create seed) ec2 ~count in
+        let ok = ref true in
+        for i = 0 to count - 1 do
+          for j = 0 to count - 1 do
+            let l = Env.mean_latency env i j in
+            if i = j then (if l <> 0.0 then ok := false)
+            else if not (l > 0.0 && Float.is_finite l) then ok := false
+          done
+        done;
+        !ok);
+    QCheck.Test.make ~name:"hop count in {1,3,5} for distinct instances" ~count:20
+      QCheck.(pair small_int (int_range 2 30))
+      (fun (seed, count) ->
+        let env = Env.allocate (Prng.create seed) ec2 ~count in
+        let ok = ref true in
+        for i = 0 to count - 1 do
+          for j = 0 to count - 1 do
+            if i <> j then
+              match Env.hop_count env i j with
+              | 1 | 3 | 5 -> ()
+              | _ -> ok := false
+          done
+        done;
+        !ok);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "topology counts" `Quick test_topology_counts;
+    Alcotest.test_case "topology hops" `Quick test_topology_hops;
+    Alcotest.test_case "topology hops symmetric" `Quick test_topology_hops_symmetric;
+    Alcotest.test_case "topology ip distinct" `Quick test_topology_ip_addresses_distinct;
+    Alcotest.test_case "topology ip structure" `Quick test_topology_ip_structure;
+    Alcotest.test_case "topology rejects bad dims" `Quick test_topology_rejects_bad_dims;
+    Alcotest.test_case "env distinct hosts" `Quick test_env_distinct_hosts;
+    Alcotest.test_case "env mean properties" `Quick test_env_mean_properties;
+    Alcotest.test_case "env deterministic" `Quick test_env_means_deterministic;
+    Alcotest.test_case "env heterogeneity" `Quick test_env_heterogeneity;
+    Alcotest.test_case "env samples center on mean" `Quick test_env_sample_rtt_centers_on_mean;
+    Alcotest.test_case "env time series stable" `Quick test_env_time_series_stable_mean;
+    Alcotest.test_case "env sub_env" `Quick test_env_sub_env;
+    Alcotest.test_case "env sub_env rejects dups" `Quick test_env_sub_env_rejects_duplicates;
+    Alcotest.test_case "rack locality cheaper" `Quick test_env_rack_locality_cheaper;
+    Alcotest.test_case "provider presets distinct" `Quick test_provider_presets_distinct;
+    Alcotest.test_case "gce tighter than ec2" `Quick test_gce_tighter_than_ec2;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_props

@@ -1,0 +1,495 @@
+open Cloudia
+
+(* Tests for the extension features: simulated annealing, weighted
+   communication graphs, the bandwidth criterion, dynamic re-deployment,
+   graph I/O, and the traffic workload. *)
+
+let check_float name ?(tol = 1e-9) expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %.6f got %.6f" name expected actual)
+    true
+    (Float.abs (expected -. actual) <= tol)
+
+let random_problem ?(nodes = 6) ?(instances = 8) ?(extra_edges = 3) seed =
+  let rng = Prng.create seed in
+  let graph = Graphs.Templates.random_connected rng ~n:nodes ~extra_edges in
+  let costs =
+    Array.init instances (fun j ->
+        Array.init instances (fun j' -> if j = j' then 0.0 else 0.1 +. Prng.float rng 1.0))
+  in
+  Types.problem ~graph ~costs
+
+let ec2 = Cloudsim.Provider.get Cloudsim.Provider.Ec2
+
+(* ---------- Anneal ---------- *)
+
+let anneal_fast =
+  { Anneal.default_options with Anneal.time_limit = 0.5; restarts = 2 }
+
+let test_anneal_valid_plans () =
+  for seed = 1 to 5 do
+    let p = random_problem seed in
+    let r = Anneal.solve_objective ~options:anneal_fast (Prng.create seed) Cost.Longest_link p in
+    Alcotest.(check bool) "valid" true (Types.is_valid p r.Anneal.plan);
+    check_float "cost consistent" (Cost.longest_link p r.Anneal.plan) r.Anneal.cost;
+    Alcotest.(check bool) "tried moves" true (r.Anneal.moves_tried > 0)
+  done
+
+let test_anneal_near_optimal_small () =
+  (* On small instances annealing should get within a modest factor of the
+     brute-force optimum (usually it matches it). *)
+  let worse = ref 0 in
+  for seed = 10 to 19 do
+    let p = random_problem ~nodes:5 ~instances:7 seed in
+    let r = Anneal.solve_objective ~options:anneal_fast (Prng.create seed) Cost.Longest_link p in
+    let _, optimal = Brute_force.solve Cost.Longest_link p in
+    if r.Anneal.cost > optimal +. 1e-9 then incr worse
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "optimal in most runs (missed %d/10)" !worse)
+    true (!worse <= 3)
+
+let test_anneal_beats_single_random () =
+  let p = random_problem ~nodes:10 ~instances:12 23 in
+  let r = Anneal.solve_objective ~options:anneal_fast (Prng.create 1) Cost.Longest_link p in
+  let single = Cost.longest_link p (Types.random_plan (Prng.create 1) p) in
+  Alcotest.(check bool) "anneal <= first random" true (r.Anneal.cost <= single +. 1e-9)
+
+let test_anneal_custom_eval () =
+  (* Minimize the SUM of link costs — an objective no exact solver here
+     encodes — and verify the plan is valid and better than random. *)
+  let p = random_problem ~nodes:6 ~instances:8 29 in
+  let eval plan =
+    Array.fold_left
+      (fun acc (i, i') -> acc +. p.Types.costs.(plan.(i)).(plan.(i')))
+      0.0
+      (Graphs.Digraph.edges p.Types.graph)
+  in
+  let r = Anneal.solve ~options:anneal_fast (Prng.create 2) ~eval p in
+  let random_avg =
+    let rng = Prng.create 3 in
+    let acc = ref 0.0 in
+    for _ = 1 to 50 do
+      acc := !acc +. eval (Types.random_plan rng p)
+    done;
+    !acc /. 50.0
+  in
+  Alcotest.(check bool) "below random average" true (r.Anneal.cost < random_avg)
+
+(* ---------- Weighted ---------- *)
+
+let test_weighted_uniform_matches_unweighted () =
+  let p = random_problem 31 in
+  let w = Weighted.make p ~weight:(fun _ _ -> 1.0) in
+  let rng = Prng.create 4 in
+  for _ = 1 to 20 do
+    let plan = Types.random_plan rng p in
+    check_float "LL match" (Cost.longest_link p plan) (Weighted.longest_link w plan)
+  done
+
+let test_weighted_scales_single_edge () =
+  let graph = Graphs.Digraph.create ~n:2 [ (0, 1) ] in
+  let costs = [| [| 0.0; 2.0 |]; [| 2.0; 0.0 |] |] in
+  let p = Types.problem ~graph ~costs in
+  let w = Weighted.make p ~weight:(fun _ _ -> 3.0) in
+  check_float "scaled" 6.0 (Weighted.longest_link w [| 0; 1 |]);
+  check_float "path scaled" 6.0 (Weighted.longest_path w [| 0; 1 |])
+
+let test_weighted_rejects_nonpositive () =
+  let p = random_problem 37 in
+  Alcotest.check_raises "zero weight"
+    (Invalid_argument "Weighted.make: edge weights must be positive and finite")
+    (fun () -> ignore (Weighted.make p ~weight:(fun _ _ -> 0.0)))
+
+let test_weighted_of_assoc () =
+  let graph = Graphs.Digraph.create ~n:3 [ (0, 1); (1, 2) ] in
+  let costs = Array.init 3 (fun j -> Array.init 3 (fun j' -> if j = j' then 0.0 else 1.0)) in
+  let p = Types.problem ~graph ~costs in
+  let w = Weighted.of_assoc p ~default:1.0 [ ((0, 1), 5.0) ] in
+  check_float "explicit weight" 5.0 (Weighted.weight w 0 1);
+  check_float "default weight" 1.0 (Weighted.weight w 1 2);
+  Alcotest.check_raises "non-edge" (Invalid_argument "Weighted.of_assoc: weight given for a non-edge")
+    (fun () -> ignore (Weighted.of_assoc p ~default:1.0 [ ((2, 0), 1.0) ]))
+
+let test_weighted_cp_matches_brute_force () =
+  for seed = 41 to 44 do
+    let p = random_problem ~nodes:5 ~instances:7 seed in
+    let rng = Prng.create seed in
+    (* Random positive weights per edge. *)
+    let weight_tbl = Hashtbl.create 16 in
+    Array.iter
+      (fun (i, i') -> Hashtbl.replace weight_tbl (i, i') (0.5 +. Prng.float rng 2.0))
+      (Graphs.Digraph.edges p.Types.graph);
+    let weight i i' = Hashtbl.find weight_tbl (i, i') in
+    let w = Weighted.make p ~weight in
+    let options =
+      {
+        Cp_solver.clusters = None;
+        time_limit = 20.0;
+        iteration_time_limit = None;
+        use_labeling = true;
+        bootstrap_trials = 10;
+      }
+    in
+    let r = Weighted.solve_cp ~options (Prng.create seed) w in
+    (* Brute-force the weighted objective directly. *)
+    let best = ref infinity in
+    let n = Types.node_count p and m = Types.instance_count p in
+    let plan = Array.make n (-1) in
+    let used = Array.make m false in
+    let rec go k =
+      if k = n then best := Float.min !best (Weighted.longest_link w plan)
+      else
+        for s = 0 to m - 1 do
+          if not used.(s) then begin
+            used.(s) <- true;
+            plan.(k) <- s;
+            go (k + 1);
+            used.(s) <- false
+          end
+        done
+    in
+    go 0;
+    Alcotest.(check bool) "proved" true r.Cp_solver.proven_optimal;
+    check_float ~tol:1e-6 (Printf.sprintf "seed %d weighted optimum" seed) !best r.Cp_solver.cost
+  done
+
+let test_weighted_g2_valid () =
+  for seed = 51 to 55 do
+    let p = random_problem seed in
+    let w = Weighted.make p ~weight:(fun i i' -> 1.0 +. float_of_int ((i + i') mod 3)) in
+    Alcotest.(check bool) "valid" true (Types.is_valid p (Weighted.g2 w))
+  done
+
+let test_weighted_anneal_and_r1 () =
+  let p = random_problem ~nodes:6 ~instances:8 57 in
+  let w = Weighted.make p ~weight:(fun i i' -> if (i + i') mod 2 = 0 then 2.0 else 1.0) in
+  let a = Weighted.solve_anneal ~options:anneal_fast Cost.Longest_link (Prng.create 5) w in
+  Alcotest.(check bool) "anneal valid" true (Types.is_valid p a.Anneal.plan);
+  check_float "anneal cost consistent" (Weighted.longest_link w a.Anneal.plan) a.Anneal.cost;
+  let plan, cost = Weighted.r1 (Prng.create 6) Cost.Longest_link w ~trials:200 in
+  check_float "r1 cost consistent" (Weighted.longest_link w plan) cost
+
+let test_weighted_mip_small () =
+  let graph = Graphs.Digraph.create ~n:3 [ (0, 1); (1, 2) ] in
+  let rng = Prng.create 59 in
+  let costs =
+    Array.init 4 (fun j -> Array.init 4 (fun j' -> if j = j' then 0.0 else 0.1 +. Prng.float rng 1.0))
+  in
+  let p = Types.problem ~graph ~costs in
+  let w = Weighted.make p ~weight:(fun i _ -> if i = 0 then 3.0 else 1.0) in
+  let r =
+    Weighted.solve_mip
+      ~options:{ Mip_solver.default_options with Mip_solver.time_limit = 20.0 }
+      Cost.Longest_link (Prng.create 7) w
+  in
+  (* Exhaustive check of the weighted optimum. *)
+  let best = ref infinity in
+  for a = 0 to 3 do
+    for b = 0 to 3 do
+      for c = 0 to 3 do
+        if a <> b && b <> c && a <> c then
+          best := Float.min !best (Weighted.longest_link w [| a; b; c |])
+      done
+    done
+  done;
+  check_float ~tol:1e-6 "weighted MIP optimum" !best r.Mip_solver.cost
+
+(* ---------- Bandwidth ---------- *)
+
+let test_env_bandwidth_properties () =
+  let env = Cloudsim.Env.allocate (Prng.create 61) ec2 ~count:20 in
+  for i = 0 to 19 do
+    Alcotest.(check bool) "self infinite" true (Cloudsim.Env.bandwidth env i i = infinity);
+    for j = 0 to 19 do
+      if i <> j then begin
+        let bw = Cloudsim.Env.bandwidth env i j in
+        Alcotest.(check bool) "positive finite" true (bw > 0.0 && Float.is_finite bw);
+        check_float "symmetric" bw (Cloudsim.Env.bandwidth env j i)
+      end
+    done
+  done
+
+let test_bandwidth_rack_faster_than_core () =
+  let rng = Prng.create 63 in
+  let rack = ref [] and core = ref [] in
+  for _ = 1 to 5 do
+    let env = Cloudsim.Env.allocate rng ec2 ~count:30 in
+    for i = 0 to 29 do
+      for j = i + 1 to 29 do
+        match Cloudsim.Env.hop_count env i j with
+        | 1 -> rack := Cloudsim.Env.bandwidth env i j :: !rack
+        | 5 -> core := Cloudsim.Env.bandwidth env i j :: !core
+        | _ -> ()
+      done
+    done
+  done;
+  match (!rack, !core) with
+  | [], _ | _, [] -> Alcotest.fail "expected both tiers"
+  | r, c ->
+      let mean l = Stats.Summary.mean (Array.of_list l) in
+      Alcotest.(check bool) "rack bandwidth higher" true (mean r > mean c)
+
+let test_bandwidth_problem_inverts () =
+  let env = Cloudsim.Env.allocate (Prng.create 65) ec2 ~count:8 in
+  let graph = Graphs.Templates.ring ~n:6 in
+  let p = Bandwidth.problem_of env graph in
+  let plan = Types.identity_plan p in
+  let ll = Cost.longest_link p plan in
+  let bottleneck = Bandwidth.bottleneck_gbps env graph plan in
+  check_float ~tol:1e-9 "longest link = 1/bottleneck" (1.0 /. bottleneck) ll
+
+let test_bandwidth_solver_improves_bottleneck () =
+  let env = Cloudsim.Env.allocate (Prng.create 67) ec2 ~count:10 in
+  let graph = Graphs.Templates.ring ~n:6 in
+  let _, optimized =
+    Bandwidth.solve_cp
+      ~options:
+        {
+          Cp_solver.clusters = Some 20;
+          time_limit = 5.0;
+          iteration_time_limit = None;
+          use_labeling = true;
+          bootstrap_trials = 10;
+        }
+      (Prng.create 8) env graph
+  in
+  let default = Bandwidth.bottleneck_gbps env graph (Array.init 6 (fun i -> i)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "optimized bottleneck %.2f >= default %.2f" optimized default)
+    true (optimized >= default -. 1e-9)
+
+(* ---------- Redeploy ---------- *)
+
+let test_perturb_changes_subset () =
+  let env = Cloudsim.Env.allocate (Prng.create 71) ec2 ~count:20 in
+  let perturbed = Cloudsim.Env.perturb (Prng.create 72) env ~fraction:0.3 ~magnitude:0.5 in
+  let changed = ref 0 and same = ref 0 in
+  for i = 0 to 19 do
+    for j = 0 to 19 do
+      if i <> j then
+        if Cloudsim.Env.mean_latency env i j = Cloudsim.Env.mean_latency perturbed i j then
+          incr same
+        else incr changed
+    done
+  done;
+  Alcotest.(check bool) "some changed" true (!changed > 0);
+  Alcotest.(check bool) "some unchanged" true (!same > 0);
+  (* Original untouched. *)
+  let env2 = Cloudsim.Env.allocate (Prng.create 71) ec2 ~count:20 in
+  check_float "original intact" (Cloudsim.Env.mean_latency env2 0 1)
+    (Cloudsim.Env.mean_latency env 0 1)
+
+let test_perturb_zero_fraction_identity () =
+  let env = Cloudsim.Env.allocate (Prng.create 73) ec2 ~count:10 in
+  let p = Cloudsim.Env.perturb (Prng.create 74) env ~fraction:0.0 ~magnitude:1.0 in
+  for i = 0 to 9 do
+    for j = 0 to 9 do
+      check_float "unchanged" (Cloudsim.Env.mean_latency env i j)
+        (Cloudsim.Env.mean_latency p i j)
+    done
+  done
+
+let test_redeploy_simulation_consistency () =
+  let graph = Graphs.Templates.mesh2d ~rows:3 ~cols:3 in
+  let config =
+    {
+      Redeploy.epochs = 8;
+      change_prob = 0.5;
+      change_fraction = 0.3;
+      change_magnitude = 0.6;
+      migration_cost = 0.5;
+      solver_budget = 0.5;
+    }
+  in
+  let s = Redeploy.simulate ~config (Prng.create 75) ec2 ~graph ~over_allocation:0.2 in
+  Alcotest.(check int) "all epochs recorded" 8 (List.length s.Redeploy.records);
+  Alcotest.(check bool) "oracle is a lower bound on epoch costs" true
+    (s.Redeploy.oracle_total
+    <= s.Redeploy.adaptive_total
+       -. (float_of_int s.Redeploy.migrations *. config.Redeploy.migration_cost)
+       +. 1e-6);
+  Alcotest.(check bool) "oracle <= static" true
+    (s.Redeploy.oracle_total <= s.Redeploy.static_total +. 1e-6);
+  List.iteri
+    (fun k r ->
+      Alcotest.(check int) "epoch numbering" (k + 1) r.Redeploy.epoch;
+      Alcotest.(check bool) "candidate no worse than current" true
+        (r.Redeploy.cost_candidate <= r.Redeploy.cost_current +. 1e-6))
+    s.Redeploy.records
+
+let test_redeploy_adapts_under_heavy_change () =
+  (* With violent, frequent changes and cheap migration, the adaptive
+     policy must migrate at least once and beat the static deployment. *)
+  let graph = Graphs.Templates.mesh2d ~rows:3 ~cols:3 in
+  let config =
+    {
+      Redeploy.epochs = 10;
+      change_prob = 0.9;
+      change_fraction = 0.5;
+      change_magnitude = 1.0;
+      migration_cost = 0.05;
+      solver_budget = 0.5;
+    }
+  in
+  let s = Redeploy.simulate ~config (Prng.create 77) ec2 ~graph ~over_allocation:0.2 in
+  Alcotest.(check bool) "migrated at least once" true (s.Redeploy.migrations >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive %.3f < static %.3f" s.Redeploy.adaptive_total
+       s.Redeploy.static_total)
+    true
+    (s.Redeploy.adaptive_total < s.Redeploy.static_total)
+
+(* ---------- Graph I/O ---------- *)
+
+let test_parse_spec_templates () =
+  let cases =
+    [
+      ("mesh2d 3 4", 12);
+      ("torus2d 3 3", 9);
+      ("mesh3d 2 2 2", 8);
+      ("tree 2 2", 7);
+      ("bipartite 2 3", 5);
+      ("ring 5", 5);
+      ("star 6", 6);
+      ("hypercube 3", 8);
+    ]
+  in
+  List.iter
+    (fun (spec, nodes) ->
+      match Graphs.Graph_io.parse_spec spec with
+      | Ok g -> Alcotest.(check int) spec nodes (Graphs.Digraph.n g)
+      | Error e -> Alcotest.fail e)
+    cases
+
+let test_parse_spec_rejects_garbage () =
+  List.iter
+    (fun spec ->
+      match Graphs.Graph_io.parse_spec spec with
+      | Ok _ -> Alcotest.fail ("accepted " ^ spec)
+      | Error _ -> ())
+    [ "mesh2d 3"; "mesh2d a b"; "pentagram 5"; ""; "ring 2"; "mesh2d 0 4" ]
+
+let test_parse_edge_list () =
+  let text = "# comment\nnodes 4\n0 1\n1 2 2.5\n\n2 3\n" in
+  match Graphs.Graph_io.parse_edge_list text with
+  | Error e -> Alcotest.fail e
+  | Ok (g, weights) ->
+      Alcotest.(check int) "nodes" 4 (Graphs.Digraph.n g);
+      Alcotest.(check int) "edges" 3 (Graphs.Digraph.edge_count g);
+      Alcotest.(check (list (pair (pair int int) (float 1e-9)))) "weights"
+        [ ((1, 2), 2.5) ] weights
+
+let test_parse_edge_list_errors () =
+  let bad = [ "0 1"; "nodes x\n0 1"; "nodes 2\n0 5"; "nodes 2\n0 1 -2.0"; "" ] in
+  List.iter
+    (fun text ->
+      match Graphs.Graph_io.parse_edge_list text with
+      | Ok _ -> Alcotest.fail ("accepted " ^ String.escaped text)
+      | Error _ -> ())
+    bad
+
+let test_edge_list_roundtrip () =
+  let g = Graphs.Templates.mesh2d ~rows:2 ~cols:3 in
+  let text = Graphs.Graph_io.print_edge_list g in
+  match Graphs.Graph_io.parse_edge_list text with
+  | Error e -> Alcotest.fail e
+  | Ok (g', _) ->
+      Alcotest.(check bool) "same edges" true (Graphs.Digraph.edges g = Graphs.Digraph.edges g')
+
+let test_edge_list_roundtrip_weights () =
+  let g = Graphs.Digraph.create ~n:3 [ (0, 1); (1, 2) ] in
+  let weights = [ ((0, 1), 2.5) ] in
+  let text = Graphs.Graph_io.print_edge_list ~weights g in
+  match Graphs.Graph_io.parse_edge_list text with
+  | Error e -> Alcotest.fail e
+  | Ok (_, w') ->
+      Alcotest.(check (list (pair (pair int int) (float 1e-9)))) "weights survive" weights w'
+
+(* ---------- Traffic workload ---------- *)
+
+let test_traffic_outcome_consistency () =
+  let env = Cloudsim.Env.allocate (Prng.create 81) ec2 ~count:10 in
+  let graph = Workloads.Traffic.graph (Prng.create 82) ~partitions:8 in
+  let plan = Array.init 8 (fun i -> i) in
+  let o =
+    Workloads.Traffic.run (Prng.create 83) env ~plan ~graph ~periods:40 ~rounds_per_period:50
+      ~deadline_seconds:0.08
+  in
+  Alcotest.(check int) "total periods" 40 o.Workloads.Traffic.periods_total;
+  Alcotest.(check bool) "on-time within range" true
+    (o.Workloads.Traffic.periods_on_time >= 0 && o.Workloads.Traffic.periods_on_time <= 40);
+  Alcotest.(check bool) "worst >= mean" true
+    (o.Workloads.Traffic.worst_period_seconds >= o.Workloads.Traffic.mean_period_seconds -. 1e-9);
+  let f = Workloads.Traffic.on_time_fraction o in
+  Alcotest.(check bool) "fraction in [0,1]" true (f >= 0.0 && f <= 1.0)
+
+let test_traffic_better_plan_meets_more_deadlines () =
+  let env = Cloudsim.Env.allocate (Prng.create 85) ec2 ~count:12 in
+  let graph = Workloads.Traffic.graph (Prng.create 86) ~partitions:9 in
+  let costs = Cloudsim.Env.mean_matrix env in
+  let problem = Types.problem ~graph ~costs in
+  let optimized =
+    (Cp_solver.solve
+       ~options:
+         {
+           Cp_solver.clusters = Some 20;
+           time_limit = 3.0;
+           iteration_time_limit = None;
+           use_labeling = true;
+           bootstrap_trials = 10;
+         }
+       (Prng.create 87) problem)
+      .Cp_solver.plan
+  in
+  let default = Types.identity_plan problem in
+  (* Calibrate the deadline between the two plans' simulated mean period
+     times, then measure on-time fractions with fresh randomness. *)
+  let rounds = 50 in
+  let mean_period plan =
+    (Workloads.Traffic.run (Prng.create 88) env ~plan ~graph ~periods:20
+       ~rounds_per_period:rounds ~deadline_seconds:1e9)
+      .Workloads.Traffic.mean_period_seconds
+  in
+  let deadline = (mean_period default +. mean_period optimized) /. 2.0 in
+  let run plan =
+    Workloads.Traffic.on_time_fraction
+      (Workloads.Traffic.run (Prng.create 89) env ~plan ~graph ~periods:40
+         ~rounds_per_period:rounds ~deadline_seconds:deadline)
+  in
+  Alcotest.(check bool) "optimized meets more deadlines" true (run optimized > run default)
+
+let suite =
+  [
+    Alcotest.test_case "anneal valid plans" `Quick test_anneal_valid_plans;
+    Alcotest.test_case "anneal near optimal" `Quick test_anneal_near_optimal_small;
+    Alcotest.test_case "anneal beats single random" `Quick test_anneal_beats_single_random;
+    Alcotest.test_case "anneal custom eval" `Quick test_anneal_custom_eval;
+    Alcotest.test_case "weighted uniform = unweighted" `Quick
+      test_weighted_uniform_matches_unweighted;
+    Alcotest.test_case "weighted scales single edge" `Quick test_weighted_scales_single_edge;
+    Alcotest.test_case "weighted rejects non-positive" `Quick test_weighted_rejects_nonpositive;
+    Alcotest.test_case "weighted of_assoc" `Quick test_weighted_of_assoc;
+    Alcotest.test_case "weighted cp matches brute force" `Quick
+      test_weighted_cp_matches_brute_force;
+    Alcotest.test_case "weighted g2 valid" `Quick test_weighted_g2_valid;
+    Alcotest.test_case "weighted anneal and r1" `Quick test_weighted_anneal_and_r1;
+    Alcotest.test_case "weighted mip small" `Slow test_weighted_mip_small;
+    Alcotest.test_case "env bandwidth properties" `Quick test_env_bandwidth_properties;
+    Alcotest.test_case "bandwidth rack > core" `Quick test_bandwidth_rack_faster_than_core;
+    Alcotest.test_case "bandwidth problem inverts" `Quick test_bandwidth_problem_inverts;
+    Alcotest.test_case "bandwidth solver improves bottleneck" `Quick
+      test_bandwidth_solver_improves_bottleneck;
+    Alcotest.test_case "perturb changes subset" `Quick test_perturb_changes_subset;
+    Alcotest.test_case "perturb zero fraction" `Quick test_perturb_zero_fraction_identity;
+    Alcotest.test_case "redeploy consistency" `Quick test_redeploy_simulation_consistency;
+    Alcotest.test_case "redeploy adapts" `Quick test_redeploy_adapts_under_heavy_change;
+    Alcotest.test_case "parse spec templates" `Quick test_parse_spec_templates;
+    Alcotest.test_case "parse spec rejects garbage" `Quick test_parse_spec_rejects_garbage;
+    Alcotest.test_case "parse edge list" `Quick test_parse_edge_list;
+    Alcotest.test_case "parse edge list errors" `Quick test_parse_edge_list_errors;
+    Alcotest.test_case "edge list roundtrip" `Quick test_edge_list_roundtrip;
+    Alcotest.test_case "edge list roundtrip weights" `Quick test_edge_list_roundtrip_weights;
+    Alcotest.test_case "traffic outcome consistency" `Quick test_traffic_outcome_consistency;
+    Alcotest.test_case "traffic better plan" `Quick test_traffic_better_plan_meets_more_deadlines;
+  ]

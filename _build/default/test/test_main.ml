@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "cloudia"
+    [
+      ("prng", Test_prng.suite);
+      ("stats", Test_stats.suite);
+      ("graphs", Test_graphs.suite);
+      ("lp", Test_lp.suite);
+      ("cp", Test_cp.suite);
+      ("cloudsim", Test_cloudsim.suite);
+      ("netmeasure", Test_netmeasure.suite);
+      ("cloudia", Test_cloudia.suite);
+      ("solvers", Test_solvers.suite);
+      ("workloads", Test_workloads.suite);
+      ("extensions", Test_extensions.suite);
+      ("more", Test_more.suite);
+      ("failure-injection", Test_failure.suite);
+      ("consistency", Test_consistency.suite);
+    ]

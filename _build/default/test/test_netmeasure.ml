@@ -1,0 +1,195 @@
+(* Tests for the measurement schemes and distance approximations. *)
+
+let ec2 = Cloudsim.Provider.get Cloudsim.Provider.Ec2
+
+let make_env ?(seed = 5) ?(count = 16) () =
+  Cloudsim.Env.allocate (Prng.create seed) ec2 ~count
+
+let test_token_passing_covers_all_pairs () =
+  let env = make_env () in
+  let m = Netmeasure.Schemes.token_passing (Prng.create 1) env ~samples_per_pair:3 in
+  let n = Cloudsim.Env.count env in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        Alcotest.(check int) "3 samples" 3 m.Netmeasure.Schemes.samples.(i).(j);
+        Alcotest.(check bool) "finite mean" true (Float.is_finite m.Netmeasure.Schemes.means.(i).(j))
+      end
+    done
+  done
+
+let test_token_passing_accuracy () =
+  (* With many samples, token passing converges to the true means. *)
+  let env = make_env ~count:8 () in
+  let m = Netmeasure.Schemes.token_passing (Prng.create 2) env ~samples_per_pair:400 in
+  let worst = ref 0.0 in
+  for i = 0 to 7 do
+    for j = 0 to 7 do
+      if i <> j then begin
+        let err =
+          Float.abs (m.Netmeasure.Schemes.means.(i).(j) -. Cloudsim.Env.mean_latency env i j)
+          /. Cloudsim.Env.mean_latency env i j
+        in
+        if err > !worst then worst := err
+      end
+    done
+  done;
+  Alcotest.(check bool) "max relative error < 15%" true (!worst < 0.15)
+
+let test_uncoordinated_inflates () =
+  (* Uncoordinated measurements include interference inflation, so their
+     grand mean must exceed token passing's. *)
+  let env = make_env ~count:20 () in
+  let tp = Netmeasure.Schemes.token_passing (Prng.create 3) env ~samples_per_pair:20 in
+  let un = Netmeasure.Schemes.uncoordinated (Prng.create 4) env ~rounds:2000 in
+  let grand m =
+    let acc = ref 0.0 and k = ref 0 in
+    Array.iteri
+      (fun i row ->
+        Array.iteri
+          (fun j v ->
+            if i <> j && Float.is_finite v then begin
+              acc := !acc +. v;
+              incr k
+            end)
+          row)
+      m.Netmeasure.Schemes.means;
+    !acc /. float_of_int !k
+  in
+  Alcotest.(check bool) "inflated" true (grand un > grand tp)
+
+let test_staged_unbiased () =
+  (* Staged must match token passing closely after normalization
+     (the Fig. 4 claim). *)
+  let env = make_env ~count:10 () in
+  let tp = Netmeasure.Schemes.token_passing (Prng.create 5) env ~samples_per_pair:200 in
+  let st = Netmeasure.Schemes.staged (Prng.create 6) env ~ks:10 ~stages:4000 in
+  let tv = Netmeasure.Schemes.link_vector tp in
+  let sv = Netmeasure.Schemes.link_vector st in
+  Alcotest.(check bool) "all staged pairs sampled" true
+    (Array.for_all Float.is_finite sv);
+  let errors = Stats.Error.normalized_relative_errors ~baseline:tv sv in
+  let median_err = Stats.Summary.median errors in
+  Alcotest.(check bool) "median relative error small" true (median_err < 0.1)
+
+let test_staged_more_accurate_than_uncoordinated () =
+  (* The headline of Fig. 4. Compare normalized RMSE against ground truth
+     means (token passing is itself an estimate; ground truth is cleaner). *)
+  let env = make_env ~count:16 () in
+  let truth = Netmeasure.Schemes.link_vector
+      { Netmeasure.Schemes.means = Cloudsim.Env.mean_matrix env;
+        samples = [||]; sim_seconds = 0.0 }
+  in
+  let st = Netmeasure.Schemes.staged (Prng.create 7) env ~ks:10 ~stages:6000 in
+  let un = Netmeasure.Schemes.uncoordinated (Prng.create 8) env ~rounds:8000 in
+  let sv = Netmeasure.Schemes.link_vector st in
+  let uv = Netmeasure.Schemes.link_vector un in
+  Alcotest.(check bool) "uncoordinated covered" true (Array.for_all Float.is_finite uv);
+  let st_err = Stats.Error.normalized_rmse ~baseline:truth sv in
+  let un_err = Stats.Error.normalized_rmse ~baseline:truth uv in
+  Alcotest.(check bool)
+    (Printf.sprintf "staged (%.4f) beats uncoordinated (%.4f)" st_err un_err)
+    true (st_err < un_err)
+
+let test_staged_parallel_faster_than_token () =
+  let env = make_env ~count:16 () in
+  (* Comparable sample volumes: token 10/pair = 2400 samples; staged with
+     ks=10 and 8 pairs per stage needs 30 stages for 2400 samples. *)
+  let tp = Netmeasure.Schemes.token_passing (Prng.create 9) env ~samples_per_pair:10 in
+  let st = Netmeasure.Schemes.staged (Prng.create 10) env ~ks:10 ~stages:30 in
+  Alcotest.(check bool) "staged faster" true
+    (st.Netmeasure.Schemes.sim_seconds < tp.Netmeasure.Schemes.sim_seconds)
+
+let test_staged_time_budget_rule () =
+  Alcotest.(check (float 1e-9)) "100 instances" 5.0
+    (Netmeasure.Schemes.staged_time_for ~n:100 ~reference_minutes:5.0);
+  Alcotest.(check (float 1e-9)) "50 instances" 2.5
+    (Netmeasure.Schemes.staged_time_for ~n:50 ~reference_minutes:5.0)
+
+let test_link_vector_shape () =
+  let env = make_env ~count:5 () in
+  let m = Netmeasure.Schemes.token_passing (Prng.create 11) env ~samples_per_pair:1 in
+  Alcotest.(check int) "n(n-1) links" 20 (Array.length (Netmeasure.Schemes.link_vector m))
+
+(* ---------- Approx ---------- *)
+
+let test_ip_distance_properties () =
+  let env = make_env ~count:20 () in
+  for i = 0 to 19 do
+    Alcotest.(check int) "self" 0 (Netmeasure.Approx.ip_distance env i i);
+    for j = 0 to 19 do
+      if i <> j then begin
+        let d = Netmeasure.Approx.ip_distance env i j in
+        Alcotest.(check bool) "in [1,4]" true (d >= 1 && d <= 4);
+        Alcotest.(check int) "symmetric" d (Netmeasure.Approx.ip_distance env j i)
+      end
+    done
+  done
+
+let test_ip_distance_same_rack_is_1 () =
+  let env = make_env ~count:30 () in
+  let found = ref false in
+  for i = 0 to 29 do
+    for j = 0 to 29 do
+      if i <> j && Cloudsim.Env.hop_count env i j = 1 then begin
+        found := true;
+        Alcotest.(check int) "same rack shares /24" 1 (Netmeasure.Approx.ip_distance env i j)
+      end
+    done
+  done;
+  if not !found then Alcotest.fail "allocation produced no same-rack pair"
+
+let test_latency_by_group_partitions_all_links () =
+  let env = make_env ~count:12 () in
+  let groups =
+    Netmeasure.Approx.latency_by_group env ~group:(Netmeasure.Approx.hop_count env)
+  in
+  let total = List.fold_left (fun acc (_, a) -> acc + Array.length a) 0 groups in
+  Alcotest.(check int) "all ordered pairs" (12 * 11) total;
+  (* Groups sorted ascending, and within each group latencies ascending. *)
+  let rec keys_sorted = function
+    | (a, _) :: ((b, _) :: _ as rest) -> a < b && keys_sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "group keys ascending" true (keys_sorted groups);
+  List.iter
+    (fun (_, lats) ->
+      Array.iteri
+        (fun k v -> if k > 0 then Alcotest.(check bool) "sorted" true (v >= lats.(k - 1)))
+        lats)
+    groups
+
+let test_hop_count_non_monotone_in_latency () =
+  (* Appendix 2's negative result: with per-link offsets, hop count does
+     not determine latency order — there exist inversions. *)
+  let env = make_env ~count:40 () in
+  let groups =
+    Netmeasure.Approx.latency_by_group env ~group:(Netmeasure.Approx.hop_count env)
+  in
+  if List.length groups >= 2 then
+    Alcotest.(check bool) "violations exist" true
+      (Netmeasure.Approx.monotonicity_violations groups > 0)
+
+let test_monotonicity_violations_counts () =
+  let groups = [ (1, [| 1.0; 5.0 |]); (2, [| 2.0; 6.0 |]) ] in
+  (* Inversions: 5.0 > 2.0 only. *)
+  Alcotest.(check int) "one inversion" 1 (Netmeasure.Approx.monotonicity_violations groups)
+
+let suite =
+  [
+    Alcotest.test_case "token passing covers all pairs" `Quick test_token_passing_covers_all_pairs;
+    Alcotest.test_case "token passing accuracy" `Quick test_token_passing_accuracy;
+    Alcotest.test_case "uncoordinated inflates" `Quick test_uncoordinated_inflates;
+    Alcotest.test_case "staged unbiased" `Quick test_staged_unbiased;
+    Alcotest.test_case "staged beats uncoordinated" `Quick
+      test_staged_more_accurate_than_uncoordinated;
+    Alcotest.test_case "staged faster than token" `Quick test_staged_parallel_faster_than_token;
+    Alcotest.test_case "staged time budget rule" `Quick test_staged_time_budget_rule;
+    Alcotest.test_case "link vector shape" `Quick test_link_vector_shape;
+    Alcotest.test_case "ip distance properties" `Quick test_ip_distance_properties;
+    Alcotest.test_case "ip distance same rack" `Quick test_ip_distance_same_rack_is_1;
+    Alcotest.test_case "latency by group partitions" `Quick
+      test_latency_by_group_partitions_all_links;
+    Alcotest.test_case "hop count non-monotone" `Quick test_hop_count_non_monotone_in_latency;
+    Alcotest.test_case "monotonicity violation count" `Quick test_monotonicity_violations_counts;
+  ]

@@ -1,0 +1,160 @@
+open Stats
+
+(* Tests for the deterministic PRNG and its distributions. *)
+
+let test_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_different_seeds () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Prng.bits64 a = Prng.bits64 b then incr same
+  done;
+  Alcotest.(check int) "streams differ" 0 !same
+
+let test_copy_independent () =
+  let a = Prng.create 7 in
+  let _ = Prng.bits64 a in
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.bits64 a) (Prng.bits64 b)
+
+let test_split_differs () =
+  let a = Prng.create 11 in
+  let b = Prng.split a in
+  let matches = ref 0 in
+  for _ = 1 to 50 do
+    if Prng.bits64 a = Prng.bits64 b then incr matches
+  done;
+  Alcotest.(check int) "split stream is distinct" 0 !matches
+
+let test_int_bounds () =
+  let rng = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_int_in_bounds () =
+  let rng = Prng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Prng.int_in rng (-4) 9 in
+    Alcotest.(check bool) "in closed range" true (v >= -4 && v <= 9)
+  done
+
+let test_int_rejects_nonpositive () =
+  let rng = Prng.create 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng 0))
+
+let test_uniform_range () =
+  let rng = Prng.create 9 in
+  for _ = 1 to 1000 do
+    let u = Prng.uniform rng in
+    Alcotest.(check bool) "in [0,1)" true (u >= 0.0 && u < 1.0)
+  done
+
+let test_uniform_mean () =
+  let rng = Prng.create 13 in
+  let n = 20000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Prng.uniform rng
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_normal_moments () =
+  let rng = Prng.create 17 in
+  let n = 20000 in
+  let samples = Array.init n (fun _ -> Prng.normal rng ~mean:3.0 ~sd:2.0) in
+  let m = Summary.mean samples and sd = Summary.stddev samples in
+  Alcotest.(check bool) "mean near 3" true (Float.abs (m -. 3.0) < 0.1);
+  Alcotest.(check bool) "sd near 2" true (Float.abs (sd -. 2.0) < 0.1)
+
+let test_lognormal_positive () =
+  let rng = Prng.create 19 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "positive" true (Prng.lognormal rng ~mu:0.0 ~sigma:1.0 > 0.0)
+  done
+
+let test_exponential_mean () =
+  let rng = Prng.create 23 in
+  let n = 20000 in
+  let samples = Array.init n (fun _ -> Prng.exponential rng ~rate:4.0) in
+  Alcotest.(check bool) "mean near 1/4" true (Float.abs (Summary.mean samples -. 0.25) < 0.02)
+
+let test_pareto_support () =
+  let rng = Prng.create 29 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "above scale" true (Prng.pareto rng ~scale:2.0 ~shape:3.0 >= 2.0)
+  done
+
+let test_permutation_is_permutation () =
+  let rng = Prng.create 31 in
+  let p = Prng.permutation rng 50 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "contains 0..49" (Array.init 50 (fun i -> i)) sorted
+
+let test_shuffle_preserves_multiset () =
+  let rng = Prng.create 37 in
+  let a = [| 1; 1; 2; 3; 5; 8; 13 |] in
+  let b = Array.copy a in
+  Prng.shuffle rng b;
+  Array.sort compare b;
+  Alcotest.(check (array int)) "same elements" a b
+
+let test_sample_without_replacement () =
+  let rng = Prng.create 41 in
+  let s = Prng.sample_without_replacement rng 10 30 in
+  Alcotest.(check int) "size" 10 (Array.length s);
+  let seen = Hashtbl.create 10 in
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "in range" true (v >= 0 && v < 30);
+      Alcotest.(check bool) "distinct" false (Hashtbl.mem seen v);
+      Hashtbl.add seen v ())
+    s
+
+let qcheck_props =
+  [
+    QCheck.Test.make ~name:"int always within bound" ~count:500
+      QCheck.(pair small_int (int_range 1 1000))
+      (fun (seed, bound) ->
+        let rng = Prng.create seed in
+        let v = Prng.int rng bound in
+        v >= 0 && v < bound);
+    QCheck.Test.make ~name:"permutation is bijective" ~count:100
+      QCheck.(pair small_int (int_range 1 100))
+      (fun (seed, n) ->
+        let rng = Prng.create seed in
+        let p = Prng.permutation rng n in
+        let seen = Array.make n false in
+        Array.iter (fun i -> seen.(i) <- true) p;
+        Array.for_all (fun b -> b) seen);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "different seeds differ" `Quick test_different_seeds;
+    Alcotest.test_case "copy is independent continuation" `Quick test_copy_independent;
+    Alcotest.test_case "split stream differs" `Quick test_split_differs;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int_in bounds" `Quick test_int_in_bounds;
+    Alcotest.test_case "int rejects non-positive bound" `Quick test_int_rejects_nonpositive;
+    Alcotest.test_case "uniform range" `Quick test_uniform_range;
+    Alcotest.test_case "uniform mean" `Quick test_uniform_mean;
+    Alcotest.test_case "normal moments" `Quick test_normal_moments;
+    Alcotest.test_case "lognormal positive" `Quick test_lognormal_positive;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "pareto support" `Quick test_pareto_support;
+    Alcotest.test_case "permutation is a permutation" `Quick test_permutation_is_permutation;
+    Alcotest.test_case "shuffle preserves multiset" `Quick test_shuffle_preserves_multiset;
+    Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_props

@@ -1,0 +1,194 @@
+(* Tests for the three application-workload simulators. *)
+
+let ec2 = Cloudsim.Provider.get Cloudsim.Provider.Ec2
+
+let make_env ?(seed = 17) ~count () = Cloudsim.Env.allocate (Prng.create seed) ec2 ~count
+
+let identity n = Array.init n (fun i -> i)
+
+(* ---------- Behavioral ---------- *)
+
+let test_behavioral_positive_and_scales_with_ticks () =
+  let env = make_env ~count:9 () in
+  let plan = identity 9 in
+  let t100 =
+    Workloads.Behavioral.time_to_solution (Prng.create 1) env ~plan ~rows:3 ~cols:3 ~ticks:100
+  in
+  let t200 =
+    Workloads.Behavioral.time_to_solution (Prng.create 1) env ~plan ~rows:3 ~cols:3 ~ticks:200
+  in
+  Alcotest.(check bool) "positive" true (t100 > 0.0);
+  Alcotest.(check bool) "roughly doubles" true (t200 > 1.6 *. t100 && t200 < 2.4 *. t100)
+
+let test_behavioral_bounded_below_by_longest_link () =
+  (* A tick can never beat the longest mean link by much: with many ticks
+     the average tick cost must be at least ~the longest mean link. *)
+  let env = make_env ~count:9 () in
+  let plan = identity 9 in
+  let ll = Workloads.Behavioral.expected_tick_cost env ~plan ~rows:3 ~cols:3 in
+  let total =
+    Workloads.Behavioral.time_to_solution (Prng.create 2) env ~plan ~rows:3 ~cols:3 ~ticks:500
+  in
+  let per_tick_ms = total *. 1000.0 /. 500.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "per-tick %.3f >= 0.8 * longest link %.3f" per_tick_ms ll)
+    true
+    (per_tick_ms >= 0.8 *. ll)
+
+let test_behavioral_better_plan_runs_faster () =
+  (* Optimizing the longest link must reduce simulated time-to-solution —
+     the paper's core claim, in miniature. *)
+  let env = make_env ~count:12 () in
+  let graph = Workloads.Behavioral.graph ~rows:3 ~cols:3 in
+  let costs = Cloudsim.Env.mean_matrix env in
+  let problem = Cloudia.Types.problem ~graph ~costs in
+  let r =
+    Cloudia.Cp_solver.solve
+      ~options:
+        {
+          Cloudia.Cp_solver.clusters = Some 20;
+          time_limit = 5.0;
+          iteration_time_limit = None;
+          use_labeling = true;
+          bootstrap_trials = 10;
+        }
+      (Prng.create 3) problem
+  in
+  let optimized = r.Cloudia.Cp_solver.plan in
+  let default = identity 9 in
+  let run plan seed =
+    Workloads.Behavioral.time_to_solution (Prng.create seed) env ~plan ~rows:3 ~cols:3
+      ~ticks:400
+  in
+  Alcotest.(check bool) "optimized faster" true (run optimized 4 < run default 4)
+
+let test_behavioral_rejects_bad_plan () =
+  let env = make_env ~count:4 () in
+  Alcotest.check_raises "short plan"
+    (Invalid_argument "Behavioral: plan length differs from node count")
+    (fun () ->
+      ignore
+        (Workloads.Behavioral.time_to_solution (Prng.create 1) env ~plan:[| 0 |] ~rows:2
+           ~cols:2 ~ticks:1))
+
+(* ---------- Aggregation ---------- *)
+
+let test_aggregation_response_positive () =
+  let env = make_env ~count:13 () in
+  let plan = identity 13 in
+  let r =
+    Workloads.Aggregation.mean_response_time (Prng.create 5) env ~plan ~fanout:3 ~depth:2
+      ~queries:50
+  in
+  Alcotest.(check bool) "positive" true (r > 0.0)
+
+let test_aggregation_depth_increases_response () =
+  (* Deeper trees have longer root-leaf paths, so higher response time. *)
+  let env = make_env ~count:15 () in
+  let r1 =
+    Workloads.Aggregation.mean_response_time (Prng.create 6) env ~plan:(identity 3) ~fanout:2
+      ~depth:1 ~queries:100
+  in
+  let r2 =
+    Workloads.Aggregation.mean_response_time (Prng.create 6) env ~plan:(identity 7) ~fanout:2
+      ~depth:2 ~queries:100
+  in
+  Alcotest.(check bool) "depth 2 slower" true (r2 > r1)
+
+let test_aggregation_response_at_least_single_link () =
+  (* Response includes at least one full leaf-to-root path, so it is at
+     least the slowest single first-hop link's typical latency. *)
+  let env = make_env ~count:7 () in
+  let plan = identity 7 in
+  let r =
+    Workloads.Aggregation.mean_response_time (Prng.create 7) env ~plan ~fanout:2 ~depth:2
+      ~queries:200
+  in
+  (* Depth-2 path = 2 links; mean response must exceed one mean link. *)
+  let g = Workloads.Aggregation.graph ~fanout:2 ~depth:2 in
+  let min_link =
+    Array.fold_left
+      (fun acc (i, j) -> Float.min acc (Cloudsim.Env.mean_latency env plan.(i) plan.(j)))
+      infinity (Graphs.Digraph.edges g)
+  in
+  Alcotest.(check bool) "at least 2x min link" true (r > 1.5 *. min_link)
+
+let test_aggregation_better_plan_faster () =
+  let env = make_env ~count:9 () in
+  let graph = Workloads.Aggregation.graph ~fanout:2 ~depth:2 in
+  let costs = Cloudsim.Env.mean_matrix env in
+  let problem = Cloudia.Types.problem ~graph ~costs in
+  let plan, _ =
+    Cloudia.Random_search.r1 (Prng.create 8) Cloudia.Cost.Longest_path problem ~trials:3000
+  in
+  let run p seed =
+    Workloads.Aggregation.mean_response_time (Prng.create seed) env ~plan:p ~fanout:2 ~depth:2
+      ~queries:400
+  in
+  Alcotest.(check bool) "optimized faster" true (run plan 9 < run (identity 7) 9)
+
+(* ---------- Key-value store ---------- *)
+
+let test_kv_response_positive () =
+  let env = make_env ~count:12 () in
+  let r =
+    Workloads.Kv_store.mean_response_time (Prng.create 10) env ~plan:(identity 12)
+      ~front_ends:4 ~storage:8 ~touch:3 ~queries:100
+  in
+  Alcotest.(check bool) "positive" true (r > 0.0)
+
+let test_kv_touch_increases_response () =
+  (* Touching more storage nodes takes the max over more links: response
+     grows with the touch set. *)
+  let env = make_env ~count:12 () in
+  let run touch =
+    Workloads.Kv_store.mean_response_time (Prng.create 11) env ~plan:(identity 12)
+      ~front_ends:4 ~storage:8 ~touch ~queries:800
+  in
+  Alcotest.(check bool) "touch 6 slower than touch 1" true (run 6 > run 1)
+
+let test_kv_rejects_bad_touch () =
+  let env = make_env ~count:12 () in
+  Alcotest.check_raises "touch too large"
+    (Invalid_argument "Kv_store: touch out of [1, storage]")
+    (fun () ->
+      ignore
+        (Workloads.Kv_store.response_time (Prng.create 1) env ~plan:(identity 12) ~front_ends:4
+           ~storage:8 ~touch:9))
+
+let test_kv_better_plan_faster () =
+  (* The paper's observation: longest-link optimization still helps the KV
+     workload even though the objective is not an exact match. *)
+  let env = make_env ~count:14 () in
+  let graph = Workloads.Kv_store.graph ~front_ends:4 ~storage:8 in
+  let costs = Cloudsim.Env.mean_matrix env in
+  let problem = Cloudia.Types.problem ~graph ~costs in
+  let plan, _ =
+    Cloudia.Random_search.r1 (Prng.create 12) Cloudia.Cost.Longest_link problem ~trials:3000
+  in
+  let run p seed =
+    Workloads.Kv_store.mean_response_time (Prng.create seed) env ~plan:p ~front_ends:4
+      ~storage:8 ~touch:4 ~queries:1500
+  in
+  Alcotest.(check bool) "optimized faster" true (run plan 13 < run (identity 12) 13)
+
+let suite =
+  [
+    Alcotest.test_case "behavioral scales with ticks" `Quick
+      test_behavioral_positive_and_scales_with_ticks;
+    Alcotest.test_case "behavioral bounded by longest link" `Quick
+      test_behavioral_bounded_below_by_longest_link;
+    Alcotest.test_case "behavioral better plan faster" `Quick
+      test_behavioral_better_plan_runs_faster;
+    Alcotest.test_case "behavioral rejects bad plan" `Quick test_behavioral_rejects_bad_plan;
+    Alcotest.test_case "aggregation positive" `Quick test_aggregation_response_positive;
+    Alcotest.test_case "aggregation depth increases response" `Quick
+      test_aggregation_depth_increases_response;
+    Alcotest.test_case "aggregation at least one path" `Quick
+      test_aggregation_response_at_least_single_link;
+    Alcotest.test_case "aggregation better plan faster" `Quick test_aggregation_better_plan_faster;
+    Alcotest.test_case "kv positive" `Quick test_kv_response_positive;
+    Alcotest.test_case "kv touch increases response" `Quick test_kv_touch_increases_response;
+    Alcotest.test_case "kv rejects bad touch" `Quick test_kv_rejects_bad_touch;
+    Alcotest.test_case "kv better plan faster" `Quick test_kv_better_plan_faster;
+  ]
