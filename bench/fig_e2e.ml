@@ -24,7 +24,8 @@ let cp_solve ?(time_limit = 4.0) rng problem =
    the end-to-end figures use R2 for the aggregation workload. *)
 let r2_solve ?(time_limit = 2.0) rng problem =
   let plan, _, _ =
-    Cloudia.Random_search.r2 rng Cloudia.Cost.Longest_path problem ~time_limit
+    Cloudia.Random_search.r2 rng Cloudia.Cost.Longest_path problem
+      ~time_limit:(Util.budget time_limit)
   in
   plan
 
@@ -62,9 +63,9 @@ let kv ~front_ends ~storage ~touch ~queries =
 
 let standard_workloads () =
   [
-    behavioral ~rows:5 ~cols:5 ~ticks:600;
-    aggregation ~fanout:3 ~depth:2 ~queries:1500;
-    kv ~front_ends:6 ~storage:12 ~touch:8 ~queries:4000;
+    behavioral ~rows:5 ~cols:5 ~ticks:(Util.trials ~floor:30 600);
+    aggregation ~fanout:3 ~depth:2 ~queries:(Util.trials ~floor:75 1500);
+    kv ~front_ends:6 ~storage:12 ~touch:8 ~queries:(Util.trials ~floor:200 4000);
   ]
 
 let fig10 () =
@@ -73,7 +74,10 @@ let fig10 () =
     "paper: 110 instances; mean+SD and 99%% track mean latency but are not\n\
     \       perfectly correlated\n\n";
   let env = Util.env_of ~seed:81 Util.ec2 ~count:50 in
-  let derive = Cloudia.Metrics.estimate_all (Prng.create 82) env ~samples_per_pair:200 in
+  let derive =
+    Cloudia.Metrics.estimate_all (Prng.create 82) env
+      ~samples_per_pair:(Util.trials ~floor:20 200)
+  in
   let flatten m =
     let n = Array.length m in
     let out = ref [] in
@@ -107,7 +111,10 @@ let fig11 () =
       let n = Graphs.Digraph.n w.graph in
       let count = n * 11 / 10 in
       let env = Util.env_of ~seed:91 Util.ec2 ~count in
-      let derive = Cloudia.Metrics.estimate_all (Prng.create 92) env ~samples_per_pair:100 in
+      let derive =
+        Cloudia.Metrics.estimate_all (Prng.create 92) env
+          ~samples_per_pair:(Util.trials ~floor:10 100)
+      in
       let perf metric =
         let problem = Cloudia.Types.problem ~graph:w.graph ~costs:(derive metric) in
         let plan = w.solve (Prng.create 93) problem in
@@ -157,7 +164,7 @@ let fig13 () =
     \       50%% extra reaches 38%%\n\n";
   let rows = 5 and cols = 5 in
   let nodes = rows * cols in
-  let ticks = 600 in
+  let ticks = Util.trials ~floor:30 600 in
   let graph = Workloads.Behavioral.graph ~rows ~cols in
   let seeds = [ 111; 211; 311 ] in
   Printf.printf "  %8s %12s %14s %14s %12s\n" "extra" "instances" "default" "ClouDiA" "reduction";

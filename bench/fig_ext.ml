@@ -32,7 +32,9 @@ let ext_weighted () =
   show "G2 weighted" (Cloudia.Weighted.longest_link w (Cloudia.Weighted.g2 w));
   show "anneal weighted"
     (Cloudia.Weighted.solve_anneal
-       ~options:{ Cloudia.Anneal.default_options with Cloudia.Anneal.time_limit = 2.0 }
+       ~options:
+         { Cloudia.Anneal.default_options with
+           Cloudia.Anneal.time_limit = Util.budget 2.0 }
        Cloudia.Cost.Longest_link (Prng.create 134) w)
       .Cloudia.Anneal.cost
 
@@ -72,7 +74,7 @@ let ext_redeploy () =
           Cloudia.Redeploy.epochs = 20;
           change_prob = 0.4;
           migration_cost;
-          solver_budget = 0.5;
+          solver_budget = Util.budget 0.5;
         }
       in
       let s =
@@ -92,7 +94,7 @@ let ablation_anneal () =
   let rows = 5 and cols = 5 in
   let graph = Graphs.Templates.mesh2d ~rows ~cols in
   let allocations = 4 in
-  let budget = 2.0 in
+  let budget = Util.budget 2.0 in
   let totals = Hashtbl.create 8 in
   let add name v =
     let cur = try Hashtbl.find totals name with Not_found -> 0.0 in
@@ -145,8 +147,8 @@ let ext_overlap () =
           Cloudia.Overlap.default_config with
           Cloudia.Overlap.measurement_seconds = 30.0;
           migration_seconds;
-          total_ticks = 60_000;
-          solver_budget = 1.5;
+          total_ticks = Util.trials ~floor:3000 60_000;
+          solver_budget = Util.budget 1.5;
         }
       in
       let a =
@@ -204,7 +206,7 @@ let ext_traffic () =
       .Cloudia.Cp_solver.plan
   in
   let default = Cloudia.Types.identity_plan problem in
-  let rounds = 400 in
+  let rounds = Util.trials ~floor:20 400 in
   let simulated_mean plan =
     (Workloads.Traffic.run (Prng.create 99) env ~plan ~graph ~periods:15
        ~rounds_per_period:rounds ~deadline_seconds:1e9)
@@ -215,7 +217,8 @@ let ext_traffic () =
   List.iter
     (fun (name, plan) ->
       let o =
-        Workloads.Traffic.run (Prng.create 245) env ~plan ~graph ~periods:60
+        Workloads.Traffic.run (Prng.create 245) env ~plan ~graph
+          ~periods:(Util.trials ~floor:5 60)
           ~rounds_per_period:rounds ~deadline_seconds:deadline
       in
       Printf.printf "  %-10s %11.3f ms %11.2f s %9.0f%%\n" name

@@ -11,7 +11,8 @@ let fig4 () =
   (* Token passing is the interference-free baseline. *)
   let baseline =
     Netmeasure.Schemes.link_vector
-      (Netmeasure.Schemes.token_passing (Prng.create 2) env ~samples_per_pair:120)
+      (Netmeasure.Schemes.token_passing (Prng.create 2) env
+         ~samples_per_pair:(Util.trials ~floor:10 120))
   in
   let report name vector =
     let errors = Stats.Error.normalized_relative_errors ~baseline vector in
@@ -25,10 +26,12 @@ let fig4 () =
       (100.0 *. Stats.Cdf.eval cdf 0.10)
   in
   let staged =
-    Netmeasure.Schemes.staged (Prng.create 3) env ~ks:10 ~stages:(12 * 2 * (n - 1) * 2)
+    Netmeasure.Schemes.staged (Prng.create 3) env ~ks:10
+      ~stages:(Util.trials ~floor:60 (12 * 2 * (n - 1) * 2))
   in
   let uncoordinated =
-    Netmeasure.Schemes.uncoordinated (Prng.create 4) env ~rounds:(120 * (n - 1))
+    Netmeasure.Schemes.uncoordinated (Prng.create 4) env
+      ~rounds:(Util.trials ~floor:50 (120 * (n - 1)))
   in
   report "staged" (Netmeasure.Schemes.link_vector staged);
   report "uncoordinated" (Netmeasure.Schemes.link_vector uncoordinated)
@@ -47,6 +50,7 @@ let fig5 () =
   Printf.printf "  %8s  %10s  %12s\n" "stages" "sim time" "norm. RMSE";
   List.iter
     (fun stages ->
+      let stages = Util.trials ~floor:10 stages in
       let m = Netmeasure.Schemes.staged (Prng.create 5) env ~ks:10 ~stages in
       let v = Netmeasure.Schemes.link_vector m in
       (* Unsampled pairs (early checkpoints) fall back to the grand mean so

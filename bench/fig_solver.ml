@@ -75,7 +75,7 @@ let fig8 () =
   Printf.printf "  %10s %12s %16s %14s\n" "instances" "mesh" "avg conv time" "avg improve";
   List.iter
     (fun (instances, rows, cols) ->
-      let subsets = 3 in
+      let subsets = Util.trials ~floor:1 3 in
       let total_time = ref 0.0 and total_improve = ref 0.0 in
       for _ = 1 to subsets do
         let subset = Prng.sample_without_replacement rng instances 40 in

@@ -4,7 +4,9 @@
 
    Usage:
      dune exec bench/main.exe            # everything (several minutes)
-     dune exec bench/main.exe -- fig6 fig14 micro   # selected sections *)
+     dune exec bench/main.exe -- fig6 fig14 micro   # selected sections
+     dune exec bench/main.exe -- --smoke            # every section, tiny
+                                                    # budgets, seconds total *)
 
 let registry : (string * string * (unit -> unit)) list =
   [
@@ -39,11 +41,14 @@ let registry : (string * string * (unit -> unit)) list =
     ("ext-traffic", "traffic-assignment deadline workload", Fig_ext.ext_traffic);
     ("ablation-ks", "staged batching parameter sweep", Fig_ext.ablation_ks);
     ("ablation-value-order", "CP value ordering heuristic", Fig_ext.ablation_value_order);
+    ("fig-portfolio", "parallel portfolio vs single strategies", Fig_portfolio.run);
     ("micro", "kernel microbenchmarks", Micro.run);
   ]
 
 let () =
-  let requested = List.tl (Array.to_list Sys.argv) in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let requested = List.filter (fun a -> a <> "--smoke") args in
+  if List.length requested < List.length args then Util.smoke := true;
   let selected =
     match requested with
     | [] -> registry

@@ -69,7 +69,11 @@ let run () =
   Util.section "Microbenchmarks" "solver kernels (Bechamel, ns/run)";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  (* Smoke mode trims the sampling quota: the point is that every kernel
+     still runs, not that the estimate is tight. *)
+  let quota = if !Util.smoke then 0.02 else 0.5 in
+  let limit = if !Util.smoke then 100 else 2000 in
+  let cfg = Benchmark.cfg ~limit ~quota:(Time.second quota) ~kde:(Some 1000) () in
   let tests =
     Test.make_grouped ~name:"kernels"
       [

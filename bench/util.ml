@@ -1,5 +1,19 @@
 (* Shared helpers for the figure-reproduction benchmarks. *)
 
+(* Smoke mode (--smoke on the driver): every figure runs with capped solver
+   budgets and divided-down sample counts so the whole suite finishes in a
+   few seconds — a CI-friendly "does every section still execute" check.
+   Problem shapes (graphs, instance counts) stay untouched; only effort
+   knobs shrink, so the code paths exercised are the same. *)
+let smoke = ref false
+
+(* Wall-clock budget for a solver call: capped hard in smoke mode. *)
+let budget seconds = if !smoke then Float.min seconds 0.05 else seconds
+
+(* Effort counts (trials, ticks, queries, rounds): divided by 20 in smoke
+   mode, floored so the measurement stays meaningful. *)
+let trials ?(floor = 1) n = if !smoke then max floor (n / 20) else n
+
 (* Optional CSV export: when CLOUDIA_CSV_DIR is set, every figure that
    produces a series also writes it as <dir>/<name>.csv for re-plotting. *)
 let csv_dir = Sys.getenv_opt "CLOUDIA_CSV_DIR"
@@ -87,14 +101,21 @@ let problem_of ?(samples = 30) ~seed env graph =
   in
   Cloudia.Types.problem ~graph ~costs
 
+(* Budgets below run through [budget] so smoke mode caps every solver call
+   in one place. *)
 let cp_options ?(clusters = Some 20) ?(time_limit = 5.0) () =
   {
     Cloudia.Cp_solver.clusters;
-    time_limit;
+    time_limit = budget time_limit;
     iteration_time_limit = None;
     use_labeling = true;
     bootstrap_trials = 10;
   }
 
 let mip_options ?(clusters = None) ?(time_limit = 10.0) () =
-  { Cloudia.Mip_solver.clusters; time_limit; node_limit = None; bootstrap_trials = 10 }
+  {
+    Cloudia.Mip_solver.clusters;
+    time_limit = budget time_limit;
+    node_limit = None;
+    bootstrap_trials = 10;
+  }

@@ -53,7 +53,7 @@ let workload_conv =
         Format.pp_print_string fmt
           (match w with Behavioral -> "behavioral" | Aggregation -> "aggregation" | Kv -> "kv") )
 
-let strategy_of_string time_limit s =
+let strategy_of_string ~time_limit ~domains ~objective s =
   match String.lowercase_ascii s with
   | "g1" -> Ok Cloudia.Advisor.Greedy_g1
   | "g2" -> Ok Cloudia.Advisor.Greedy_g2
@@ -79,10 +79,22 @@ let strategy_of_string time_limit s =
              node_limit = None;
              bootstrap_trials = 10;
            })
-  | _ -> Error (`Msg "strategy must be g1, g2, r1, r2, anneal, cp or mip")
+  | "portfolio" ->
+      if domains < 1 then Error (`Msg "--domains must be >= 1")
+      else if time_limit <= 0.0 then Error (`Msg "--time-limit must be positive")
+      else
+        Ok
+          (Cloudia.Advisor.Portfolio
+             {
+               Cloudia.Portfolio.members =
+                 Cloudia.Portfolio.default_members ~objective ~domains;
+               time_limit;
+               share_incumbent = true;
+             })
+  | _ -> Error (`Msg "strategy must be g1, g2, r1, r2, anneal, cp, mip or portfolio")
 
-let advise provider seed workload strategy_name scale over metric time_limit graph_spec
-    graph_file =
+let advise provider seed workload strategy_name scale over metric time_limit domains
+    graph_spec graph_file =
   let from_workload () =
     match workload with
     | Behavioral ->
@@ -136,7 +148,7 @@ let advise provider seed workload strategy_name scale over metric time_limit gra
       prerr_endline e;
       2
   | Ok (graph, objective, describe) ->
-  (match strategy_of_string time_limit strategy_name with
+  (match strategy_of_string ~time_limit ~domains ~objective strategy_name with
   | Error (`Msg m) -> prerr_endline m; 2
   | Ok strategy -> (
       let config =
@@ -174,7 +186,8 @@ let advise_cmd =
     Arg.(value & opt workload_conv Behavioral & info [ "workload" ] ~doc:"behavioral, aggregation or kv.")
   in
   let strategy_arg =
-    Arg.(value & opt string "cp" & info [ "strategy" ] ~doc:"g1, g2, r1, r2, anneal, cp or mip.")
+    Arg.(value & opt string "cp" & info [ "strategy" ]
+           ~doc:"g1, g2, r1, r2, anneal, cp, mip or portfolio.")
   in
   let scale_arg =
     Arg.(value & opt int 4 & info [ "scale" ] ~doc:"Mesh side / tree depth / front-end count.")
@@ -186,7 +199,11 @@ let advise_cmd =
     Arg.(value & opt metric_conv Cloudia.Metrics.Mean & info [ "metric" ] ~doc:"mean, mean+sd or p99.")
   in
   let time_arg =
-    Arg.(value & opt float 10.0 & info [ "time-limit" ] ~doc:"Solver budget in seconds (cp/mip/r2/anneal).")
+    Arg.(value & opt float 10.0 & info [ "time-limit" ] ~doc:"Solver budget in seconds (cp/mip/r2/anneal/portfolio).")
+  in
+  let domains_arg =
+    Arg.(value & opt int 4 & info [ "domains" ]
+           ~doc:"Parallel workers for --strategy portfolio (one OCaml domain each).")
   in
   let graph_spec_arg =
     Arg.(value & opt (some string) None & info [ "graph-spec" ]
@@ -200,7 +217,7 @@ let advise_cmd =
     (Cmd.info "advise" ~doc:"Run the ClouDiA pipeline for a workload")
     Term.(
       const advise $ provider_arg $ seed_arg $ workload_arg $ strategy_arg $ scale_arg
-      $ over_arg $ metric_arg $ time_arg $ graph_spec_arg $ graph_file_arg)
+      $ over_arg $ metric_arg $ time_arg $ domains_arg $ graph_spec_arg $ graph_file_arg)
 
 (* ---- measure ---- *)
 
@@ -262,7 +279,7 @@ let survey_cmd =
 
 (* ---- plan: bring-your-own measurements ---- *)
 
-let plan_cmd_run seed costs_file graph_spec objective_name strategy_name time_limit =
+let plan_cmd_run seed costs_file graph_spec objective_name strategy_name time_limit domains =
   let objective =
     match String.lowercase_ascii objective_name with
     | "ll" | "longest-link" -> Ok Cloudia.Cost.Longest_link
@@ -282,7 +299,7 @@ let plan_cmd_run seed costs_file graph_spec objective_name strategy_name time_li
       prerr_endline e;
       2
   | Ok (objective, problem) -> (
-      match strategy_of_string time_limit strategy_name with
+      match strategy_of_string ~time_limit ~domains ~objective strategy_name with
       | Error (`Msg m) ->
           prerr_endline m;
           2
@@ -323,16 +340,21 @@ let plan_cmd =
     Arg.(value & opt string "ll" & info [ "objective" ] ~doc:"ll (longest link) or lp (longest path).")
   in
   let strategy_arg =
-    Arg.(value & opt string "cp" & info [ "strategy" ] ~doc:"g1, g2, r1, r2, anneal, cp or mip.")
+    Arg.(value & opt string "cp" & info [ "strategy" ]
+           ~doc:"g1, g2, r1, r2, anneal, cp, mip or portfolio.")
   in
   let time_arg =
     Arg.(value & opt float 10.0 & info [ "time-limit" ] ~doc:"Solver budget in seconds.")
+  in
+  let domains_arg =
+    Arg.(value & opt int 4 & info [ "domains" ]
+           ~doc:"Parallel workers for --strategy portfolio (one OCaml domain each).")
   in
   Cmd.v
     (Cmd.info "plan" ~doc:"Solve a deployment from your own measured cost matrix")
     Term.(
       const plan_cmd_run $ seed_arg $ costs_arg $ graph_arg $ objective_arg $ strategy_arg
-      $ time_arg)
+      $ time_arg $ domains_arg)
 
 (* ---- redeploy ---- *)
 

@@ -6,6 +6,7 @@ type strategy =
   | Anneal of Anneal.options
   | Cp of Cp_solver.options
   | Mip of Mip_solver.options
+  | Portfolio of Portfolio.options
 
 let strategy_to_string = function
   | Greedy_g1 -> "G1"
@@ -15,6 +16,7 @@ let strategy_to_string = function
   | Anneal _ -> "SA"
   | Cp _ -> "CP"
   | Mip _ -> "MIP"
+  | Portfolio o -> Printf.sprintf "Portfolio(%d)" (List.length o.Portfolio.members)
 
 type config = {
   graph : Graphs.Digraph.t;
@@ -59,6 +61,7 @@ let search rng strategy objective problem =
           (Mip_solver.solve_longest_link ~options rng problem).Mip_solver.plan
       | Cost.Longest_path ->
           (Mip_solver.solve_longest_path ~options rng problem).Mip_solver.plan)
+  | Portfolio options -> (Portfolio.solve ~options rng objective problem).Portfolio.plan
 
 let run rng provider config =
   if config.over_allocation < 0.0 then

@@ -23,6 +23,9 @@ type strategy =
   | Anneal of Anneal.options    (** simulated annealing (either objective) *)
   | Cp of Cp_solver.options     (** LLNDP only *)
   | Mip of Mip_solver.options
+  | Portfolio of Portfolio.options
+      (** several strategies racing in parallel domains under one
+          deadline, sharing an incumbent (see {!Portfolio}) *)
 
 val strategy_to_string : strategy -> string
 

@@ -4,6 +4,7 @@ type options = {
   cooling : float;
   moves_per_temperature : int;
   restarts : int;
+  max_moves : int option;
 }
 
 let default_options =
@@ -13,6 +14,7 @@ let default_options =
     cooling = 0.999;
     moves_per_temperature = 50;
     restarts = 3;
+    max_moves = None;
   }
 
 type result = {
@@ -22,21 +24,35 @@ type result = {
   moves_accepted : int;
 }
 
-(* One annealing run from a random start; shares the move counters. *)
-let run rng eval (t : Types.problem) options ~deadline ~tried ~accepted =
+(* One annealing run from a random start. The global best (shared across
+   restarts) is updated in place so improvement callbacks see the true
+   cross-restart incumbent timeline. *)
+let run rng eval (t : Types.problem) options ~deadline ~stop ~improved ~tried ~accepted
+    ~budget_left ~best_plan ~best_cost =
   let n = Types.node_count t and m = Types.instance_count t in
   let plan = Types.random_plan rng t in
   let cost = ref (eval plan) in
-  let best_plan = ref (Array.copy plan) in
-  let best_cost = ref !cost in
+  if !cost < !best_cost then begin
+    best_cost := !cost;
+    best_plan := Array.copy plan;
+    improved plan !cost
+  end;
   (* node_of.(instance) = node currently there, or -1: needed to find swap
      partners and free instances in O(1). *)
   let node_of = Array.make m (-1) in
   Array.iteri (fun node inst -> node_of.(inst) <- node) plan;
   let temperature = ref options.initial_temperature in
   let min_temperature = 1e-4 *. options.initial_temperature in
-  while !temperature > min_temperature && Unix.gettimeofday () < deadline do
-    for _ = 1 to options.moves_per_temperature do
+  while
+    !temperature > min_temperature
+    && !budget_left > 0
+    && (not (stop ()))
+    && Unix.gettimeofday () < deadline
+  do
+    let moves = ref options.moves_per_temperature in
+    while !moves > 0 && !budget_left > 0 do
+      decr moves;
+      decr budget_left;
       incr tried;
       (* Propose: pick a node and a target instance; swap or relocate
          depending on whether the target is occupied. *)
@@ -68,33 +84,41 @@ let run rng eval (t : Types.problem) options ~deadline ~tried ~accepted =
           cost := candidate;
           if candidate < !best_cost then begin
             best_cost := candidate;
-            Array.blit plan 0 !best_plan 0 n
+            Array.blit plan 0 !best_plan 0 n;
+            improved plan candidate
           end
         end
         else revert ()
       end
     done;
     temperature := !temperature *. options.cooling
-  done;
-  (!best_plan, !best_cost)
+  done
 
-let solve ?(options = default_options) rng ~eval (t : Types.problem) =
+let solve ?(options = default_options) ?(stop = fun () -> false) ?on_improve rng ~eval
+    (t : Types.problem) =
   if options.time_limit <= 0.0 then invalid_arg "Anneal.solve: need a positive time limit";
   if options.restarts <= 0 then invalid_arg "Anneal.solve: need at least one restart";
+  (match options.max_moves with
+  | Some m when m <= 0 -> invalid_arg "Anneal.solve: need a positive move budget"
+  | _ -> ());
+  let improved plan cost =
+    match on_improve with Some f -> f plan cost | None -> ()
+  in
   let deadline = Unix.gettimeofday () +. options.time_limit in
   let tried = ref 0 and accepted = ref 0 in
+  let budget_left = ref (match options.max_moves with Some m -> m | None -> max_int) in
   let best_plan = ref (Types.random_plan rng t) in
   let best_cost = ref (eval !best_plan) in
+  improved !best_plan !best_cost;
   let remaining = ref options.restarts in
-  while !remaining > 0 && Unix.gettimeofday () < deadline do
+  while
+    !remaining > 0 && !budget_left > 0 && (not (stop ())) && Unix.gettimeofday () < deadline
+  do
     decr remaining;
-    let plan, cost = run rng eval t options ~deadline ~tried ~accepted in
-    if cost < !best_cost then begin
-      best_cost := cost;
-      best_plan := plan
-    end
+    run rng eval t options ~deadline ~stop ~improved ~tried ~accepted ~budget_left
+      ~best_plan ~best_cost
   done;
   { plan = !best_plan; cost = !best_cost; moves_tried = !tried; moves_accepted = !accepted }
 
-let solve_objective ?options rng objective t =
-  solve ?options rng ~eval:(fun plan -> Cost.eval objective t plan) t
+let solve_objective ?options ?stop ?on_improve rng objective t =
+  solve ?options ?stop ?on_improve rng ~eval:(fun plan -> Cost.eval objective t plan) t

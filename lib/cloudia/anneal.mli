@@ -17,10 +17,17 @@ type options = {
   cooling : float;           (** geometric factor per step, e.g. 0.9995 *)
   moves_per_temperature : int;
   restarts : int;            (** independent annealing runs; best kept *)
+  max_moves : int option;
+      (** total move budget across all restarts; [None] = unlimited. A
+          finite budget makes a run bit-reproducible independent of the
+          wall clock (provided [time_limit] is generous enough not to fire
+          first), which is what the deterministic portfolio and the
+          CI-safe tests rely on. *)
 }
 
 val default_options : options
-(** 2 s, T₀ = 0.5, cooling 0.999, 50 moves per temperature, 3 restarts. *)
+(** 2 s, T₀ = 0.5, cooling 0.999, 50 moves per temperature, 3 restarts,
+    no move cap. *)
 
 type result = {
   plan : Types.plan;
@@ -31,14 +38,25 @@ type result = {
 
 val solve :
   ?options:options ->
+  ?stop:(unit -> bool) ->
+  ?on_improve:(Types.plan -> float -> unit) ->
   Prng.t ->
   eval:(Types.plan -> float) ->
   Types.problem ->
   result
 (** [solve rng ~eval problem] minimizes an arbitrary plan cost [eval]
     (e.g. [Cost.eval objective problem]). The returned plan is always a
-    valid injection. *)
+    valid injection.
+
+    [stop] is polled between temperature steps and between restarts; when
+    it returns [true] the current best is returned immediately.
+    [on_improve] fires for the initial plan and for every strict
+    improvement of the cross-restart best; the plan passed to it is the
+    solver's working array — copy it if you retain it. *)
 
 val solve_objective :
-  ?options:options -> Prng.t -> Cost.objective -> Types.problem -> result
+  ?options:options ->
+  ?stop:(unit -> bool) ->
+  ?on_improve:(Types.plan -> float -> unit) ->
+  Prng.t -> Cost.objective -> Types.problem -> result
 (** Convenience wrapper for the two standard objectives. *)

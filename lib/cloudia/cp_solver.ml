@@ -65,8 +65,8 @@ let connectivity_badness rounded =
       done;
       !acc /. float_of_int (2 * (m - 1)))
 
-let solve ?(options = default_options) ?edge_weight ?(order_values = true) rng
-    (t : Types.problem) =
+let solve ?(options = default_options) ?edge_weight ?(order_values = true) ?max_iterations
+    ?(stop = fun () -> false) ?peek ?on_incumbent rng (t : Types.problem) =
   let start = Unix.gettimeofday () in
   let elapsed () = Unix.gettimeofday () -. start in
   let n = Types.node_count t and m = Types.instance_count t in
@@ -101,20 +101,41 @@ let solve ?(options = default_options) ?edge_weight ?(order_values = true) rng
   let thresholds_below cost = List.filter (fun v -> v < cost) objective_levels |> List.rev in
   let rounded_eval plan = weighted_ll edges weight rounded plan in
   let true_eval plan = weighted_ll edges weight t.Types.costs plan in
+  let publish plan =
+    match on_incumbent with Some f -> f plan (true_eval plan) | None -> ()
+  in
   let incumbent =
     ref (Random_search.best_of_eval rng ~eval:rounded_eval t (max 1 options.bootstrap_trials))
   in
   let trace = ref [ (elapsed (), true_eval !incumbent) ] in
+  publish !incumbent;
   let iterations = ref 0 in
   let proven = ref false in
+  let iteration_cap_hit () =
+    match max_iterations with Some cap -> !iterations >= cap | None -> false
+  in
+  (* Portfolio mode: adopt a better incumbent found by another worker, so
+     the next feasibility threshold starts below it. Adopted plans enter
+     the trace (the incumbent did improve) but are not re-published. *)
+  let adopt_external () =
+    match peek with
+    | None -> ()
+    | Some f -> (
+        match f () with
+        | Some plan when rounded_eval plan < rounded_eval !incumbent ->
+            incumbent := Array.copy plan;
+            trace := (elapsed (), true_eval !incumbent) :: !trace
+        | _ -> ())
+  in
   if n = 0 then
     { plan = [||]; cost = 0.0; trace = []; iterations = 0; proven_optimal = true }
   else begin
     let continue = ref true in
     while !continue do
       let remaining = options.time_limit -. elapsed () in
-      if remaining <= 0.0 then continue := false
+      if remaining <= 0.0 || stop () || iteration_cap_hit () then continue := false
       else begin
+        adopt_external ();
         match thresholds_below (rounded_eval !incumbent) with
         | [] ->
             (* No cheaper objective level exists: the incumbent is optimal
@@ -166,14 +187,21 @@ let solve ?(options = default_options) ?edge_weight ?(order_values = true) rng
               end
               else fun ~var:_ values -> values
             in
-            (match Cp.Search.solve ~time_limit:iteration_budget ~value_order csp with
+            (match
+               Cp.Search.solve ~time_limit:iteration_budget ~should_stop:stop ~value_order
+                 csp
+             with
             | Cp.Search.Sat plan, _ ->
                 incumbent := plan;
-                trace := (elapsed (), true_eval plan) :: !trace
+                trace := (elapsed (), true_eval plan) :: !trace;
+                publish plan
             | Cp.Search.Unsat, _ ->
                 proven := true;
                 continue := false
-            | Cp.Search.Timeout, _ -> continue := false)
+            | Cp.Search.Timeout, _ ->
+                (* A cooperative stop also surfaces as Timeout; either way
+                   the anytime contract is the same: keep the incumbent. *)
+                continue := false)
       end
     done;
     {

@@ -43,6 +43,10 @@ val solve :
   ?options:options ->
   ?edge_weight:(int -> int -> float) ->
   ?order_values:bool ->
+  ?max_iterations:int ->
+  ?stop:(unit -> bool) ->
+  ?peek:(unit -> Types.plan option) ->
+  ?on_incumbent:(Types.plan -> float -> unit) ->
   Prng.t ->
   Types.problem ->
   result
@@ -59,4 +63,16 @@ val solve :
     [order_values] (default [true]) branches on instances with the
     cheapest average connectivity first — a value-ordering heuristic that
     speeds the feasibility dives without affecting completeness; disable
-    it to reproduce plain lexicographic search. *)
+    it to reproduce plain lexicographic search.
+
+    Portfolio hooks. [max_iterations] caps the number of feasibility
+    problems solved (a wall-clock-free budget for reproducible tests).
+    [stop] is polled between iterations and at every search node of the
+    current dive; returning [true] ends the solve with the incumbent so
+    far. [peek] exposes the best plan found by any other portfolio worker:
+    it is consulted before each threshold iteration, and a strictly better
+    (under the rounded objective) external plan replaces the incumbent so
+    the next feasibility threshold starts below it. [on_incumbent] fires
+    with (plan, true cost) for the bootstrap incumbent and for every plan
+    this solver finds itself — adopted external plans are not echoed
+    back. *)

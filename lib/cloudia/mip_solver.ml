@@ -93,19 +93,21 @@ let rounded_costs options (t : Types.problem) =
   | Some k -> (Clustering.cluster ~k t.Types.costs).Clustering.rounded
   | None -> t.Types.costs
 
-let run_bnb ~options ~model ~x ~m ~n ~seed_obj ~seed_sol ~true_eval =
+let run_bnb ~options ~stop ~publish ~model ~x ~m ~n ~seed_obj ~seed_sol ~true_eval =
   let trace = ref [] in
   let start = Unix.gettimeofday () in
   let best_plan = ref (plan_of_solution ~x ~m ~n seed_sol) in
   trace := [ (0.0, true_eval !best_plan) ];
+  publish !best_plan (true_eval !best_plan);
   let on_incumbent ~obj:_ ~solution ~elapsed =
     let plan = plan_of_solution ~x ~m ~n solution in
     best_plan := plan;
-    trace := (elapsed, true_eval plan) :: !trace
+    trace := (elapsed, true_eval plan) :: !trace;
+    publish plan (true_eval plan)
   in
   let outcome, stats =
     Lp.Mip.solve ~time_limit:options.time_limit ?node_limit:options.node_limit
-      ~on_incumbent ~initial_incumbent:(seed_obj, seed_sol) model
+      ?should_stop:stop ~on_incumbent ~initial_incumbent:(seed_obj, seed_sol) model
   in
   ignore start;
   let proven =
@@ -119,7 +121,10 @@ let run_bnb ~options ~model ~x ~m ~n ~seed_obj ~seed_sol ~true_eval =
     nodes_explored = stats.Lp.Mip.nodes_explored;
   }
 
-let solve_longest_link ?(options = default_options) ?edge_weight rng (t : Types.problem) =
+let no_publish _ _ = ()
+
+let solve_longest_link ?(options = default_options) ?edge_weight ?stop
+    ?(on_incumbent = no_publish) rng (t : Types.problem) =
   let n = Types.node_count t and m = Types.instance_count t in
   let weight = match edge_weight with Some w -> w | None -> fun _ _ -> 1.0 in
   check_weights t.Types.graph weight;
@@ -139,10 +144,11 @@ let solve_longest_link ?(options = default_options) ?edge_weight rng (t : Types.
   let seed_sol = seed_solution ~nvars ~x ~m ~n plan0 rounded_problem in
   let seed_obj = rounded_eval plan0 in
   seed_sol.((c :> int)) <- seed_obj;
-  run_bnb ~options ~model ~x ~m ~n ~seed_obj ~seed_sol
+  run_bnb ~options ~stop ~publish:on_incumbent ~model ~x ~m ~n ~seed_obj ~seed_sol
     ~true_eval:(weighted_ll t.Types.graph weight t.Types.costs)
 
-let solve_longest_path ?(options = default_options) ?edge_weight rng (t : Types.problem) =
+let solve_longest_path ?(options = default_options) ?edge_weight ?stop
+    ?(on_incumbent = no_publish) rng (t : Types.problem) =
   if not (Graphs.Digraph.is_dag t.Types.graph) then
     invalid_arg "Mip_solver.solve_longest_path: communication graph must be acyclic";
   let n = Types.node_count t and m = Types.instance_count t in
@@ -209,5 +215,5 @@ let solve_longest_path ?(options = default_options) ?edge_weight rng (t : Types.
   Array.iteri (fun i (ti : Lp.Model.var) -> seed_sol.((ti :> int)) <- prefix.(i)) t_node;
   let seed_obj = rounded_eval plan0 in
   seed_sol.((t_max :> int)) <- seed_obj;
-  run_bnb ~options ~model ~x ~m ~n ~seed_obj ~seed_sol
+  run_bnb ~options ~stop ~publish:on_incumbent ~model ~x ~m ~n ~seed_obj ~seed_sol
     ~true_eval:(weighted_lp t.Types.graph weight t.Types.costs)

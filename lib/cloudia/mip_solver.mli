@@ -43,19 +43,27 @@ type result = {
 val solve_longest_link :
   ?options:options ->
   ?edge_weight:(int -> int -> float) ->
+  ?stop:(unit -> bool) ->
+  ?on_incumbent:(Types.plan -> float -> unit) ->
   Prng.t ->
   Types.problem ->
   result
 (** [edge_weight i i'] scales edge [(i, i')]'s contribution to the
     objective (the weighted-graph extension of Sect. 8); constraint (3)
     becomes [c ≥ w_ii'·CL(j,j')·(x_ij + x_i'j' − 1)]. Weights must be
-    positive; default 1 everywhere. *)
+    positive; default 1 everywhere.
+
+    [stop] is polled once per branch-and-bound node and aborts like a hit
+    time limit; [on_incumbent] fires with (plan, true cost) for the
+    bootstrap incumbent and every improvement — the portfolio hooks. *)
 
 val solve_longest_path :
   ?options:options ->
   ?edge_weight:(int -> int -> float) ->
+  ?stop:(unit -> bool) ->
+  ?on_incumbent:(Types.plan -> float -> unit) ->
   Prng.t ->
   Types.problem ->
   result
-(** Requires an acyclic communication graph. [edge_weight] as in
-    {!solve_longest_link}. *)
+(** Requires an acyclic communication graph. [edge_weight], [stop] and
+    [on_incumbent] as in {!solve_longest_link}. *)

@@ -1,0 +1,235 @@
+type member =
+  | Greedy_g1
+  | Greedy_g2
+  | Random_r1 of int
+  | Random_r2
+  | Anneal of Anneal.options
+  | Cp of Cp_solver.options
+  | Mip of Mip_solver.options
+
+let member_to_string = function
+  | Greedy_g1 -> "G1"
+  | Greedy_g2 -> "G2"
+  | Random_r1 n -> Printf.sprintf "R1(%d)" n
+  | Random_r2 -> "R2"
+  | Anneal _ -> "SA"
+  | Cp _ -> "CP"
+  | Mip _ -> "MIP"
+
+type options = {
+  members : member list;
+  time_limit : float;
+  share_incumbent : bool;
+}
+
+let rec take n = function
+  | [] -> []
+  | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+let default_members ~objective ~domains =
+  if domains < 1 then invalid_arg "Portfolio.default_members: domains must be >= 1";
+  (* Exact costs (no clustering) so that a proof of optimality is a proof
+     for the true instance and can cancel the whole portfolio. *)
+  let exact =
+    match objective with
+    | Cost.Longest_link -> Cp { Cp_solver.default_options with Cp_solver.clusters = None }
+    | Cost.Longest_path ->
+        Mip { Mip_solver.default_options with Mip_solver.clusters = None }
+  in
+  let base = [ exact; Anneal Anneal.default_options; Random_r2; Greedy_g2 ] in
+  if domains <= 4 then take domains base
+  else
+    base
+    @ List.init (domains - 4) (fun i ->
+          if i mod 2 = 0 then Anneal Anneal.default_options else Random_r2)
+
+let default_options =
+  {
+    members = default_members ~objective:Cost.Longest_link ~domains:4;
+    time_limit = 10.0;
+    share_incumbent = true;
+  }
+
+type worker = {
+  member : member;
+  best_cost : float;
+  time_to_best : float;
+  iterations : int;
+  moves_tried : int;
+  moves_accepted : int;
+  proved_optimal : bool;
+}
+
+type result = {
+  plan : Types.plan;
+  cost : float;
+  winner : int;
+  trace : (float * float) list;
+  workers : worker list;
+  proven_optimal : bool;
+  elapsed : float;
+}
+
+(* What each domain hands back to the joiner. The final plan/cost come
+   from the solver's own return value, not the shared incumbent, so the
+   winner is a deterministic function of the per-worker outcomes. *)
+type outcome = {
+  w : worker;
+  final_plan : Types.plan;
+  final_cost : float;
+  exact_proof : bool;  (** proved optimal AND ran on exact (uncluster-ed) costs *)
+}
+
+let merged_trace events =
+  let sorted = List.sort compare events in
+  let rec go best acc = function
+    | [] -> List.rev acc
+    | (t, c) :: tl -> if c < best then go c ((t, c) :: acc) tl else go best acc tl
+  in
+  go infinity [] sorted
+
+let validate_members members objective =
+  if members = [] then invalid_arg "Portfolio.solve: members must be non-empty";
+  List.iter
+    (fun m ->
+      match (m, objective) with
+      | Cp _, Cost.Longest_path ->
+          invalid_arg
+            "Portfolio.solve: the CP member only supports the longest-link objective"
+      | _ -> ())
+    members
+
+let solve ?(options = default_options) rng objective (t : Types.problem) =
+  validate_members options.members objective;
+  if options.time_limit <= 0.0 then
+    invalid_arg "Portfolio.solve: time_limit must be positive";
+  let eval = Cost.eval objective t in
+  let start = Unix.gettimeofday () in
+  let elapsed () = Unix.gettimeofday () -. start in
+  let deadline = start +. options.time_limit in
+  (* Shared state. [best] holds a private copy of the cheapest plan any
+     worker has published — consumed only through [peek] by the CP
+     member; the stored arrays are never mutated after publication.
+     [events] accumulates every worker-local improvement for the merged
+     anytime trace. *)
+  let mutex = Mutex.create () in
+  let best : (Types.plan * float) option ref = ref None in
+  let events : (float * float) list ref = ref [] in
+  let cancelled = Atomic.make false in
+  let stop () = Atomic.get cancelled || Unix.gettimeofday () > deadline in
+  let peek =
+    if options.share_incumbent then
+      Some
+        (fun () -> Mutex.protect mutex (fun () -> Option.map fst !best))
+    else None
+  in
+  (* One PRNG split per member, drawn in member order before any domain
+     spawns: worker streams never depend on scheduling. *)
+  let rngs =
+    Array.init (List.length options.members) (fun _ -> Prng.split rng)
+  in
+  let run_member member rng =
+    (* Worker-local telemetry; only this domain touches these refs. *)
+    let own_best = ref infinity and own_tt = ref 0.0 in
+    let publish plan cost =
+      if cost < !own_best then begin
+        own_best := cost;
+        own_tt := elapsed ();
+        let copy = Array.copy plan in
+        Mutex.protect mutex (fun () ->
+            events := (!own_tt, cost) :: !events;
+            match !best with
+            | Some (_, c) when c <= cost -> ()
+            | _ -> best := Some (copy, cost))
+      end
+    in
+    (* Members measure their own budget from their start time, so hand
+       them whatever remains of the global one. *)
+    let budget () = Float.max 0.001 (deadline -. Unix.gettimeofday ()) in
+    let outcome ?(iterations = 1) ?(moves_tried = 0) ?(moves_accepted = 0)
+        ?(proved = false) ?(exact = false) plan cost =
+      publish plan cost;
+      {
+        w =
+          {
+            member;
+            best_cost = cost;
+            time_to_best = !own_tt;
+            iterations;
+            moves_tried;
+            moves_accepted;
+            proved_optimal = proved;
+          };
+        final_plan = plan;
+        final_cost = cost;
+        exact_proof = proved && exact;
+      }
+    in
+    match member with
+    | Greedy_g1 ->
+        let plan = Greedy.g1 t in
+        outcome plan (eval plan)
+    | Greedy_g2 ->
+        let plan = Greedy.g2 t in
+        outcome plan (eval plan)
+    | Random_r1 trials ->
+        let plan, cost = Random_search.r1 ~stop ~on_improve:publish rng objective t ~trials in
+        outcome ~iterations:trials plan cost
+    | Random_r2 ->
+        let plan, cost, trials =
+          Random_search.r2 ~stop ~on_improve:publish rng objective t
+            ~time_limit:(budget ())
+        in
+        outcome ~iterations:trials plan cost
+    | Anneal opts ->
+        let opts = { opts with Anneal.time_limit = budget () } in
+        let r = Anneal.solve_objective ~options:opts ~stop ~on_improve:publish rng objective t in
+        outcome ~iterations:r.Anneal.moves_tried ~moves_tried:r.Anneal.moves_tried
+          ~moves_accepted:r.Anneal.moves_accepted r.Anneal.plan r.Anneal.cost
+    | Cp opts ->
+        let exact = opts.Cp_solver.clusters = None in
+        let opts = { opts with Cp_solver.time_limit = budget () } in
+        let r = Cp_solver.solve ~options:opts ~stop ?peek ~on_incumbent:publish rng t in
+        if r.Cp_solver.proven_optimal && exact then Atomic.set cancelled true;
+        outcome ~iterations:r.Cp_solver.iterations ~proved:r.Cp_solver.proven_optimal
+          ~exact r.Cp_solver.plan r.Cp_solver.cost
+    | Mip opts ->
+        let exact = opts.Mip_solver.clusters = None in
+        let opts = { opts with Mip_solver.time_limit = budget () } in
+        let solver =
+          match objective with
+          | Cost.Longest_link -> Mip_solver.solve_longest_link
+          | Cost.Longest_path -> Mip_solver.solve_longest_path
+        in
+        let r = solver ~options:opts ~stop ~on_incumbent:publish rng t in
+        if r.Mip_solver.proven_optimal && exact then Atomic.set cancelled true;
+        outcome ~iterations:r.Mip_solver.nodes_explored
+          ~proved:r.Mip_solver.proven_optimal ~exact r.Mip_solver.plan
+          r.Mip_solver.cost
+  in
+  let domains =
+    List.mapi
+      (fun i member -> Domain.spawn (fun () -> run_member member rngs.(i)))
+      options.members
+  in
+  let outcomes = List.map Domain.join domains in
+  (* Deterministic winner: cheapest final cost, ties to the lowest member
+     index — independent of how the domains interleaved. *)
+  let _, winner, best_outcome =
+    List.fold_left
+      (fun (i, wi, wo) o ->
+        let better = match wo with None -> true | Some b -> o.final_cost < b.final_cost in
+        if better then (i + 1, i, Some o) else (i + 1, wi, wo))
+      (0, 0, None) outcomes
+  in
+  let best_outcome = Option.get best_outcome in
+  List.iter (fun o -> Types.validate t o.final_plan) outcomes;
+  {
+    plan = best_outcome.final_plan;
+    cost = best_outcome.final_cost;
+    winner;
+    trace = merged_trace !events;
+    workers = List.map (fun o -> o.w) outcomes;
+    proven_optimal = List.exists (fun o -> o.exact_proof) outcomes;
+    elapsed = elapsed ();
+  }

@@ -1,0 +1,91 @@
+(** Parallel solver portfolio with a shared incumbent.
+
+    The paper benchmarks its strategies one at a time (Sect. 6.3); this
+    module runs a configurable set of them {e concurrently} — one OCaml
+    domain per member — under a single wall-clock deadline, the way a
+    deployment advisor would actually spend a fixed tuning budget. Every
+    member publishes each improvement it finds into a mutex-protected
+    shared incumbent; the CP member additionally {e adopts} the shared
+    incumbent between threshold iterations, so a cheap heuristic's lucky
+    plan immediately tightens the feasibility threshold the exact solver
+    works on. Workers cancel cooperatively as soon as one of them proves
+    optimality under exact costs, or when the deadline fires.
+
+    Randomness: the portfolio draws one {!Prng.split} per member, in
+    member order, from the caller's generator. Worker streams are
+    therefore independent of scheduling, and a portfolio whose members
+    are all iteration-capped (greedy, R1, annealing with [max_moves])
+    returns bit-identical plans for a fixed seed and member list no
+    matter how the domains interleave. Members racing a wall clock (R2,
+    CP, MIP) are anytime: the cost is deterministic whenever the exact
+    member proves optimality, but the plan may vary under extreme
+    scheduling skew. *)
+
+type member =
+  | Greedy_g1
+  | Greedy_g2
+  | Random_r1 of int              (** best of N random plans *)
+  | Random_r2                     (** random plans until the deadline *)
+  | Anneal of Anneal.options      (** [time_limit] overridden by the portfolio *)
+  | Cp of Cp_solver.options       (** LLNDP only; [time_limit] overridden *)
+  | Mip of Mip_solver.options     (** [time_limit] overridden *)
+
+val member_to_string : member -> string
+
+type options = {
+  members : member list;          (** one domain is spawned per member *)
+  time_limit : float;             (** global wall-clock deadline, seconds *)
+  share_incumbent : bool;
+      (** when [true] (default) the CP member starts each threshold
+          iteration from the best plan any worker has published; when
+          [false] workers run independently and only the final results
+          are compared *)
+}
+
+val default_options : options
+(** [default_members ~objective:Longest_link ~domains:4], 10 s,
+    incumbent sharing on. *)
+
+val default_members : objective:Cost.objective -> domains:int -> member list
+(** A balanced roster of [domains] members: an exact anytime solver
+    first (CP with exact costs for the longest-link objective, MIP for
+    longest path — exact so that proving optimality cancels the whole
+    portfolio), then annealing, then R2, then G2, padding with
+    alternating annealing/R2 members beyond four. Requires
+    [domains >= 1]. *)
+
+type worker = {
+  member : member;
+  best_cost : float;              (** true cost of this worker's own best *)
+  time_to_best : float;           (** seconds until its last improvement *)
+  iterations : int;               (** solver-specific effort: trials, CP
+                                      feasibility iterations, B&B nodes,
+                                      or annealing moves tried *)
+  moves_tried : int;              (** annealing only; 0 elsewhere *)
+  moves_accepted : int;           (** annealing only; 0 elsewhere *)
+  proved_optimal : bool;          (** this worker proved optimality under
+                                      its own (possibly rounded) costs *)
+}
+
+type result = {
+  plan : Types.plan;
+  cost : float;                   (** true cost of [plan] *)
+  winner : int;                   (** index into [options.members] of the
+                                      worker whose best plan won; ties go
+                                      to the lowest index *)
+  trace : (float * float) list;
+      (** merged anytime curve: (elapsed seconds, true cost) prefix
+          minima over every improvement any worker published, oldest
+          first *)
+  workers : worker list;          (** per-worker telemetry, member order *)
+  proven_optimal : bool;          (** some worker proved optimality under
+                                      {e exact} costs (no clustering) *)
+  elapsed : float;                (** wall-clock seconds actually spent *)
+}
+
+val solve : ?options:options -> Prng.t -> Cost.objective -> Types.problem -> result
+(** Runs every member to completion, deadline, or cancellation, then
+    returns the cheapest plan found (validated injections all). Raises
+    [Invalid_argument] if [members] is empty, [time_limit <= 0], or a
+    [Cp] member is paired with the longest-path objective (Sect. 4.4:
+    the iterated-SIP scheme needs the longest-link structure). *)

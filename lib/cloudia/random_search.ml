@@ -1,39 +1,59 @@
-let r1_eval rng ~eval problem ~trials =
+let no_stop () = false
+
+let r1_eval ?(stop = no_stop) ?on_improve rng ~eval problem ~trials =
   if trials <= 0 then invalid_arg "Random_search.r1: need a positive trial count";
+  let improved plan cost =
+    match on_improve with Some f -> f plan cost | None -> ()
+  in
   let best_plan = ref (Types.random_plan rng problem) in
   let best_cost = ref (eval !best_plan) in
-  for _ = 2 to trials do
-    let plan = Types.random_plan rng problem in
-    let c = eval plan in
-    if c < !best_cost then begin
-      best_cost := c;
-      best_plan := plan
-    end
-  done;
+  improved !best_plan !best_cost;
+  (try
+     for _ = 2 to trials do
+       if stop () then raise Exit;
+       let plan = Types.random_plan rng problem in
+       let c = eval plan in
+       if c < !best_cost then begin
+         best_cost := c;
+         best_plan := plan;
+         improved plan c
+       end
+     done
+   with Exit -> ());
   (!best_plan, !best_cost)
 
-let r2_eval rng ~eval problem ~time_limit =
+let r2_eval ?(stop = no_stop) ?on_improve ?(now = Unix.gettimeofday) rng ~eval problem
+    ~time_limit =
   if time_limit <= 0.0 then invalid_arg "Random_search.r2: need a positive time limit";
-  let deadline = Unix.gettimeofday () +. time_limit in
+  let improved plan cost =
+    match on_improve with Some f -> f plan cost | None -> ()
+  in
+  let deadline = now () +. time_limit in
   let best_plan = ref (Types.random_plan rng problem) in
   let best_cost = ref (eval !best_plan) in
+  improved !best_plan !best_cost;
   let trials = ref 1 in
-  while Unix.gettimeofday () < deadline do
+  while (not (stop ())) && now () < deadline do
     let plan = Types.random_plan rng problem in
     let c = eval plan in
     incr trials;
     if c < !best_cost then begin
       best_cost := c;
-      best_plan := plan
+      best_plan := plan;
+      improved plan c
     end
   done;
   (!best_plan, !best_cost, !trials)
 
-let r1 rng objective problem ~trials =
-  r1_eval rng ~eval:(fun plan -> Cost.eval objective problem plan) problem ~trials
+let r1 ?stop ?on_improve rng objective problem ~trials =
+  r1_eval ?stop ?on_improve rng
+    ~eval:(fun plan -> Cost.eval objective problem plan)
+    problem ~trials
 
-let r2 rng objective problem ~time_limit =
-  r2_eval rng ~eval:(fun plan -> Cost.eval objective problem plan) problem ~time_limit
+let r2 ?stop ?on_improve ?now rng objective problem ~time_limit =
+  r2_eval ?stop ?on_improve ?now rng
+    ~eval:(fun plan -> Cost.eval objective problem plan)
+    problem ~time_limit
 
 let best_of rng objective problem k = fst (r1 rng objective problem ~trials:k)
 

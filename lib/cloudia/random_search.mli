@@ -9,20 +9,37 @@
     the weighted and bandwidth objectives reuse this solver. *)
 
 val r1_eval :
+  ?stop:(unit -> bool) ->
+  ?on_improve:(Types.plan -> float -> unit) ->
   Prng.t -> eval:(Types.plan -> float) -> Types.problem -> trials:int ->
   Types.plan * float
-(** Best of [trials] uniformly random plans under an arbitrary cost. *)
+(** Best of [trials] uniformly random plans under an arbitrary cost.
+    [stop] is polled between trials and ends the search early with the best
+    plan so far (cooperative cancellation inside a portfolio);
+    [on_improve] fires for the first plan and every strict improvement. *)
 
 val r2_eval :
+  ?stop:(unit -> bool) ->
+  ?on_improve:(Types.plan -> float -> unit) ->
+  ?now:(unit -> float) ->
   Prng.t -> eval:(Types.plan -> float) -> Types.problem -> time_limit:float ->
   Types.plan * float * int
 (** Random plans until [time_limit] seconds elapse; returns the best plan,
-    its cost, and the number of plans tried. *)
+    its cost, and the number of plans tried. [stop]/[on_improve] as in
+    {!r1_eval}. [now] injects the clock (default [Unix.gettimeofday]) so
+    tests can drive the budget with a deterministic fake clock instead of
+    depending on real scheduler behaviour. *)
 
-val r1 : Prng.t -> Cost.objective -> Types.problem -> trials:int -> Types.plan * float
+val r1 :
+  ?stop:(unit -> bool) ->
+  ?on_improve:(Types.plan -> float -> unit) ->
+  Prng.t -> Cost.objective -> Types.problem -> trials:int -> Types.plan * float
 (** Best of [trials] random plans (the paper's R1 uses 1,000). *)
 
 val r2 :
+  ?stop:(unit -> bool) ->
+  ?on_improve:(Types.plan -> float -> unit) ->
+  ?now:(unit -> float) ->
   Prng.t -> Cost.objective -> Types.problem -> time_limit:float ->
   Types.plan * float * int
 (** Time-budgeted variant of {!r1}. *)

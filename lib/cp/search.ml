@@ -12,12 +12,14 @@ type stats = {
 exception Found of int array
 exception Out_of_budget
 
-let solve ?time_limit ?node_limit ?(value_order = fun ~var:_ values -> values) csp =
+let solve ?time_limit ?node_limit ?should_stop
+    ?(value_order = fun ~var:_ values -> values) csp =
   let start = Unix.gettimeofday () in
   let nodes = ref 0 and failures = ref 0 in
   let deadline = Option.map (fun l -> start +. l) time_limit in
   let check_budget () =
     (match node_limit with Some l when !nodes >= l -> raise Out_of_budget | _ -> ());
+    (match should_stop with Some f when f () -> raise Out_of_budget | _ -> ());
     (* The time check is cheap enough to run at every node. *)
     match deadline with
     | Some d when Unix.gettimeofday () > d -> raise Out_of_budget

@@ -21,9 +21,14 @@ type stats = {
 val solve :
   ?time_limit:float ->
   ?node_limit:int ->
+  ?should_stop:(unit -> bool) ->
   ?value_order:(var:int -> int list -> int list) ->
   Csp.t ->
   result * stats
 (** [solve csp] searches for a single solution. [value_order] reorders a
     variable's candidate values before branching (default: ascending).
-    The CSP's domains are restored to their pre-search state on exit. *)
+    [should_stop] is polled at every node; returning [true] aborts the
+    search with {!Timeout} — this is how a parallel portfolio cancels an
+    in-flight feasibility dive cooperatively once another worker has
+    already settled the race. The CSP's domains are restored to their
+    pre-search state on exit. *)

@@ -66,11 +66,14 @@ let fractionality x =
 
 type strategy = Best_first | Depth_first
 
-let solve ?time_limit ?node_limit ?(strategy = Depth_first) ?on_incumbent ?initial_incumbent
-    model =
+let solve ?time_limit ?node_limit ?should_stop ?(strategy = Depth_first) ?on_incumbent
+    ?initial_incumbent model =
   let start = Unix.gettimeofday () in
   let elapsed () = Unix.gettimeofday () -. start in
-  let over_time () = match time_limit with Some l -> elapsed () > l | None -> false in
+  let over_time () =
+    (match should_stop with Some f -> f () | None -> false)
+    || match time_limit with Some l -> elapsed () > l | None -> false
+  in
   let int_vars = Array.of_list (Model.integer_vars model) in
   let incumbent = ref (match initial_incumbent with
     | Some (obj, sol) -> Some (obj, Array.copy sol)
@@ -101,7 +104,16 @@ let solve ?time_limit ?node_limit ?(strategy = Depth_first) ?on_incumbent ?initi
             stack := rest;
             Some top)
   in
-  let root_status = Model.solve_relaxation model in
+  (* An LP abandoned mid-solve by [over_time] carries no bound, so treat it
+     exactly like a hit limit: stop branching, keep the incumbent. Models
+     the dense kernel refuses outright ([Too_large]) get the same handling:
+     the caller-provided seed is the best this solver can do. *)
+  let root_status =
+    try Model.solve_relaxation ~should_stop:over_time model
+    with Simplex.Aborted | Simplex.Too_large ->
+      hit_limit := true;
+      Simplex.Infeasible
+  in
   (match root_status with
   | Simplex.Infeasible | Simplex.Unbounded -> ()
   | Simplex.Optimal (bound, _) -> push bound []);
@@ -138,7 +150,13 @@ let solve ?time_limit ?node_limit ?(strategy = Depth_first) ?on_incumbent ?initi
               end
               else begin
                 incr nodes;
-                match Model.solve_relaxation ~extra:branches model with
+                match
+                  try Model.solve_relaxation ~should_stop:over_time ~extra:branches model
+                  with Simplex.Aborted | Simplex.Too_large ->
+                    hit_limit := true;
+                    continue := false;
+                    Simplex.Infeasible
+                with
                 | Simplex.Infeasible -> ()
                 | Simplex.Unbounded ->
                     (* Cannot happen if the root was bounded, but guard. *)

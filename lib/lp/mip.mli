@@ -30,13 +30,18 @@ type stats = {
 val solve :
   ?time_limit:float ->
   ?node_limit:int ->
+  ?should_stop:(unit -> bool) ->
   ?strategy:strategy ->
   ?on_incumbent:(obj:float -> solution:float array -> elapsed:float -> unit) ->
   ?initial_incumbent:float * float array ->
   Model.t ->
   outcome * stats
 (** [solve m] runs branch and bound. [time_limit] is in seconds (default
-    none); [node_limit] caps explored nodes (default none);
+    none); [node_limit] caps explored nodes (default none); [should_stop]
+    is polled once per node — and, with [time_limit], every 32 simplex
+    pivots inside each LP solve, so one large relaxation cannot overrun
+    the budget — and aborts the search like a hit time limit
+    (cooperative cancellation for solver portfolios);
     [on_incumbent] fires every time a strictly better integer-feasible
     solution is found; [strategy] picks the exploration order (default
     {!Depth_first}); [initial_incumbent] seeds the search with a known

@@ -62,9 +62,22 @@ let integer_vars t =
   done;
   !acc
 
-let solve_relaxation ?(extra = []) t =
+let solve_relaxation ?should_stop ?(extra = []) t =
   let infos = var_array t in
   let n = t.nvars in
+  (* Refuse oversized models before densifying the rows: slack + artificial
+     columns are at most two per row, so [rows × (n + 2·rows)] bounds the
+     tableau the simplex would build. Densifying first would itself
+     allocate rows × n floats — gigabytes for the models this rejects. *)
+  let bound_count =
+    Array.fold_left
+      (fun acc i ->
+        acc + (if i.lb > 0.0 then 1 else 0) + if i.ub < infinity then 1 else 0)
+      0 infos
+  in
+  let est_rows = t.nrows + bound_count + List.length extra in
+  if est_rows * (n + (2 * est_rows) + 1) > Simplex.max_tableau_cells then
+    raise Simplex.Too_large;
   let objective = Array.map (fun i -> i.obj) infos in
   let dense (vars, coeffs, rel, rhs) =
     let row = Array.make n 0.0 in
@@ -92,6 +105,6 @@ let solve_relaxation ?(extra = []) t =
         (row, rel, rhs))
       extra
   in
-  Simplex.solve ~objective ~rows:(base @ !bound_rows @ extra_rows) ()
+  Simplex.solve ?should_stop ~objective ~rows:(base @ !bound_rows @ extra_rows) ()
 
 let value solution v = solution.(v)

@@ -33,11 +33,15 @@ val is_integer : t -> var -> bool
 val integer_vars : t -> var list
 
 val solve_relaxation :
-  ?extra:(var * Simplex.relation * float) list -> t -> Simplex.status
+  ?should_stop:(unit -> bool) ->
+  ?extra:(var * Simplex.relation * float) list ->
+  t ->
+  Simplex.status
 (** Solve the LP relaxation (integrality dropped), with optional additional
     single-variable bound rows [var rel rhs] — the branching constraints
     used by {!Mip}. Finite upper bounds declared on variables are
-    materialized as rows. *)
+    materialized as rows. [should_stop] is forwarded to the simplex kernel,
+    which raises {!Simplex.Aborted} when it fires mid-solve. *)
 
 val value : float array -> var -> float
 (** Read a variable out of a solution vector returned by the solver. *)

@@ -83,11 +83,25 @@ let choose_leaving t ~col =
 
 type phase_result = Phase_optimal | Phase_unbounded
 
-let run_phase t ~allowed ~max_iters ~iter_count =
+exception Aborted
+
+exception Too_large
+
+(* Dense-tableau ceiling (cells = rows × columns). 2e7 cells is 160 MB and
+   ~20 Mflop per pivot — past that the dense kernel cannot finish within
+   any realistic budget, and merely allocating the tableau stalls the
+   process, so refuse up front instead. *)
+let max_tableau_cells = 20_000_000
+
+let run_phase t ~allowed ~max_iters ~iter_count ~should_stop =
   let result = ref Phase_optimal in
   let continue = ref true in
   while !continue do
     if !iter_count > max_iters then failwith "Simplex.solve: iteration limit exceeded";
+    (* Poll for cooperative cancellation every 32 pivots: one pivot is
+       O(m·ncols), so large models would otherwise overrun any wall-clock
+       budget by the length of a whole LP solve. *)
+    if !iter_count land 31 = 0 && should_stop () then raise Aborted;
     let col = choose_entering t ~allowed ~iter:!iter_count ~bland_after:(max_iters / 2) in
     if col = -1 then continue := false
     else begin
@@ -104,7 +118,7 @@ let run_phase t ~allowed ~max_iters ~iter_count =
   done;
   !result
 
-let solve ?(max_iters = 50_000) ~objective ~rows () =
+let solve ?(max_iters = 50_000) ?(should_stop = fun () -> false) ~objective ~rows () =
   let nvars = Array.length objective in
   List.iter
     (fun (coeffs, _, _) ->
@@ -131,6 +145,7 @@ let solve ?(max_iters = 50_000) ~objective ~rows () =
     Array.fold_left (fun acc (_, rel, _) -> match rel with Le -> acc | _ -> acc + 1) 0 rows
   in
   let ncols = nvars + n_slack + n_art in
+  if m * (ncols + 1) > max_tableau_cells then raise Too_large;
   let art_start = nvars + n_slack in
   let tab_rows = Array.init m (fun _ -> Array.make (ncols + 1) 0.0) in
   let basis = Array.make m (-1) in
@@ -170,7 +185,7 @@ let solve ?(max_iters = 50_000) ~objective ~rows () =
           t.obj.(j) <- t.obj.(j) -. t.rows.(r).(j)
         done
     done;
-    (match run_phase t ~allowed:(fun _ -> true) ~max_iters ~iter_count with
+    (match run_phase t ~allowed:(fun _ -> true) ~max_iters ~iter_count ~should_stop with
     | Phase_unbounded -> failwith "Simplex.solve: phase 1 unbounded (internal error)"
     | Phase_optimal -> ());
     (* Phase-1 objective value is -obj rhs (we maintain obj as reduced costs
@@ -208,7 +223,7 @@ let solve ?(max_iters = 50_000) ~objective ~rows () =
     end
   done;
   let allowed j = j < art_start in
-  match run_phase t ~allowed ~max_iters ~iter_count with
+  match run_phase t ~allowed ~max_iters ~iter_count ~should_stop with
   | Phase_unbounded -> Unbounded
   | Phase_optimal ->
       let x = Array.make nvars 0.0 in
@@ -219,5 +234,5 @@ let solve ?(max_iters = 50_000) ~objective ~rows () =
       let value = Array.fold_left ( +. ) 0.0 (Array.mapi (fun i c -> c *. x.(i)) objective) in
       Optimal (value, x)
 
-let solve ?max_iters ~objective ~rows () =
-  try solve ?max_iters ~objective ~rows () with Exit -> Infeasible
+let solve ?max_iters ?should_stop ~objective ~rows () =
+  try solve ?max_iters ?should_stop ~objective ~rows () with Exit -> Infeasible

@@ -18,8 +18,23 @@ type status =
   | Infeasible
   | Unbounded
 
+exception Aborted
+(** Raised out of {!solve} when [should_stop] returns [true]: the tableau is
+    abandoned mid-solve with no usable status. Cooperative cancellation for
+    callers racing the solver against a wall-clock budget. *)
+
+exception Too_large
+(** Raised by {!solve} before any allocation when the dense tableau would
+    exceed {!max_tableau_cells} — past that size a pivot costs tens of
+    Mflop and building the tableau alone takes gigabytes, so the solve
+    could never finish within a realistic budget. *)
+
+val max_tableau_cells : int
+(** The refusal threshold, in tableau cells (rows × columns). *)
+
 val solve :
   ?max_iters:int ->
+  ?should_stop:(unit -> bool) ->
   objective:float array ->
   rows:(float array * relation * float) list ->
   unit ->
@@ -27,5 +42,8 @@ val solve :
 (** [solve ~objective ~rows ()] minimizes [objective]·x over x ≥ 0 subject
     to [rows], each [(coeffs, rel, rhs)] with [coeffs] of the same length as
     [objective]. [max_iters] (default [50_000]) bounds total pivots across
-    both phases; exceeding it raises [Failure]. Raises [Invalid_argument] on
-    dimension mismatches. *)
+    both phases; exceeding it raises [Failure]. [should_stop] is polled
+    every 32 pivots; when it returns [true], {!Aborted} is raised — without
+    it a single large LP can overrun any caller-side time limit, which is
+    only checked between solves. Raises [Invalid_argument] on dimension
+    mismatches. *)

@@ -261,14 +261,37 @@ let test_r1_returns_consistent_cost () =
   check_float "cost matches plan" (Cost.longest_path p plan) cost
 
 let test_r2_respects_time () =
+  (* Drive the budget with an injected clock that advances 10 ms per
+     reading: the first call sets the deadline, each loop check consumes
+     one tick, so the budget admits exactly 9 extra trials after the
+     initial plan — no real scheduler involved, so no flakiness. *)
   let p = random_problem 9 in
-  let started = Unix.gettimeofday () in
-  let plan, cost, trials = Random_search.r2 (Prng.create 3) Cost.Longest_link p ~time_limit:0.1 in
-  let elapsed = Unix.gettimeofday () -. started in
+  let ticks = ref 0 in
+  let now () =
+    let t = 0.01 *. float_of_int !ticks in
+    incr ticks;
+    t
+  in
+  let plan, cost, trials =
+    Random_search.r2 ~now (Prng.create 3) Cost.Longest_link p ~time_limit:0.1
+  in
   Alcotest.(check bool) "valid" true (Types.is_valid p plan);
   check_float "cost consistent" (Cost.longest_link p plan) cost;
-  Alcotest.(check bool) "ran some trials" true (trials > 10);
-  Alcotest.(check bool) "stopped near budget" true (elapsed < 1.0)
+  Alcotest.(check int) "trial count set by the clock alone" 10 trials
+
+let test_r2_stops_cooperatively () =
+  (* The stop callback ends the search regardless of the remaining budget. *)
+  let p = random_problem 9 in
+  let polls = ref 0 in
+  let stop () =
+    incr polls;
+    !polls > 5
+  in
+  let plan, _, trials =
+    Random_search.r2 ~stop (Prng.create 4) Cost.Longest_link p ~time_limit:3600.0
+  in
+  Alcotest.(check bool) "valid" true (Types.is_valid p plan);
+  Alcotest.(check int) "stopped after five polls" 6 trials
 
 (* ---------- Brute force ---------- *)
 
@@ -381,6 +404,7 @@ let suite =
     Alcotest.test_case "r1 improves with trials" `Quick test_r1_improves_with_trials;
     Alcotest.test_case "r1 consistent cost" `Quick test_r1_returns_consistent_cost;
     Alcotest.test_case "r2 respects time" `Quick test_r2_respects_time;
+    Alcotest.test_case "r2 stops cooperatively" `Quick test_r2_stops_cooperatively;
     Alcotest.test_case "brute force optimal" `Quick test_brute_force_is_optimal_exhaustively;
     Alcotest.test_case "brute force longest path" `Quick test_brute_force_longest_path;
     Alcotest.test_case "brute force guard" `Quick test_brute_force_guard;

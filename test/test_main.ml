@@ -10,6 +10,7 @@ let () =
       ("netmeasure", Test_netmeasure.suite);
       ("cloudia", Test_cloudia.suite);
       ("solvers", Test_solvers.suite);
+      ("portfolio", Test_portfolio.suite);
       ("workloads", Test_workloads.suite);
       ("extensions", Test_extensions.suite);
       ("more", Test_more.suite);

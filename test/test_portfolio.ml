@@ -1,0 +1,220 @@
+open Cloudia
+
+(* Tests for the parallel solver portfolio: determinism of iteration-capped
+   member sets, optimality via the shared-incumbent CP member, merged-trace
+   monotonicity, cooperative cancellation, and argument validation. Problems
+   are tiny so the domains finish in milliseconds even on one core. *)
+
+let random_problem ?(nodes = 5) ?(instances = 7) ?(extra_edges = 3) seed =
+  let rng = Prng.create seed in
+  let graph = Graphs.Templates.random_connected rng ~n:nodes ~extra_edges in
+  let costs =
+    Array.init instances (fun j ->
+        Array.init instances (fun j' -> if j = j' then 0.0 else 0.1 +. Prng.float rng 1.0))
+  in
+  Types.problem ~graph ~costs
+
+let tree_problem seed instances =
+  let graph = Graphs.Templates.aggregation_tree ~fanout:2 ~depth:1 in
+  let rng = Prng.create seed in
+  let costs =
+    Array.init instances (fun j ->
+        Array.init instances (fun j' -> if j = j' then 0.0 else 0.1 +. Prng.float rng 1.0))
+  in
+  Types.problem ~graph ~costs
+
+(* Every member here exhausts a fixed iteration budget (greedy is a pure
+   function; R1 and annealing are capped), so the portfolio's outcome is a
+   deterministic function of seed + member list no matter how the domains
+   interleave. The generous time limit must never fire first. *)
+let capped_members =
+  [
+    Portfolio.Greedy_g1;
+    Portfolio.Greedy_g2;
+    Portfolio.Random_r1 300;
+    Portfolio.Anneal
+      { Anneal.default_options with Anneal.time_limit = 60.0; max_moves = Some 2000 };
+  ]
+
+let capped_options =
+  { Portfolio.members = capped_members; time_limit = 60.0; share_incumbent = true }
+
+let test_portfolio_deterministic () =
+  let p = random_problem 11 in
+  let run () = Portfolio.solve ~options:capped_options (Prng.create 7) Cost.Longest_link p in
+  let a = run () and b = run () in
+  Alcotest.(check (array int)) "same plan" a.Portfolio.plan b.Portfolio.plan;
+  Alcotest.(check (float 0.0)) "same cost" a.Portfolio.cost b.Portfolio.cost;
+  Alcotest.(check int) "same winner" a.Portfolio.winner b.Portfolio.winner;
+  List.iter2
+    (fun (wa : Portfolio.worker) (wb : Portfolio.worker) ->
+      Alcotest.(check (float 0.0)) "same worker best" wa.Portfolio.best_cost
+        wb.Portfolio.best_cost;
+      Alcotest.(check int) "same worker effort" wa.Portfolio.iterations
+        wb.Portfolio.iterations)
+    a.Portfolio.workers b.Portfolio.workers
+
+let test_portfolio_matches_brute_force () =
+  (* With an exact CP member the portfolio must land on the true optimum
+     and report it proven, regardless of what the heuristics publish. *)
+  for seed = 1 to 4 do
+    let p = random_problem seed in
+    let options =
+      {
+        Portfolio.members = Portfolio.default_members ~objective:Cost.Longest_link ~domains:4;
+        time_limit = 30.0;
+        share_incumbent = true;
+      }
+    in
+    let r = Portfolio.solve ~options (Prng.create seed) Cost.Longest_link p in
+    let _, optimal = Brute_force.solve Cost.Longest_link p in
+    Alcotest.(check bool) "valid" true (Types.is_valid p r.Portfolio.plan);
+    Alcotest.(check bool) "proven" true r.Portfolio.proven_optimal;
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d optimal: expected %.6f got %.6f" seed optimal
+         r.Portfolio.cost)
+      true
+      (Float.abs (optimal -. r.Portfolio.cost) <= 1e-9)
+  done
+
+let test_portfolio_no_worse_than_members () =
+  (* The winning plan can never cost more than what any single worker
+     ended with — the portfolio dominates its best member by construction. *)
+  let p = random_problem 31 in
+  let r = Portfolio.solve ~options:capped_options (Prng.create 5) Cost.Longest_link p in
+  Alcotest.(check bool) "winner in range" true
+    (r.Portfolio.winner >= 0 && r.Portfolio.winner < List.length capped_members);
+  Alcotest.(check int) "one telemetry row per member" (List.length capped_members)
+    (List.length r.Portfolio.workers);
+  List.iter
+    (fun (w : Portfolio.worker) ->
+      Alcotest.(check bool) "portfolio <= member" true
+        (r.Portfolio.cost <= w.Portfolio.best_cost +. 1e-9);
+      Alcotest.(check bool) "time-to-best sane" true
+        (w.Portfolio.time_to_best >= 0.0
+        && w.Portfolio.time_to_best <= r.Portfolio.elapsed +. 1.0))
+    r.Portfolio.workers
+
+let test_portfolio_trace_monotonic () =
+  let p = random_problem ~nodes:6 ~instances:8 17 in
+  let r = Portfolio.solve ~options:capped_options (Prng.create 3) Cost.Longest_link p in
+  let rec check_sorted = function
+    | (t1, c1) :: ((t2, c2) :: _ as rest) ->
+        Alcotest.(check bool) "times non-decreasing" true (t1 <= t2);
+        Alcotest.(check bool) "costs strictly decreasing" true (c1 > c2);
+        check_sorted rest
+    | _ -> ()
+  in
+  check_sorted r.Portfolio.trace;
+  (match List.rev r.Portfolio.trace with
+  | (_, last) :: _ ->
+      Alcotest.(check (float 1e-9)) "trace ends at final cost" r.Portfolio.cost last
+  | [] -> Alcotest.fail "empty trace")
+
+let test_portfolio_cancels_on_optimality () =
+  (* The exact CP member proves optimality on a tiny problem almost
+     instantly; the R2 members must then stop cooperatively long before
+     the 30 s deadline. *)
+  let p = random_problem ~nodes:4 ~instances:5 ~extra_edges:1 41 in
+  let options =
+    {
+      Portfolio.members =
+        [
+          Portfolio.Cp { Cp_solver.default_options with Cp_solver.clusters = None };
+          Portfolio.Random_r2;
+          Portfolio.Random_r2;
+        ];
+      time_limit = 30.0;
+      share_incumbent = true;
+    }
+  in
+  let r = Portfolio.solve ~options (Prng.create 9) Cost.Longest_link p in
+  Alcotest.(check bool) "proven" true r.Portfolio.proven_optimal;
+  Alcotest.(check bool)
+    (Printf.sprintf "cancelled well before deadline (%.2fs)" r.Portfolio.elapsed)
+    true (r.Portfolio.elapsed < 15.0)
+
+let test_portfolio_longest_path () =
+  let p = tree_problem 2 5 in
+  let options =
+    {
+      Portfolio.members = Portfolio.default_members ~objective:Cost.Longest_path ~domains:3;
+      time_limit = 30.0;
+      share_incumbent = true;
+    }
+  in
+  let r = Portfolio.solve ~options (Prng.create 13) Cost.Longest_path p in
+  let _, optimal = Brute_force.solve Cost.Longest_path p in
+  Alcotest.(check bool) "valid" true (Types.is_valid p r.Portfolio.plan);
+  Alcotest.(check (float 1e-9)) "matches brute force" optimal r.Portfolio.cost
+
+let test_portfolio_without_sharing () =
+  let p = random_problem 23 in
+  let options = { capped_options with Portfolio.share_incumbent = false } in
+  let r = Portfolio.solve ~options (Prng.create 2) Cost.Longest_link p in
+  Alcotest.(check bool) "valid" true (Types.is_valid p r.Portfolio.plan)
+
+let test_portfolio_validation () =
+  let p = random_problem 3 in
+  Alcotest.check_raises "empty members"
+    (Invalid_argument "Portfolio.solve: members must be non-empty") (fun () ->
+      ignore
+        (Portfolio.solve
+           ~options:{ capped_options with Portfolio.members = [] }
+           (Prng.create 1) Cost.Longest_link p));
+  Alcotest.check_raises "cp + longest path"
+    (Invalid_argument "Portfolio.solve: the CP member only supports the longest-link objective")
+    (fun () ->
+      ignore
+        (Portfolio.solve
+           ~options:
+             {
+               capped_options with
+               Portfolio.members = [ Portfolio.Cp Cp_solver.default_options ];
+             }
+           (Prng.create 1) Cost.Longest_path p));
+  Alcotest.check_raises "zero budget"
+    (Invalid_argument "Portfolio.solve: time_limit must be positive") (fun () ->
+      ignore
+        (Portfolio.solve
+           ~options:{ capped_options with Portfolio.time_limit = 0.0 }
+           (Prng.create 1) Cost.Longest_link p));
+  Alcotest.check_raises "no domains"
+    (Invalid_argument "Portfolio.default_members: domains must be >= 1") (fun () ->
+      ignore (Portfolio.default_members ~objective:Cost.Longest_link ~domains:0))
+
+let test_default_members_roster () =
+  List.iter
+    (fun domains ->
+      let members = Portfolio.default_members ~objective:Cost.Longest_link ~domains in
+      Alcotest.(check int)
+        (Printf.sprintf "%d domains -> %d members" domains domains)
+        domains (List.length members);
+      match members with
+      | Portfolio.Cp { Cp_solver.clusters = None; _ } :: _ -> ()
+      | _ -> Alcotest.fail "exact CP member must lead the longest-link roster")
+    [ 1; 2; 4; 6 ];
+  match Portfolio.default_members ~objective:Cost.Longest_path ~domains:2 with
+  | Portfolio.Mip { Mip_solver.clusters = None; _ } :: _ -> ()
+  | _ -> Alcotest.fail "exact MIP member must lead the longest-path roster"
+
+let test_portfolio_via_advisor () =
+  let p = random_problem 29 in
+  let strategy = Advisor.Portfolio capped_options in
+  Alcotest.(check string) "strategy name" "Portfolio(4)" (Advisor.strategy_to_string strategy);
+  let plan = Advisor.search (Prng.create 19) strategy Cost.Longest_link p in
+  Alcotest.(check bool) "valid" true (Types.is_valid p plan)
+
+let suite =
+  [
+    Alcotest.test_case "deterministic for fixed seed" `Quick test_portfolio_deterministic;
+    Alcotest.test_case "matches brute force" `Quick test_portfolio_matches_brute_force;
+    Alcotest.test_case "no worse than members" `Quick test_portfolio_no_worse_than_members;
+    Alcotest.test_case "merged trace monotonic" `Quick test_portfolio_trace_monotonic;
+    Alcotest.test_case "cancels on optimality" `Quick test_portfolio_cancels_on_optimality;
+    Alcotest.test_case "longest path via mip" `Slow test_portfolio_longest_path;
+    Alcotest.test_case "no sharing still valid" `Quick test_portfolio_without_sharing;
+    Alcotest.test_case "argument validation" `Quick test_portfolio_validation;
+    Alcotest.test_case "default roster" `Quick test_default_members_roster;
+    Alcotest.test_case "advisor integration" `Quick test_portfolio_via_advisor;
+  ]

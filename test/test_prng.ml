@@ -120,6 +120,45 @@ let test_sample_without_replacement () =
       Hashtbl.add seen v ())
     s
 
+let test_split_streams_pairwise_disjoint () =
+  (* The solver portfolio hands one split stream to each worker domain.
+     SplitMix64 siblings are offsets of the same underlying sequence, so
+     two streams only repeat each other if their start states land within
+     the drawn window of one another — probability ~ 10^-8 here, and the
+     whole computation is a fixed function of the seed, so this either
+     always passes or never does. 10^5 draws per stream, all four streams
+     pairwise disjoint. *)
+  let parent = Prng.create 2026 in
+  let streams = Array.init 4 (fun _ -> Prng.split parent) in
+  let draws = 100_000 in
+  let seen = Hashtbl.create (4 * draws) in
+  Array.iteri
+    (fun s rng ->
+      for i = 1 to draws do
+        let v = Prng.bits64 rng in
+        (match Hashtbl.find_opt seen v with
+        | Some s' when s' <> s ->
+            Alcotest.failf "streams %d and %d emit the same value at draw %d" s' s i
+        | _ -> ());
+        Hashtbl.replace seen v s
+      done)
+    streams
+
+let test_split_streams_reproducible () =
+  (* Splitting k worker streams off equal-seed parents must yield equal
+     streams, independent of anything else — the portfolio's determinism
+     rests on exactly this. *)
+  let spawn seed = Array.init 4 (fun _ -> Prng.split (Prng.create seed)) in
+  let a = spawn 99 and b = spawn 99 in
+  Array.iteri
+    (fun i ra ->
+      for _ = 1 to 1000 do
+        Alcotest.(check int64)
+          (Printf.sprintf "worker %d stream" i)
+          (Prng.bits64 ra) (Prng.bits64 b.(i))
+      done)
+    a
+
 let qcheck_props =
   [
     QCheck.Test.make ~name:"int always within bound" ~count:500
@@ -128,6 +167,20 @@ let qcheck_props =
         let rng = Prng.create seed in
         let v = Prng.int rng bound in
         v >= 0 && v < bound);
+    QCheck.Test.make ~name:"sibling splits never collide" ~count:100 QCheck.small_int
+      (fun seed ->
+        let parent = Prng.create seed in
+        let a = Prng.split parent in
+        let b = Prng.split parent in
+        let seen = Hashtbl.create 2048 in
+        for _ = 1 to 1000 do
+          Hashtbl.replace seen (Prng.bits64 a) ()
+        done;
+        let ok = ref true in
+        for _ = 1 to 1000 do
+          if Hashtbl.mem seen (Prng.bits64 b) then ok := false
+        done;
+        !ok);
     QCheck.Test.make ~name:"permutation is bijective" ~count:100
       QCheck.(pair small_int (int_range 1 100))
       (fun (seed, n) ->
@@ -144,6 +197,9 @@ let suite =
     Alcotest.test_case "different seeds differ" `Quick test_different_seeds;
     Alcotest.test_case "copy is independent continuation" `Quick test_copy_independent;
     Alcotest.test_case "split stream differs" `Quick test_split_differs;
+    Alcotest.test_case "split streams pairwise disjoint" `Quick
+      test_split_streams_pairwise_disjoint;
+    Alcotest.test_case "split streams reproducible" `Quick test_split_streams_reproducible;
     Alcotest.test_case "int bounds" `Quick test_int_bounds;
     Alcotest.test_case "int_in bounds" `Quick test_int_in_bounds;
     Alcotest.test_case "int rejects non-positive bound" `Quick test_int_rejects_nonpositive;
