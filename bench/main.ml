@@ -6,7 +6,9 @@
      dune exec bench/main.exe            # everything (several minutes)
      dune exec bench/main.exe -- fig6 fig14 micro   # selected sections
      dune exec bench/main.exe -- --smoke            # every section, tiny
-                                                    # budgets, seconds total *)
+                                                    # budgets, seconds total
+     dune exec bench/main.exe -- --smoke --trace t.jsonl   # + telemetry
+                                                           # trace (JSONL) *)
 
 let registry : (string * string * (unit -> unit)) list =
   [
@@ -47,8 +49,22 @@ let registry : (string * string * (unit -> unit)) list =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let requested = List.filter (fun a -> a <> "--smoke") args in
-  if List.length requested < List.length args then Util.smoke := true;
+  let trace_file = ref None in
+  let rec parse = function
+    | [] -> []
+    | "--smoke" :: tl ->
+        Util.smoke := true;
+        parse tl
+    | [ "--trace" ] ->
+        prerr_endline "--trace needs a file argument";
+        exit 2
+    | "--trace" :: file :: tl ->
+        trace_file := Some file;
+        parse tl
+    | a :: tl -> a :: parse tl
+  in
+  let requested = parse args in
+  if !trace_file <> None then Obs.Sink.enable ();
   let selected =
     match requested with
     | [] -> registry
@@ -66,9 +82,21 @@ let () =
   Printf.printf "ClouDiA evaluation reproduction (%d sections)\n" (List.length selected);
   let started = Unix.gettimeofday () in
   List.iter
-    (fun (_, _, run) ->
+    (fun (id, _, run) ->
       let t0 = Unix.gettimeofday () in
+      let before = Obs.Counter.snapshot () in
       run ();
-      Printf.printf "\n[section completed in %.1f s]\n" (Unix.gettimeofday () -. t0))
+      Printf.printf "\n[section completed in %.1f s]\n" (Unix.gettimeofday () -. t0);
+      Util.print_counter_deltas id
+        (Obs.Counter.delta ~before ~after:(Obs.Counter.snapshot ())))
     selected;
-  Printf.printf "\nAll sections completed in %.1f s.\n" (Unix.gettimeofday () -. started)
+  Printf.printf "\nAll sections completed in %.1f s.\n" (Unix.gettimeofday () -. started);
+  match !trace_file with
+  | None -> ()
+  | Some file ->
+      let events = Obs.Sink.drain () in
+      let dropped = Obs.Sink.dropped () in
+      Out_channel.with_open_text file (fun oc ->
+          Obs.Export.jsonl ~counters:(Obs.Counter.snapshot ()) oc events);
+      Printf.printf "Trace written to %s (%d events%s).\n" file (List.length events)
+        (if dropped > 0 then Printf.sprintf ", %d dropped" dropped else "")

@@ -119,3 +119,12 @@ let mip_options ?(clusters = None) ?(time_limit = 10.0) () =
     node_limit = None;
     bootstrap_trials = 10;
   }
+
+(* Per-section solver-effort report: the counter deltas accumulated while a
+   section ran (pivots, nodes, probes, ...), one line per non-zero counter. *)
+let print_counter_deltas id deltas =
+  match deltas with
+  | [] -> ()
+  | deltas ->
+      Printf.printf "[%s counters]\n" id;
+      List.iter (fun (name, v) -> Printf.printf "  %-34s %12d\n" name v) deltas

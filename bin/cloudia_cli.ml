@@ -35,6 +35,137 @@ let provider_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed (runs are deterministic per seed).")
 
+(* ---- JSON emission for --json (no external JSON dependency) ---- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_str s = "\"" ^ json_escape s ^ "\""
+let json_float f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+let json_int = string_of_int
+let json_bool b = if b then "true" else "false"
+let json_list items = "[" ^ String.concat "," items ^ "]"
+
+let json_obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> json_str k ^ ":" ^ v) fields) ^ "}"
+
+let solver_stats_json = function
+  | Cloudia.Advisor.No_solver_stats -> json_obj [ ("kind", json_str "none") ]
+  | Cloudia.Advisor.Cp_stats { iterations; nodes; failures; propagations } ->
+      json_obj
+        [
+          ("kind", json_str "cp");
+          ("iterations", json_int iterations);
+          ("nodes", json_int nodes);
+          ("failures", json_int failures);
+          ("propagations", json_int propagations);
+        ]
+  | Cloudia.Advisor.Mip_stats { nodes_explored; nodes_pruned } ->
+      json_obj
+        [
+          ("kind", json_str "mip");
+          ("nodes_explored", json_int nodes_explored);
+          ("nodes_pruned", json_int nodes_pruned);
+        ]
+  | Cloudia.Advisor.Anneal_stats { moves_tried; moves_accepted } ->
+      json_obj
+        [
+          ("kind", json_str "anneal");
+          ("moves_tried", json_int moves_tried);
+          ("moves_accepted", json_int moves_accepted);
+        ]
+  | Cloudia.Advisor.Random_stats { trials } ->
+      json_obj [ ("kind", json_str "random"); ("trials", json_int trials) ]
+
+let telemetry_json (t : Cloudia.Advisor.telemetry) =
+  json_obj
+    [
+      ("strategy", json_str t.Cloudia.Advisor.strategy_name);
+      ("solver", solver_stats_json t.Cloudia.Advisor.solver);
+      ("proven_optimal", json_bool t.Cloudia.Advisor.proven_optimal);
+      ( "incumbent_trace",
+        json_list
+          (List.map
+             (fun (s, c) -> json_list [ json_float s; json_float c ])
+             t.Cloudia.Advisor.incumbent_trace) );
+      ( "winner",
+        match t.Cloudia.Advisor.winner with Some w -> json_str w | None -> "null" );
+      ( "members",
+        json_list
+          (List.map
+             (fun (m : Cloudia.Advisor.member_stats) ->
+               json_obj
+                 [
+                   ("name", json_str m.Cloudia.Advisor.member_name);
+                   ("best_cost", json_float m.Cloudia.Advisor.member_cost);
+                   ("time_to_best", json_float m.Cloudia.Advisor.member_time_to_best);
+                   ("seconds", json_float m.Cloudia.Advisor.member_seconds);
+                   ("iterations", json_int m.Cloudia.Advisor.member_iterations);
+                   ("proved_optimal", json_bool m.Cloudia.Advisor.member_proved);
+                 ])
+             t.Cloudia.Advisor.members) );
+      ( "counters",
+        json_obj
+          (List.map (fun (n, v) -> (n, json_int v)) t.Cloudia.Advisor.counters) );
+    ]
+
+let report_json ~describe ~objective (r : Cloudia.Advisor.report) =
+  json_obj
+    [
+      ("workload", json_str describe);
+      ("objective", json_str (Cloudia.Cost.objective_to_string objective));
+      ("instances_allocated", json_int (Cloudsim.Env.count r.Cloudia.Advisor.env));
+      ("measurement_minutes", json_float r.Cloudia.Advisor.measurement_minutes);
+      ("search_seconds", json_float r.Cloudia.Advisor.search_seconds);
+      ("default_cost_ms", json_float r.Cloudia.Advisor.default_cost);
+      ("optimized_cost_ms", json_float r.Cloudia.Advisor.cost);
+      ("improvement_pct", json_float r.Cloudia.Advisor.improvement_pct);
+      ( "plan",
+        json_list
+          (Array.to_list (Array.map json_int r.Cloudia.Advisor.plan)) );
+      ( "default_plan",
+        json_list
+          (Array.to_list (Array.map json_int r.Cloudia.Advisor.default_plan)) );
+      ( "terminated",
+        json_list (List.map json_int r.Cloudia.Advisor.terminated) );
+      ("telemetry", telemetry_json r.Cloudia.Advisor.telemetry);
+    ]
+
+(* ---- tracing plumbing shared by advise ---- *)
+
+type trace_format = Jsonl | Chrome
+
+let trace_format_conv =
+  Arg.enum [ ("jsonl", Jsonl); ("chrome", Chrome) ]
+
+(* Drain once; feed the same event list to every requested exporter. *)
+let export_observability ~trace_file ~trace_format ~obs_summary =
+  if trace_file <> None || obs_summary then begin
+    let events = Obs.Sink.drain () in
+    let counters = Obs.Counter.snapshot () in
+    (match trace_file with
+    | Some file ->
+        Out_channel.with_open_text file (fun oc ->
+            match trace_format with
+            | Jsonl -> Obs.Export.jsonl ~counters oc events
+            | Chrome -> Obs.Export.chrome ~counters oc events)
+    | None -> ());
+    if obs_summary then
+      Obs.Export.summary ~counters ~gauges:(Obs.Gauge.snapshot ()) stderr events
+  end
+
 (* ---- advise ---- *)
 
 type workload = Behavioral | Aggregation | Kv
@@ -94,7 +225,7 @@ let strategy_of_string ~time_limit ~domains ~objective s =
   | _ -> Error (`Msg "strategy must be g1, g2, r1, r2, anneal, cp, mip or portfolio")
 
 let advise provider seed workload strategy_name scale over metric time_limit domains
-    graph_spec graph_file =
+    graph_spec graph_file trace_file trace_format obs_summary json =
   let from_workload () =
     match workload with
     | Behavioral ->
@@ -161,24 +292,59 @@ let advise provider seed workload strategy_name scale over metric time_limit dom
           strategy;
         }
       in
+      if trace_file <> None || obs_summary then Obs.Sink.enable ();
       match Cloudia.Advisor.run (Prng.create seed) (Cloudsim.Provider.get provider) config with
       | exception Invalid_argument m -> prerr_endline m; 2
       | report ->
-          Printf.printf "workload            : %s\n" describe;
-          Printf.printf "objective           : %s\n" (Cloudia.Cost.objective_to_string objective);
-          Printf.printf "strategy            : %s\n"
-            (Cloudia.Advisor.strategy_to_string strategy);
-          Printf.printf "instances allocated : %d\n" (Cloudsim.Env.count report.Cloudia.Advisor.env);
-          Printf.printf "measurement charged : %.1f min\n"
-            report.Cloudia.Advisor.measurement_minutes;
-          Printf.printf "search time         : %.2f s\n" report.Cloudia.Advisor.search_seconds;
-          Printf.printf "default cost        : %.3f ms\n" report.Cloudia.Advisor.default_cost;
-          Printf.printf "optimized cost      : %.3f ms\n" report.Cloudia.Advisor.cost;
-          Printf.printf "improvement         : %.1f%%\n" report.Cloudia.Advisor.improvement_pct;
-          Printf.printf "terminated          : %d instance(s)\n"
-            (List.length report.Cloudia.Advisor.terminated);
-          Printf.printf "plan                : %s\n"
-            (Format.asprintf "%a" Cloudia.Types.pp_plan report.Cloudia.Advisor.plan);
+          export_observability ~trace_file ~trace_format ~obs_summary;
+          if json then print_endline (report_json ~describe ~objective report)
+          else begin
+            let telemetry = report.Cloudia.Advisor.telemetry in
+            Printf.printf "workload            : %s\n" describe;
+            Printf.printf "objective           : %s\n" (Cloudia.Cost.objective_to_string objective);
+            Printf.printf "strategy            : %s\n"
+              (Cloudia.Advisor.strategy_to_string strategy);
+            Printf.printf "instances allocated : %d\n" (Cloudsim.Env.count report.Cloudia.Advisor.env);
+            Printf.printf "measurement charged : %.1f min\n"
+              report.Cloudia.Advisor.measurement_minutes;
+            Printf.printf "search time         : %.2f s\n" report.Cloudia.Advisor.search_seconds;
+            (match telemetry.Cloudia.Advisor.solver with
+            | Cloudia.Advisor.No_solver_stats -> ()
+            | Cloudia.Advisor.Cp_stats { iterations; nodes; failures; propagations } ->
+                Printf.printf
+                  "solver effort       : %d iterations, %d nodes, %d failures, %d propagations\n"
+                  iterations nodes failures propagations
+            | Cloudia.Advisor.Mip_stats { nodes_explored; nodes_pruned } ->
+                Printf.printf "solver effort       : %d nodes explored, %d pruned\n"
+                  nodes_explored nodes_pruned
+            | Cloudia.Advisor.Anneal_stats { moves_tried; moves_accepted } ->
+                Printf.printf "solver effort       : %d moves tried, %d accepted\n"
+                  moves_tried moves_accepted
+            | Cloudia.Advisor.Random_stats { trials } ->
+                Printf.printf "solver effort       : %d trials\n" trials);
+            (match telemetry.Cloudia.Advisor.winner with
+            | Some w ->
+                Printf.printf "portfolio winner    : %s\n" w;
+                List.iter
+                  (fun (m : Cloudia.Advisor.member_stats) ->
+                    Printf.printf
+                      "  member %-9s : best %.3f ms in %.2f s (best at %.2f s, %d iterations%s)\n"
+                      m.Cloudia.Advisor.member_name m.Cloudia.Advisor.member_cost
+                      m.Cloudia.Advisor.member_seconds m.Cloudia.Advisor.member_time_to_best
+                      m.Cloudia.Advisor.member_iterations
+                      (if m.Cloudia.Advisor.member_proved then ", proved" else ""))
+                  telemetry.Cloudia.Advisor.members
+            | None -> ());
+            if telemetry.Cloudia.Advisor.proven_optimal then
+              Printf.printf "optimality          : proven (under the solver's cost rounding)\n";
+            Printf.printf "default cost        : %.3f ms\n" report.Cloudia.Advisor.default_cost;
+            Printf.printf "optimized cost      : %.3f ms\n" report.Cloudia.Advisor.cost;
+            Printf.printf "improvement         : %.1f%%\n" report.Cloudia.Advisor.improvement_pct;
+            Printf.printf "terminated          : %d instance(s)\n"
+              (List.length report.Cloudia.Advisor.terminated);
+            Printf.printf "plan                : %s\n"
+              (Format.asprintf "%a" Cloudia.Types.pp_plan report.Cloudia.Advisor.plan)
+          end;
           0))
 
 let advise_cmd =
@@ -213,11 +379,28 @@ let advise_cmd =
     Arg.(value & opt (some string) None & info [ "graph-file" ]
            ~doc:"Edge-list file describing the communication graph.")
   in
+  let trace_arg =
+    Arg.(value & opt (some string) None & info [ "trace" ]
+           ~doc:"Write the solver telemetry trace (spans, incumbent updates, counters) to $(docv).")
+  in
+  let trace_format_arg =
+    Arg.(value & opt trace_format_conv Jsonl & info [ "trace-format" ]
+           ~doc:"Trace file format: jsonl (one event per line) or chrome (trace_event JSON for chrome://tracing / Perfetto).")
+  in
+  let obs_summary_arg =
+    Arg.(value & flag & info [ "obs-summary" ]
+           ~doc:"Print a per-domain span tree, incumbent streams and counter totals to stderr.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the full report (costs, plan, telemetry) as one JSON object on stdout.")
+  in
   Cmd.v
     (Cmd.info "advise" ~doc:"Run the ClouDiA pipeline for a workload")
     Term.(
       const advise $ provider_arg $ seed_arg $ workload_arg $ strategy_arg $ scale_arg
-      $ over_arg $ metric_arg $ time_arg $ domains_arg $ graph_spec_arg $ graph_file_arg)
+      $ over_arg $ metric_arg $ time_arg $ domains_arg $ graph_spec_arg $ graph_file_arg
+      $ trace_arg $ trace_format_arg $ obs_summary_arg $ json_arg)
 
 (* ---- measure ---- *)
 

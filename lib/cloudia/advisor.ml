@@ -27,6 +27,32 @@ type config = {
   strategy : strategy;
 }
 
+type solver_stats =
+  | No_solver_stats
+  | Cp_stats of { iterations : int; nodes : int; failures : int; propagations : int }
+  | Mip_stats of { nodes_explored : int; nodes_pruned : int }
+  | Anneal_stats of { moves_tried : int; moves_accepted : int }
+  | Random_stats of { trials : int }
+
+type member_stats = {
+  member_name : string;
+  member_cost : float;
+  member_time_to_best : float;
+  member_seconds : float;
+  member_iterations : int;
+  member_proved : bool;
+}
+
+type telemetry = {
+  strategy_name : string;
+  solver : solver_stats;
+  proven_optimal : bool;
+  incumbent_trace : (float * float) list;
+  winner : string option;
+  members : member_stats list;
+  counters : (string * int) list;
+}
+
 type report = {
   env : Cloudsim.Env.t;
   problem : Types.problem;
@@ -38,51 +64,134 @@ type report = {
   measurement_minutes : float;
   search_seconds : float;
   terminated : int list;
+  telemetry : telemetry;
 }
 
-let search rng strategy objective problem =
+let search_with_telemetry rng strategy objective problem =
+  let before = Obs.Counter.snapshot () in
+  let finish ?(solver = No_solver_stats) ?(proven = false) ?(trace = []) ?winner
+      ?(members = []) plan =
+    ( plan,
+      {
+        strategy_name = strategy_to_string strategy;
+        solver;
+        proven_optimal = proven;
+        incumbent_trace = trace;
+        winner;
+        members;
+        counters = Obs.Counter.delta ~before ~after:(Obs.Counter.snapshot ());
+      } )
+  in
+  (* For the strategies whose solvers do not record their own trace, the
+     improvement callback reconstructs one against this start time. *)
+  let started = Unix.gettimeofday () in
+  let trace = ref [] in
+  let on_improve _plan cost =
+    trace := (Unix.gettimeofday () -. started, cost) :: !trace
+  in
   match strategy with
-  | Greedy_g1 -> Greedy.g1 problem
-  | Greedy_g2 -> Greedy.g2 problem
-  | Random_r1 trials -> fst (Random_search.r1 rng objective problem ~trials)
+  | Greedy_g1 -> finish (Greedy.g1 problem)
+  | Greedy_g2 -> finish (Greedy.g2 problem)
+  | Random_r1 trials ->
+      let plan, _ = Random_search.r1 ~on_improve rng objective problem ~trials in
+      finish ~solver:(Random_stats { trials }) ~trace:(List.rev !trace) plan
   | Random_r2 budget ->
-      let plan, _, _ = Random_search.r2 rng objective problem ~time_limit:budget in
-      plan
-  | Anneal options -> (Anneal.solve_objective ~options rng objective problem).Anneal.plan
+      let plan, _, trials =
+        Random_search.r2 ~on_improve rng objective problem ~time_limit:budget
+      in
+      finish ~solver:(Random_stats { trials }) ~trace:(List.rev !trace) plan
+  | Anneal options ->
+      let r = Anneal.solve_objective ~options ~on_improve rng objective problem in
+      finish
+        ~solver:
+          (Anneal_stats
+             {
+               moves_tried = r.Anneal.moves_tried;
+               moves_accepted = r.Anneal.moves_accepted;
+             })
+        ~trace:(List.rev !trace) r.Anneal.plan
   | Cp options -> (
       match objective with
-      | Cost.Longest_link -> (Cp_solver.solve ~options rng problem).Cp_solver.plan
+      | Cost.Longest_link ->
+          let r = Cp_solver.solve ~options rng problem in
+          finish
+            ~solver:
+              (Cp_stats
+                 {
+                   iterations = r.Cp_solver.iterations;
+                   nodes = r.Cp_solver.nodes;
+                   failures = r.Cp_solver.failures;
+                   propagations = r.Cp_solver.propagations;
+                 })
+            ~proven:r.Cp_solver.proven_optimal ~trace:r.Cp_solver.trace r.Cp_solver.plan
       | Cost.Longest_path ->
           invalid_arg
             "Advisor: the CP strategy only supports the longest-link objective")
-  | Mip options -> (
-      match objective with
-      | Cost.Longest_link ->
-          (Mip_solver.solve_longest_link ~options rng problem).Mip_solver.plan
-      | Cost.Longest_path ->
-          (Mip_solver.solve_longest_path ~options rng problem).Mip_solver.plan)
-  | Portfolio options -> (Portfolio.solve ~options rng objective problem).Portfolio.plan
+  | Mip options ->
+      let solver =
+        match objective with
+        | Cost.Longest_link -> Mip_solver.solve_longest_link
+        | Cost.Longest_path -> Mip_solver.solve_longest_path
+      in
+      let r = solver ~options rng problem in
+      finish
+        ~solver:
+          (Mip_stats
+             {
+               nodes_explored = r.Mip_solver.nodes_explored;
+               nodes_pruned = r.Mip_solver.nodes_pruned;
+             })
+        ~proven:r.Mip_solver.proven_optimal ~trace:r.Mip_solver.trace r.Mip_solver.plan
+  | Portfolio options ->
+      let r = Portfolio.solve ~options rng objective problem in
+      let members =
+        List.map
+          (fun (w : Portfolio.worker) ->
+            {
+              member_name = Portfolio.member_to_string w.Portfolio.member;
+              member_cost = w.Portfolio.best_cost;
+              member_time_to_best = w.Portfolio.time_to_best;
+              member_seconds = w.Portfolio.elapsed;
+              member_iterations = w.Portfolio.iterations;
+              member_proved = w.Portfolio.proved_optimal;
+            })
+          r.Portfolio.workers
+      in
+      finish ~proven:r.Portfolio.proven_optimal ~trace:r.Portfolio.trace
+        ~winner:r.Portfolio.winner_name ~members r.Portfolio.plan
+
+let search rng strategy objective problem =
+  fst (search_with_telemetry rng strategy objective problem)
 
 let run rng provider config =
   if config.over_allocation < 0.0 then
     invalid_arg "Advisor.run: over-allocation ratio must be non-negative";
   let nodes = Graphs.Digraph.n config.graph in
   if nodes = 0 then invalid_arg "Advisor.run: empty communication graph";
+  Obs.Span.with_ "advise" @@ fun () ->
   (* Step 1: allocate with over-allocation. *)
   let count =
     int_of_float (Float.ceil (float_of_int nodes *. (1.0 +. config.over_allocation)))
   in
-  let env = Cloudsim.Env.allocate rng provider ~count in
+  let env =
+    Obs.Span.with_ "allocate" @@ fun () -> Cloudsim.Env.allocate rng provider ~count
+  in
   (* Step 2: measure. The per-pair sampling below is what the staged scheme
      of Sect. 5 would collect; we charge its time budget. *)
-  let costs = Metrics.estimate rng env config.metric ~samples_per_pair:config.samples_per_pair in
+  let costs =
+    Obs.Span.with_ "measure" @@ fun () ->
+    Metrics.estimate rng env config.metric ~samples_per_pair:config.samples_per_pair
+  in
   let problem = Types.problem ~graph:config.graph ~costs in
   let measurement_minutes =
     Netmeasure.Schemes.staged_time_for ~n:count ~reference_minutes:5.0
   in
   (* Step 3: search. *)
   let started = Unix.gettimeofday () in
-  let plan = search rng config.strategy config.objective problem in
+  let plan, telemetry =
+    Obs.Span.with_ "search" @@ fun () ->
+    search_with_telemetry rng config.strategy config.objective problem
+  in
   let search_seconds = Unix.gettimeofday () -. started in
   Types.validate problem plan;
   let default_plan = Types.identity_plan problem in
@@ -101,4 +210,5 @@ let run rng provider config =
     measurement_minutes;
     search_seconds;
     terminated;
+    telemetry;
   }

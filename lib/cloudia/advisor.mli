@@ -38,6 +38,39 @@ type config = {
   strategy : strategy;
 }
 
+type solver_stats =
+  | No_solver_stats                (** greedy strategies: nothing to count *)
+  | Cp_stats of { iterations : int; nodes : int; failures : int; propagations : int }
+      (** feasibility iterations, plus the CP kernel's search effort
+          summed over every dive *)
+  | Mip_stats of { nodes_explored : int; nodes_pruned : int }
+  | Anneal_stats of { moves_tried : int; moves_accepted : int }
+  | Random_stats of { trials : int }
+
+type member_stats = {
+  member_name : string;            (** {!Portfolio.member_to_string} *)
+  member_cost : float;             (** the member's own best true cost *)
+  member_time_to_best : float;     (** seconds until its last improvement *)
+  member_seconds : float;          (** wall-clock the member spent searching *)
+  member_iterations : int;         (** solver-specific effort count *)
+  member_proved : bool;
+}
+
+type telemetry = {
+  strategy_name : string;          (** {!strategy_to_string} of the config *)
+  solver : solver_stats;           (** kernel effort of the strategy run *)
+  proven_optimal : bool;           (** the strategy proved optimality under
+                                       its own (possibly rounded) costs *)
+  incumbent_trace : (float * float) list;
+      (** anytime curve: (elapsed seconds, cost) at each improvement,
+          oldest first; empty for the greedy strategies *)
+  winner : string option;          (** portfolio only: winning member name *)
+  members : member_stats list;     (** portfolio only: per-member telemetry *)
+  counters : (string * int) list;
+      (** {!Obs.Counter} deltas across the search step, sorted by name;
+          zero deltas omitted *)
+}
+
 type report = {
   env : Cloudsim.Env.t;            (** the allocation (before termination) *)
   problem : Types.problem;         (** measured costs + communication graph *)
@@ -49,12 +82,21 @@ type report = {
   measurement_minutes : float;     (** staged-scheme time budget charged *)
   search_seconds : float;          (** wall-clock spent searching *)
   terminated : int list;           (** over-allocated instances shut down *)
+  telemetry : telemetry;           (** what the search actually did *)
 }
 
 val run : Prng.t -> Cloudsim.Provider.t -> config -> report
 (** Raises [Invalid_argument] when the strategy cannot handle the
     objective (CP handles longest link only, per Sect. 4.4's argument that
-    the longest-path objective defeats the iterated-SIP scheme). *)
+    the longest-path objective defeats the iterated-SIP scheme). The
+    allocate / measure / search steps run under {!Obs.Span}s of those
+    names (nested in an ["advise"] root), so [--trace] output shows where
+    the tuning budget went. *)
 
 val search : Prng.t -> strategy -> Cost.objective -> Types.problem -> Types.plan
 (** Just step 3: run a strategy on an existing problem. *)
+
+val search_with_telemetry :
+  Prng.t -> strategy -> Cost.objective -> Types.problem -> Types.plan * telemetry
+(** Like {!search} but also returns the solver statistics, incumbent trace
+    and counter deltas the plain interface drops. *)

@@ -24,6 +24,11 @@ type result = {
   moves_accepted : int;
 }
 
+(* Flushed once per solve from the refs the loop already keeps. *)
+let c_tried = Obs.Counter.make "anneal.moves_tried"
+let c_accepted = Obs.Counter.make "anneal.moves_accepted"
+let g_acceptance = Obs.Gauge.make "anneal.acceptance_rate"
+
 (* One annealing run from a random start. The global best (shared across
    restarts) is updated in place so improvement callbacks see the true
    cross-restart incumbent timeline. *)
@@ -101,7 +106,10 @@ let solve ?(options = default_options) ?(stop = fun () -> false) ?on_improve rng
   (match options.max_moves with
   | Some m when m <= 0 -> invalid_arg "Anneal.solve: need a positive move budget"
   | _ -> ());
+  Obs.Span.with_ "anneal.solve" @@ fun () ->
+  let obs_stream = Obs.Incumbent.stream "anneal" in
   let improved plan cost =
+    ignore (Obs.Incumbent.observe obs_stream cost : bool);
     match on_improve with Some f -> f plan cost | None -> ()
   in
   let deadline = Unix.gettimeofday () +. options.time_limit in
@@ -118,6 +126,10 @@ let solve ?(options = default_options) ?(stop = fun () -> false) ?on_improve rng
     run rng eval t options ~deadline ~stop ~improved ~tried ~accepted ~budget_left
       ~best_plan ~best_cost
   done;
+  Obs.Counter.add c_tried !tried;
+  Obs.Counter.add c_accepted !accepted;
+  if !tried > 0 then
+    Obs.Gauge.set g_acceptance (float_of_int !accepted /. float_of_int !tried);
   { plan = !best_plan; cost = !best_cost; moves_tried = !tried; moves_accepted = !accepted }
 
 let solve_objective ?options ?stop ?on_improve rng objective t =

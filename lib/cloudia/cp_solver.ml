@@ -20,8 +20,14 @@ type result = {
   cost : float;
   trace : (float * float) list;
   iterations : int;
+  nodes : int;
+  failures : int;
+  propagations : int;
   proven_optimal : bool;
 }
+
+let c_adoptions = Obs.Counter.make "portfolio.incumbent_adoptions"
+let c_iterations = Obs.Counter.make "cp_solver.threshold_iterations"
 
 (* The threshold graph Gc as a Digraph over instances (uniform-weight
    case, for compatibility labeling). *)
@@ -67,6 +73,8 @@ let connectivity_badness rounded =
 
 let solve ?(options = default_options) ?edge_weight ?(order_values = true) ?max_iterations
     ?(stop = fun () -> false) ?peek ?on_incumbent rng (t : Types.problem) =
+  Obs.Span.with_ "cp_solver.solve" @@ fun () ->
+  let obs_stream = Obs.Incumbent.stream "cp" in
   let start = Unix.gettimeofday () in
   let elapsed () = Unix.gettimeofday () -. start in
   let n = Types.node_count t and m = Types.instance_count t in
@@ -102,7 +110,9 @@ let solve ?(options = default_options) ?edge_weight ?(order_values = true) ?max_
   let rounded_eval plan = weighted_ll edges weight rounded plan in
   let true_eval plan = weighted_ll edges weight t.Types.costs plan in
   let publish plan =
-    match on_incumbent with Some f -> f plan (true_eval plan) | None -> ()
+    let cost = true_eval plan in
+    ignore (Obs.Incumbent.observe obs_stream cost : bool);
+    match on_incumbent with Some f -> f plan cost | None -> ()
   in
   let incumbent =
     ref (Random_search.best_of_eval rng ~eval:rounded_eval t (max 1 options.bootstrap_trials))
@@ -110,6 +120,7 @@ let solve ?(options = default_options) ?edge_weight ?(order_values = true) ?max_
   let trace = ref [ (elapsed (), true_eval !incumbent) ] in
   publish !incumbent;
   let iterations = ref 0 in
+  let nodes = ref 0 and failures = ref 0 and propagations = ref 0 in
   let proven = ref false in
   let iteration_cap_hit () =
     match max_iterations with Some cap -> !iterations >= cap | None -> false
@@ -124,11 +135,22 @@ let solve ?(options = default_options) ?edge_weight ?(order_values = true) ?max_
         match f () with
         | Some plan when rounded_eval plan < rounded_eval !incumbent ->
             incumbent := Array.copy plan;
+            Obs.Counter.incr c_adoptions;
+            ignore (Obs.Incumbent.observe obs_stream (true_eval !incumbent) : bool);
             trace := (elapsed (), true_eval !incumbent) :: !trace
         | _ -> ())
   in
   if n = 0 then
-    { plan = [||]; cost = 0.0; trace = []; iterations = 0; proven_optimal = true }
+    {
+      plan = [||];
+      cost = 0.0;
+      trace = [];
+      iterations = 0;
+      nodes = 0;
+      failures = 0;
+      propagations = 0;
+      proven_optimal = true;
+    }
   else begin
     let continue = ref true in
     while !continue do
@@ -144,6 +166,7 @@ let solve ?(options = default_options) ?edge_weight ?(order_values = true) ?max_
             continue := false
         | c :: _ ->
             incr iterations;
+            Obs.Counter.incr c_iterations;
             let csp = Cp.Csp.create ~nvars:n ~nvalues:m in
             Cp.Csp.add_alldifferent csp;
             (* One forbidden matrix per distinct edge weight: the edge
@@ -187,18 +210,22 @@ let solve ?(options = default_options) ?edge_weight ?(order_values = true) ?max_
               end
               else fun ~var:_ values -> values
             in
-            (match
-               Cp.Search.solve ~time_limit:iteration_budget ~should_stop:stop ~value_order
-                 csp
-             with
-            | Cp.Search.Sat plan, _ ->
+            let outcome, (st : Cp.Search.stats) =
+              Cp.Search.solve ~time_limit:iteration_budget ~should_stop:stop ~value_order
+                csp
+            in
+            nodes := !nodes + st.Cp.Search.nodes;
+            failures := !failures + st.Cp.Search.failures;
+            propagations := !propagations + st.Cp.Search.propagations;
+            (match outcome with
+            | Cp.Search.Sat plan ->
                 incumbent := plan;
                 trace := (elapsed (), true_eval plan) :: !trace;
                 publish plan
-            | Cp.Search.Unsat, _ ->
+            | Cp.Search.Unsat ->
                 proven := true;
                 continue := false
-            | Cp.Search.Timeout, _ ->
+            | Cp.Search.Timeout ->
                 (* A cooperative stop also surfaces as Timeout; either way
                    the anytime contract is the same: keep the incumbent. *)
                 continue := false)
@@ -209,6 +236,9 @@ let solve ?(options = default_options) ?edge_weight ?(order_values = true) ?max_
       cost = true_eval !incumbent;
       trace = List.rev !trace;
       iterations = !iterations;
+      nodes = !nodes;
+      failures = !failures;
+      propagations = !propagations;
       proven_optimal = !proven;
     }
   end

@@ -35,6 +35,9 @@ type result = {
                                      includes the bootstrap incumbent at
                                      time ~0 *)
   iterations : int;              (** feasibility problems solved *)
+  nodes : int;                   (** CP search nodes across all dives *)
+  failures : int;                (** CP dead ends across all dives *)
+  propagations : int;            (** propagation passes across all dives *)
   proven_optimal : bool;         (** UNSAT reached: optimal w.r.t. the
                                      rounded cost matrix *)
 }

@@ -95,6 +95,7 @@ let finish st =
   Array.copy st.inst_of
 
 let g1 (t : Types.problem) =
+  Obs.Span.with_ "greedy.g1" @@ fun () ->
   let n = Types.node_count t and m = Types.instance_count t in
   let st = make_state t in
   if n = 1 then begin
@@ -134,6 +135,7 @@ let g1 (t : Types.problem) =
   end
 
 let g2 (t : Types.problem) =
+  Obs.Span.with_ "greedy.g2" @@ fun () ->
   let n = Types.node_count t and m = Types.instance_count t in
   let st = make_state t in
   if n = 1 then begin

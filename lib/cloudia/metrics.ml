@@ -17,9 +17,12 @@ let of_samples metric samples =
   | Mean_plus_sd -> Stats.Summary.mean samples +. Stats.Summary.stddev samples
   | P99 -> Stats.Summary.percentile samples 99.0
 
+let c_samples = Obs.Counter.make "metrics.rtt_samples"
+
 let draw_samples rng env ~samples_per_pair =
   if samples_per_pair <= 0 then invalid_arg "Metrics: need a positive sample count";
   let n = Cloudsim.Env.count env in
+  Obs.Counter.add c_samples (n * (n - 1) * samples_per_pair);
   Array.init n (fun i ->
       Array.init n (fun j ->
           if i = j then [||]

@@ -14,6 +14,7 @@ type result = {
   trace : (float * float) list;
   proven_optimal : bool;
   nodes_explored : int;
+  nodes_pruned : int;
 }
 
 (* Assignment variables for the padded one-to-one mapping: x.(i).(j) for
@@ -94,15 +95,19 @@ let rounded_costs options (t : Types.problem) =
   | None -> t.Types.costs
 
 let run_bnb ~options ~stop ~publish ~model ~x ~m ~n ~seed_obj ~seed_sol ~true_eval =
+  Obs.Span.with_ "mip_solver.solve" @@ fun () ->
+  let obs_stream = Obs.Incumbent.stream "mip" in
   let trace = ref [] in
   let start = Unix.gettimeofday () in
   let best_plan = ref (plan_of_solution ~x ~m ~n seed_sol) in
   trace := [ (0.0, true_eval !best_plan) ];
+  ignore (Obs.Incumbent.observe obs_stream (true_eval !best_plan) : bool);
   publish !best_plan (true_eval !best_plan);
   let on_incumbent ~obj:_ ~solution ~elapsed =
     let plan = plan_of_solution ~x ~m ~n solution in
     best_plan := plan;
     trace := (elapsed, true_eval plan) :: !trace;
+    ignore (Obs.Incumbent.observe obs_stream (true_eval plan) : bool);
     publish plan (true_eval plan)
   in
   let outcome, stats =
@@ -119,6 +124,7 @@ let run_bnb ~options ~stop ~publish ~model ~x ~m ~n ~seed_obj ~seed_sol ~true_ev
     trace = List.rev !trace;
     proven_optimal = proven;
     nodes_explored = stats.Lp.Mip.nodes_explored;
+    nodes_pruned = stats.Lp.Mip.nodes_pruned;
   }
 
 let no_publish _ _ = ()

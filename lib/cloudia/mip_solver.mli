@@ -38,6 +38,7 @@ type result = {
   trace : (float * float) list; (** (elapsed, true cost) per incumbent *)
   proven_optimal : bool;
   nodes_explored : int;
+  nodes_pruned : int;           (** subtrees cut by the incumbent bound *)
 }
 
 val solve_longest_link :

@@ -58,17 +58,21 @@ type worker = {
   moves_tried : int;
   moves_accepted : int;
   proved_optimal : bool;
+  elapsed : float;
 }
 
 type result = {
   plan : Types.plan;
   cost : float;
   winner : int;
+  winner_name : string;
   trace : (float * float) list;
   workers : worker list;
   proven_optimal : bool;
   elapsed : float;
 }
+
+let c_publishes = Obs.Counter.make "portfolio.publishes"
 
 (* What each domain hands back to the joiner. The final plan/cost come
    from the solver's own return value, not the shared incumbent, so the
@@ -103,6 +107,8 @@ let solve ?(options = default_options) rng objective (t : Types.problem) =
   validate_members options.members objective;
   if options.time_limit <= 0.0 then
     invalid_arg "Portfolio.solve: time_limit must be positive";
+  Obs.Span.with_ "portfolio.solve" @@ fun () ->
+  let obs_stream = Obs.Incumbent.stream "portfolio" in
   let eval = Cost.eval objective t in
   let start = Unix.gettimeofday () in
   let elapsed () = Unix.gettimeofday () -. start in
@@ -130,11 +136,14 @@ let solve ?(options = default_options) rng objective (t : Types.problem) =
   in
   let run_member member rng =
     (* Worker-local telemetry; only this domain touches these refs. *)
+    let member_start = Unix.gettimeofday () in
     let own_best = ref infinity and own_tt = ref 0.0 in
     let publish plan cost =
       if cost < !own_best then begin
         own_best := cost;
         own_tt := elapsed ();
+        Obs.Counter.incr c_publishes;
+        ignore (Obs.Incumbent.observe obs_stream cost : bool);
         let copy = Array.copy plan in
         Mutex.protect mutex (fun () ->
             events := (!own_tt, cost) :: !events;
@@ -159,6 +168,7 @@ let solve ?(options = default_options) rng objective (t : Types.problem) =
             moves_tried;
             moves_accepted;
             proved_optimal = proved;
+            elapsed = Unix.gettimeofday () -. member_start;
           };
         final_plan = plan;
         final_cost = cost;
@@ -209,7 +219,10 @@ let solve ?(options = default_options) rng objective (t : Types.problem) =
   in
   let domains =
     List.mapi
-      (fun i member -> Domain.spawn (fun () -> run_member member rngs.(i)))
+      (fun i member ->
+        Domain.spawn (fun () ->
+            Obs.Span.with_ ("portfolio.member:" ^ member_to_string member)
+            @@ fun () -> run_member member rngs.(i)))
       options.members
   in
   let outcomes = List.map Domain.join domains in
@@ -228,6 +241,7 @@ let solve ?(options = default_options) rng objective (t : Types.problem) =
     plan = best_outcome.final_plan;
     cost = best_outcome.final_cost;
     winner;
+    winner_name = member_to_string (List.nth options.members winner);
     trace = merged_trace !events;
     workers = List.map (fun o -> o.w) outcomes;
     proven_optimal = List.exists (fun o -> o.exact_proof) outcomes;

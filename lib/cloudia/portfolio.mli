@@ -65,6 +65,9 @@ type worker = {
   moves_accepted : int;           (** annealing only; 0 elsewhere *)
   proved_optimal : bool;          (** this worker proved optimality under
                                       its own (possibly rounded) costs *)
+  elapsed : float;                (** wall-clock seconds this member spent
+                                      searching, measured inside its own
+                                      domain (spawn to return) *)
 }
 
 type result = {
@@ -73,6 +76,7 @@ type result = {
   winner : int;                   (** index into [options.members] of the
                                       worker whose best plan won; ties go
                                       to the lowest index *)
+  winner_name : string;           (** [member_to_string] of that member *)
   trace : (float * float) list;
       (** merged anytime curve: (elapsed seconds, true cost) prefix
           minima over every improvement any worker published, oldest

@@ -1,5 +1,8 @@
 let no_stop () = false
 
+(* Counts every candidate plan drawn, bootstrap seeding included. *)
+let c_trials = Obs.Counter.make "random_search.trials"
+
 let r1_eval ?(stop = no_stop) ?on_improve rng ~eval problem ~trials =
   if trials <= 0 then invalid_arg "Random_search.r1: need a positive trial count";
   let improved plan cost =
@@ -8,11 +11,13 @@ let r1_eval ?(stop = no_stop) ?on_improve rng ~eval problem ~trials =
   let best_plan = ref (Types.random_plan rng problem) in
   let best_cost = ref (eval !best_plan) in
   improved !best_plan !best_cost;
+  let drawn = ref 1 in
   (try
      for _ = 2 to trials do
        if stop () then raise Exit;
        let plan = Types.random_plan rng problem in
        let c = eval plan in
+       incr drawn;
        if c < !best_cost then begin
          best_cost := c;
          best_plan := plan;
@@ -20,12 +25,16 @@ let r1_eval ?(stop = no_stop) ?on_improve rng ~eval problem ~trials =
        end
      done
    with Exit -> ());
+  Obs.Counter.add c_trials !drawn;
   (!best_plan, !best_cost)
 
 let r2_eval ?(stop = no_stop) ?on_improve ?(now = Unix.gettimeofday) rng ~eval problem
     ~time_limit =
   if time_limit <= 0.0 then invalid_arg "Random_search.r2: need a positive time limit";
+  Obs.Span.with_ "random_search.r2" @@ fun () ->
+  let obs_stream = Obs.Incumbent.stream "random" in
   let improved plan cost =
+    ignore (Obs.Incumbent.observe obs_stream cost : bool);
     match on_improve with Some f -> f plan cost | None -> ()
   in
   let deadline = now () +. time_limit in
@@ -43,6 +52,7 @@ let r2_eval ?(stop = no_stop) ?on_improve ?(now = Unix.gettimeofday) rng ~eval p
       improved plan c
     end
   done;
+  Obs.Counter.add c_trials !trials;
   (!best_plan, !best_cost, !trials)
 
 let r1 ?stop ?on_improve rng objective problem ~trials =

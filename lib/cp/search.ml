@@ -6,16 +6,24 @@ type result =
 type stats = {
   nodes : int;
   failures : int;
+  propagations : int;
   elapsed : float;
 }
 
 exception Found of int array
 exception Out_of_budget
 
+(* Flushed once per solve from the local refs the search already keeps —
+   the node loop itself stays free of atomic traffic. *)
+let c_nodes = Obs.Counter.make "cp.search.nodes"
+let c_failures = Obs.Counter.make "cp.search.failures"
+let c_propagations = Obs.Counter.make "cp.search.propagations"
+
 let solve ?time_limit ?node_limit ?should_stop
     ?(value_order = fun ~var:_ values -> values) csp =
+  Obs.Span.with_ "cp.search" @@ fun () ->
   let start = Unix.gettimeofday () in
-  let nodes = ref 0 and failures = ref 0 in
+  let nodes = ref 0 and failures = ref 0 and propagations = ref 0 in
   let deadline = Option.map (fun l -> start +. l) time_limit in
   let check_budget () =
     (match node_limit with Some l when !nodes >= l -> raise Out_of_budget | _ -> ());
@@ -40,6 +48,7 @@ let solve ?time_limit ?node_limit ?should_stop
   in
   let rec search () =
     check_budget ();
+    incr propagations;
     match Csp.propagate csp with
     | Csp.Failure -> incr failures
     | Csp.Progress | Csp.Fixpoint -> (
@@ -65,7 +74,16 @@ let solve ?time_limit ?node_limit ?should_stop
   in
   let finish outcome =
     Csp.restore csp initial;
-    (outcome, { nodes = !nodes; failures = !failures; elapsed = Unix.gettimeofday () -. start })
+    Obs.Counter.add c_nodes !nodes;
+    Obs.Counter.add c_failures !failures;
+    Obs.Counter.add c_propagations !propagations;
+    ( outcome,
+      {
+        nodes = !nodes;
+        failures = !failures;
+        propagations = !propagations;
+        elapsed = Unix.gettimeofday () -. start;
+      } )
   in
   match search () with
   | () -> finish Unsat

@@ -15,6 +15,7 @@ type result =
 type stats = {
   nodes : int;          (** search nodes (assignments tried) *)
   failures : int;       (** dead ends reached *)
+  propagations : int;   (** constraint-propagation passes run *)
   elapsed : float;      (** wall-clock seconds *)
 }
 

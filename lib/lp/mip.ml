@@ -6,9 +6,14 @@ type outcome =
 
 type stats = {
   nodes_explored : int;
+  nodes_pruned : int;
   elapsed_seconds : float;
   proven_optimal : bool;
 }
+
+let c_nodes = Obs.Counter.make "lp.mip.nodes_explored"
+let c_pruned = Obs.Counter.make "lp.mip.nodes_pruned"
+let c_incumbents = Obs.Counter.make "lp.mip.incumbents"
 
 let int_tol = 1e-6
 
@@ -68,6 +73,7 @@ type strategy = Best_first | Depth_first
 
 let solve ?time_limit ?node_limit ?should_stop ?(strategy = Depth_first) ?on_incumbent
     ?initial_incumbent model =
+  Obs.Span.with_ "lp.mip.solve" @@ fun () ->
   let start = Unix.gettimeofday () in
   let elapsed () = Unix.gettimeofday () -. start in
   let over_time () =
@@ -80,6 +86,7 @@ let solve ?time_limit ?node_limit ?should_stop ?(strategy = Depth_first) ?on_inc
     | None -> None)
   in
   let nodes = ref 0 in
+  let pruned = ref 0 in
   let hit_limit = ref false in
   (* Open nodes live either in a best-first heap or a depth-first stack. A
      node is the list of branching rows accumulated from the root plus its
@@ -122,6 +129,7 @@ let solve ?time_limit ?node_limit ?should_stop ?(strategy = Depth_first) ?on_inc
   let record_incumbent obj sol =
     if obj < best_obj () -. 1e-9 then begin
       incumbent := Some (obj, Array.copy sol);
+      Obs.Counter.incr c_incumbents;
       match on_incumbent with
       | Some f -> f ~obj ~solution:sol ~elapsed:(elapsed ())
       | None -> ()
@@ -146,6 +154,7 @@ let solve ?time_limit ?node_limit ?should_stop ?(strategy = Depth_first) ?on_inc
                 (* Bound-dominated. Under best-first ordering every
                    remaining node is dominated too; under depth-first only
                    this node can be skipped. *)
+                incr pruned;
                 if strategy = Best_first then continue := false
               end
               else begin
@@ -192,11 +201,22 @@ let solve ?time_limit ?node_limit ?should_stop ?(strategy = Depth_first) ?on_inc
                         end
                       end
                     end
+                    else
+                      (* The LP bound already meets the incumbent: this
+                         subtree cannot contain a strict improvement. *)
+                      incr pruned
               end)
   done;
   let stats =
-    { nodes_explored = !nodes; elapsed_seconds = elapsed (); proven_optimal = not !hit_limit }
+    {
+      nodes_explored = !nodes;
+      nodes_pruned = !pruned;
+      elapsed_seconds = elapsed ();
+      proven_optimal = not !hit_limit;
+    }
   in
+  Obs.Counter.add c_nodes !nodes;
+  Obs.Counter.add c_pruned !pruned;
   if unbounded then (Mip_unbounded, stats)
   else
     match !incumbent with

@@ -23,6 +23,10 @@ type strategy =
 
 type stats = {
   nodes_explored : int;
+  nodes_pruned : int;
+      (** subtrees cut by the incumbent bound — before solving their LP
+          (bound-dominated pops) or right after (relaxation no better than
+          the incumbent); the search-effort-saved quantity of Fig. 7 *)
   elapsed_seconds : float;
   proven_optimal : bool;
 }

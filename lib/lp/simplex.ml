@@ -83,6 +83,12 @@ let choose_leaving t ~col =
 
 type phase_result = Phase_optimal | Phase_unbounded
 
+(* Pivot totals are flushed once per phase, not per pivot: an atomic add in
+   the pivot loop would contend across portfolio domains and show up in
+   bench numbers. *)
+let c_pivots = Obs.Counter.make "lp.simplex.pivots"
+let c_solves = Obs.Counter.make "lp.simplex.solves"
+
 exception Aborted
 
 exception Too_large
@@ -94,6 +100,8 @@ exception Too_large
 let max_tableau_cells = 20_000_000
 
 let run_phase t ~allowed ~max_iters ~iter_count ~should_stop =
+  let entry = !iter_count in
+  Fun.protect ~finally:(fun () -> Obs.Counter.add c_pivots (!iter_count - entry)) @@ fun () ->
   let result = ref Phase_optimal in
   let continue = ref true in
   while !continue do
@@ -119,6 +127,7 @@ let run_phase t ~allowed ~max_iters ~iter_count ~should_stop =
   !result
 
 let solve ?(max_iters = 50_000) ?(should_stop = fun () -> false) ~objective ~rows () =
+  Obs.Counter.incr c_solves;
   let nvars = Array.length objective in
   List.iter
     (fun (coeffs, _, _) ->

@@ -27,7 +27,15 @@ let record acc i j rtt =
   acc.sums.(i).(j) <- acc.sums.(i).(j) +. rtt;
   acc.counts.(i).(j) <- acc.counts.(i).(j) + 1
 
+(* Total probes sent by a scheme run; flushed once when its accumulator is
+   finalized, so the per-probe loop stays free of atomic traffic. *)
+let c_probes = Obs.Counter.make "netmeasure.probes"
+
 let finish acc =
+  Obs.Counter.add c_probes
+    (Array.fold_left
+       (fun a row -> Array.fold_left ( + ) a row)
+       0 acc.counts);
   let n = Array.length acc.sums in
   let means =
     Array.init n (fun i ->
@@ -40,6 +48,7 @@ let finish acc =
 
 let token_passing rng env ~samples_per_pair =
   if samples_per_pair <= 0 then invalid_arg "Schemes.token_passing: need positive sample count";
+  Obs.Span.with_ "netmeasure.token_passing" @@ fun () ->
   let n = Cloudsim.Env.count env in
   let acc = make_acc n in
   (* Token pass itself costs one one-way message; model as half the mean
@@ -60,6 +69,7 @@ let token_passing rng env ~samples_per_pair =
 
 let uncoordinated rng env ~rounds =
   if rounds <= 0 then invalid_arg "Schemes.uncoordinated: need positive rounds";
+  Obs.Span.with_ "netmeasure.uncoordinated" @@ fun () ->
   let n = Cloudsim.Env.count env in
   if n < 2 then invalid_arg "Schemes.uncoordinated: need at least two instances";
   let acc = make_acc n in
@@ -94,6 +104,7 @@ let uncoordinated rng env ~rounds =
 
 let staged rng env ~ks ~stages =
   if ks <= 0 || stages <= 0 then invalid_arg "Schemes.staged: need positive ks and stages";
+  Obs.Span.with_ "netmeasure.staged" @@ fun () ->
   let n = Cloudsim.Env.count env in
   if n < 2 then invalid_arg "Schemes.staged: need at least two instances";
   let acc = make_acc n in

@@ -1,0 +1,13 @@
+(** Monotonic time source for every telemetry timestamp.
+
+    Backed by [clock_gettime(CLOCK_MONOTONIC)], so timestamps never move
+    backwards and differences are real elapsed durations — wall-clock
+    (NTP-adjusted) time would break span nesting and incumbent ordering. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds since an arbitrary fixed origin (boot on Linux). Only
+    differences between two readings are meaningful. *)
+
+val ns_to_us : int64 -> float
+val ns_to_ms : int64 -> float
+val ns_to_s : int64 -> float

@@ -1,0 +1,39 @@
+type t = {
+  name : string;
+  cell : int Atomic.t;
+}
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+let registry_mu = Mutex.create ()
+
+let make name =
+  Mutex.protect registry_mu (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some c -> c
+      | None ->
+          let c = { name; cell = Atomic.make 0 } in
+          Hashtbl.add registry name c;
+          c)
+
+let add c n = if n <> 0 then ignore (Atomic.fetch_and_add c.cell n)
+let incr c = add c 1
+let value c = Atomic.get c.cell
+let name c = c.name
+
+let snapshot () =
+  Mutex.protect registry_mu (fun () ->
+      Hashtbl.fold (fun name c acc -> (name, Atomic.get c.cell) :: acc) registry [])
+  |> List.sort compare
+
+(* Per-name difference of two snapshots, names present in [after] only
+   counted from zero; zero deltas omitted. *)
+let delta ~before ~after =
+  List.filter_map
+    (fun (name, v) ->
+      let b = match List.assoc_opt name before with Some b -> b | None -> 0 in
+      if v - b <> 0 then Some (name, v - b) else None)
+    after
+
+let reset_all () =
+  Mutex.protect registry_mu (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) registry)

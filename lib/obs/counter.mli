@@ -1,0 +1,32 @@
+(** Named monotone counters for solver internals (pivots, nodes,
+    backtracks, probes, …).
+
+    Counters are process-global atomics: they count whether or not the
+    event sink is enabled, so cheap aggregate telemetry (the advisor's
+    per-search counter deltas, the bench per-section reports) costs one
+    [fetch_and_add] per update and needs no tracing session. Hot loops
+    should accumulate locally and flush once per solve — every kernel in
+    this repo does. *)
+
+type t
+
+val make : string -> t
+(** Idempotent: the same name always returns the same counter, so
+    module-level [make] in two libraries cannot double-register. *)
+
+val add : t -> int -> unit
+(** Atomic; safe from any domain. [add c 0] is a no-op. *)
+
+val incr : t -> unit
+val value : t -> int
+val name : t -> string
+
+val snapshot : unit -> (string * int) list
+(** Every registered counter with its current value, sorted by name. *)
+
+val delta : before:(string * int) list -> after:(string * int) list -> (string * int) list
+(** Per-name difference of two {!snapshot}s, zero entries omitted — the
+    cost of one region of work (e.g. a single advisor search). *)
+
+val reset_all : unit -> unit
+(** Zero every counter (test isolation). *)

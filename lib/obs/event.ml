@@ -1,0 +1,16 @@
+type payload =
+  | Span_begin of string
+  | Span_end of string
+  | Incumbent of { stream : string; cost : float }
+  | Mark of string
+
+type t = {
+  t_ns : int64;
+  domain : int;
+  payload : payload;
+}
+
+let name t =
+  match t.payload with
+  | Span_begin n | Span_end n | Mark n -> n
+  | Incumbent { stream; _ } -> stream

@@ -1,0 +1,204 @@
+(* ---- minimal JSON emission (no external dependency) ---- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* JSON has no literal for infinities or NaN. *)
+let number f = if Float.is_finite f then Printf.sprintf "%.17g" f else "null"
+
+(* ---- JSONL: one self-describing JSON object per line ---- *)
+
+let jsonl ?(counters = []) oc events =
+  List.iter
+    (fun (e : Event.t) ->
+      let common = Printf.sprintf "\"ts_ns\":%Ld,\"domain\":%d" e.Event.t_ns e.Event.domain in
+      (match e.Event.payload with
+      | Event.Span_begin n ->
+          Printf.fprintf oc "{\"type\":\"span_begin\",\"name\":\"%s\",%s}" (escape n) common
+      | Event.Span_end n ->
+          Printf.fprintf oc "{\"type\":\"span_end\",\"name\":\"%s\",%s}" (escape n) common
+      | Event.Incumbent { stream; cost } ->
+          Printf.fprintf oc "{\"type\":\"incumbent\",\"stream\":\"%s\",\"cost\":%s,%s}"
+            (escape stream) (number cost) common
+      | Event.Mark n ->
+          Printf.fprintf oc "{\"type\":\"mark\",\"name\":\"%s\",%s}" (escape n) common);
+      output_char oc '\n')
+    events;
+  List.iter
+    (fun (name, total) ->
+      Printf.fprintf oc "{\"type\":\"counter\",\"name\":\"%s\",\"total\":%d}\n" (escape name)
+        total)
+    counters
+
+(* ---- Chrome trace_event format (chrome://tracing, Perfetto) ---- *)
+
+let chrome ?(counters = []) oc events =
+  let t0 =
+    List.fold_left
+      (fun acc (e : Event.t) -> if Int64.compare e.Event.t_ns acc < 0 then e.Event.t_ns else acc)
+      (match events with [] -> 0L | e :: _ -> e.Event.t_ns)
+      events
+  in
+  let last = ref 0.0 in
+  let us t =
+    let v = Clock.ns_to_us (Int64.sub t t0) in
+    if v > !last then last := v;
+    v
+  in
+  output_string oc "{\"traceEvents\":[";
+  let first = ref true in
+  let emit line =
+    if !first then first := false else output_char oc ',';
+    output_char oc '\n';
+    output_string oc line
+  in
+  List.iter
+    (fun (e : Event.t) ->
+      let ts = us e.Event.t_ns in
+      match e.Event.payload with
+      | Event.Span_begin n ->
+          emit
+            (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"cloudia\",\"ph\":\"B\",\"ts\":%.3f,\"pid\":1,\"tid\":%d}"
+               (escape n) ts e.Event.domain)
+      | Event.Span_end n ->
+          emit
+            (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"cloudia\",\"ph\":\"E\",\"ts\":%.3f,\"pid\":1,\"tid\":%d}"
+               (escape n) ts e.Event.domain)
+      | Event.Incumbent { stream; cost } ->
+          emit
+            (Printf.sprintf
+               "{\"name\":\"incumbent:%s\",\"cat\":\"cloudia\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{\"cost\":%s}}"
+               (escape stream) ts e.Event.domain (number cost))
+      | Event.Mark n ->
+          emit
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"cat\":\"cloudia\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":1,\"tid\":%d,\"s\":\"t\"}"
+               (escape n) ts e.Event.domain))
+    events;
+  (* Final counter totals as counter samples at the trace's end. *)
+  List.iter
+    (fun (name, total) ->
+      emit
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"cloudia\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,\"tid\":0,\"args\":{\"value\":%d}}"
+           (escape name) !last total))
+    counters;
+  output_string oc "\n]}\n"
+
+(* ---- plain-text summary tree ---- *)
+
+type node = {
+  mutable total_ns : int64;
+  mutable calls : int;
+  children : (string, node) Hashtbl.t;
+  order : string Queue.t; (* child names in first-seen order *)
+}
+
+let make_node () = { total_ns = 0L; calls = 0; children = Hashtbl.create 4; order = Queue.create () }
+
+let child node name =
+  match Hashtbl.find_opt node.children name with
+  | Some c -> c
+  | None ->
+      let c = make_node () in
+      Hashtbl.add node.children name c;
+      Queue.add name node.order;
+      c
+
+(* Rebuild one domain's span tree from its begin/end sequence. Unmatched
+   ends are ignored; spans still open at the last event are closed there
+   (a trace cut mid-flight should still sum sensibly). *)
+let domain_tree events =
+  let root = make_node () in
+  let stack = ref [] in
+  let last_ts = List.fold_left (fun _ (e : Event.t) -> e.Event.t_ns) 0L events in
+  let parent () = match !stack with [] -> root | (_, _, n) :: _ -> n in
+  List.iter
+    (fun (e : Event.t) ->
+      match e.Event.payload with
+      | Event.Span_begin name ->
+          let n = child (parent ()) name in
+          stack := (name, e.Event.t_ns, n) :: !stack
+      | Event.Span_end name -> (
+          match !stack with
+          | (top, t_begin, n) :: rest when top = name ->
+              n.calls <- n.calls + 1;
+              n.total_ns <- Int64.add n.total_ns (Int64.sub e.Event.t_ns t_begin);
+              stack := rest
+          | _ -> ())
+      | Event.Incumbent _ | Event.Mark _ -> ())
+    events;
+  List.iter
+    (fun (_, t_begin, n) ->
+      n.calls <- n.calls + 1;
+      n.total_ns <- Int64.add n.total_ns (Int64.sub last_ts t_begin))
+    !stack;
+  root
+
+let summary ?(counters = []) ?(gauges = []) oc events =
+  let domains =
+    List.sort_uniq compare (List.map (fun (e : Event.t) -> e.Event.domain) events)
+  in
+  Printf.fprintf oc "observability summary (%d events, %d domain(s))\n" (List.length events)
+    (List.length domains);
+  List.iter
+    (fun dom ->
+      let evs = List.filter (fun (e : Event.t) -> e.Event.domain = dom) events in
+      let root = domain_tree evs in
+      if Hashtbl.length root.children > 0 then begin
+        Printf.fprintf oc "  domain %d\n" dom;
+        let rec print indent node =
+          Queue.iter
+            (fun name ->
+              let c = Hashtbl.find node.children name in
+              Printf.fprintf oc "  %s%-*s %6d call%s %12.3f ms\n" indent
+                (max 1 (34 - String.length indent))
+                name c.calls
+                (if c.calls = 1 then " " else "s")
+                (Clock.ns_to_ms c.total_ns);
+              print (indent ^ "  ") c)
+            node.order
+        in
+        print "  " root
+      end)
+    domains;
+  let incumbent_counts = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Event.t) ->
+      match e.Event.payload with
+      | Event.Incumbent { stream; cost } ->
+          let n, _ =
+            match Hashtbl.find_opt incumbent_counts stream with Some x -> x | None -> (0, nan)
+          in
+          Hashtbl.replace incumbent_counts stream (n + 1, cost)
+      | _ -> ())
+    events;
+  if Hashtbl.length incumbent_counts > 0 then begin
+    Printf.fprintf oc "  incumbent streams\n";
+    Hashtbl.fold (fun s v acc -> (s, v) :: acc) incumbent_counts []
+    |> List.sort compare
+    |> List.iter (fun (stream, (updates, final)) ->
+           Printf.fprintf oc "    %-32s %6d update%s final %.3f\n" stream updates
+             (if updates = 1 then " " else "s")
+             final)
+  end;
+  if counters <> [] then begin
+    Printf.fprintf oc "  counters\n";
+    List.iter (fun (name, v) -> Printf.fprintf oc "    %-40s %12d\n" name v) counters
+  end;
+  if gauges <> [] then begin
+    Printf.fprintf oc "  gauges\n";
+    List.iter (fun (name, v) -> Printf.fprintf oc "    %-40s %12.4f\n" name v) gauges
+  end

@@ -1,0 +1,32 @@
+(** Trace exporters: JSONL, Chrome [trace_event], and a text summary.
+
+    All three consume the event list returned by {!Sink.drain} plus
+    optional {!Counter.snapshot} / {!Gauge.snapshot} aggregates; none
+    touches global state, so the same drained list can be exported in
+    several formats. *)
+
+val jsonl : ?counters:(string * int) list -> out_channel -> Event.t list -> unit
+(** One JSON object per line: spans as
+    [{"type":"span_begin","name":…,"ts_ns":…,"domain":…}], incumbents with
+    a ["cost"] field, then one ["counter"] line per counter total. Every
+    line parses independently — the format scripts and the CI trace
+    validation consume. *)
+
+val chrome : ?counters:(string * int) list -> out_channel -> Event.t list -> unit
+(** Chrome [trace_event] JSON ([{"traceEvents":[…]}]), loadable in
+    [chrome://tracing] and {{:https://ui.perfetto.dev}Perfetto}. Spans map
+    to ["B"]/["E"] events (pid 1, tid = domain id), incumbent updates and
+    final counter totals to ["C"] counter tracks, marks to instants.
+    Timestamps are microseconds relative to the first event. *)
+
+val summary :
+  ?counters:(string * int) list ->
+  ?gauges:(string * float) list ->
+  out_channel ->
+  Event.t list ->
+  unit
+(** Human-readable tree: per-domain span hierarchy with call counts and
+    total milliseconds, incumbent-stream update counts with final costs,
+    then counter and gauge tables. Unmatched span ends are ignored and
+    still-open spans are closed at the last event, so truncated traces
+    print sensibly. *)

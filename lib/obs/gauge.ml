@@ -1,0 +1,29 @@
+type t = {
+  name : string;
+  cell : float Atomic.t;
+}
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+let registry_mu = Mutex.create ()
+
+let make name =
+  Mutex.protect registry_mu (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some g -> g
+      | None ->
+          let g = { name; cell = Atomic.make 0.0 } in
+          Hashtbl.add registry name g;
+          g)
+
+let set g v = Atomic.set g.cell v
+let value g = Atomic.get g.cell
+let name g = g.name
+
+let snapshot () =
+  Mutex.protect registry_mu (fun () ->
+      Hashtbl.fold (fun name g acc -> (name, Atomic.get g.cell) :: acc) registry [])
+  |> List.sort compare
+
+let reset_all () =
+  Mutex.protect registry_mu (fun () ->
+      Hashtbl.iter (fun _ g -> Atomic.set g.cell 0.0) registry)

@@ -1,0 +1,18 @@
+(** Named last-value-wins gauges (acceptance rates, temperatures, sizes).
+
+    Like {!Counter} but holding a float snapshot instead of a running
+    total; always on, independent of the event sink. *)
+
+type t
+
+val make : string -> t
+(** Idempotent per name, like {!Counter.make}. *)
+
+val set : t -> float -> unit
+val value : t -> float
+val name : t -> string
+
+val snapshot : unit -> (string * float) list
+(** Every registered gauge with its current value, sorted by name. *)
+
+val reset_all : unit -> unit

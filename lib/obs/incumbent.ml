@@ -1,0 +1,30 @@
+type t = {
+  name : string;
+  mu : Mutex.t;
+  mutable best : float;
+  mutable series : (int64 * float) list; (* newest first *)
+}
+
+let stream name = { name; mu = Mutex.create (); best = infinity; series = [] }
+
+let observe s cost =
+  Mutex.protect s.mu (fun () ->
+      if cost < s.best then begin
+        s.best <- cost;
+        s.series <- (Clock.now_ns (), cost) :: s.series;
+        Sink.record (Event.Incumbent { stream = s.name; cost });
+        true
+      end
+      else false)
+
+let best s = Mutex.protect s.mu (fun () -> s.best)
+let series s = Mutex.protect s.mu (fun () -> List.rev s.series)
+let name s = s.name
+
+(* Series re-based to seconds since the stream's first observation — the
+   (time, best-cost) curve the paper's anytime figures plot. *)
+let curve s =
+  match series s with
+  | [] -> []
+  | (t0, _) :: _ as points ->
+      List.map (fun (t, c) -> (Clock.ns_to_s (Int64.sub t t0), c)) points

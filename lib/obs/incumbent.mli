@@ -1,0 +1,32 @@
+(** Timestamped best-cost-so-far streams — the anytime curves of the
+    paper's convergence figures (best solution vs. wall-clock time).
+
+    A stream accepts any sequence of observed costs and keeps only the
+    strictly improving prefix-minima, each stamped with the monotonic
+    clock. Observations are mutex-protected so several portfolio workers
+    can feed one stream. Each improvement additionally emits an
+    {!Event.Incumbent} into the sink when tracing is enabled, so traces
+    show exactly when each solver pulled ahead. *)
+
+type t
+
+val stream : string -> t
+(** A fresh stream (best = ∞). Deliberately {e not} registered globally:
+    each solve owns its stream, so back-to-back solves never mask each
+    other's improvements. The name only labels emitted events. *)
+
+val observe : t -> float -> bool
+(** Record a candidate cost; [true] iff it strictly improved the best so
+    far (and was therefore kept and emitted). Thread-safe. *)
+
+val best : t -> float
+(** Current best, [infinity] before any observation. *)
+
+val series : t -> (int64 * float) list
+(** Improvements oldest-first as (absolute monotonic ns, cost); costs are
+    strictly decreasing, timestamps non-decreasing. *)
+
+val curve : t -> (float * float) list
+(** {!series} re-based to seconds since the first observation. *)
+
+val name : t -> string

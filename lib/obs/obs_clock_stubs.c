@@ -1,0 +1,23 @@
+/* Monotonic clock for the observability library.
+
+   CLOCK_MONOTONIC never jumps backwards under NTP adjustments, which is
+   what span durations and incumbent timestamps need; Unix.gettimeofday
+   (wall clock) does not give that guarantee. Falls back to the realtime
+   clock on platforms without a monotonic one. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+#include <stdint.h>
+
+CAMLprim value obs_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  (void)unit;
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

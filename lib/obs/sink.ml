@@ -1,0 +1,75 @@
+type ring = {
+  mutable events : Event.t array; (* allocated lazily on first record *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let default_capacity = 1 lsl 16
+let enabled_flag = Atomic.make false
+let ring_capacity = Atomic.make default_capacity
+
+(* Every ring ever created, newest first. Rings outlive their domain so
+   events recorded by a joined worker remain drainable. The registry is
+   touched under [registry_mu] only at ring creation and drain/reset time;
+   appends go straight to the domain-local ring without any lock. *)
+let registry : ring list ref = ref []
+let registry_mu = Mutex.create ()
+
+let dummy = { Event.t_ns = 0L; domain = 0; payload = Event.Mark "" }
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let r = { events = [||]; len = 0; dropped = 0 } in
+      Mutex.protect registry_mu (fun () -> registry := r :: !registry);
+      r)
+
+let enabled () = Atomic.get enabled_flag
+
+let enable ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Obs.Sink.enable: capacity must be positive";
+  Atomic.set ring_capacity capacity;
+  Atomic.set enabled_flag true
+
+let disable () = Atomic.set enabled_flag false
+
+let record payload =
+  if Atomic.get enabled_flag then begin
+    let r = Domain.DLS.get key in
+    if Array.length r.events = 0 then
+      r.events <- Array.make (Atomic.get ring_capacity) dummy;
+    if r.len < Array.length r.events then begin
+      r.events.(r.len) <-
+        { Event.t_ns = Clock.now_ns (); domain = (Domain.self () :> int); payload };
+      r.len <- r.len + 1
+    end
+    else
+      (* Full: drop the newest rather than overwrite — overwriting would
+         orphan span-begin events and break nesting reconstruction. *)
+      r.dropped <- r.dropped + 1
+  end
+
+let compare_events (a : Event.t) (b : Event.t) = Int64.compare a.Event.t_ns b.Event.t_ns
+
+let drain () =
+  Mutex.protect registry_mu (fun () ->
+      let all =
+        List.concat_map
+          (fun r ->
+            let evs = List.init r.len (fun i -> r.events.(i)) in
+            r.len <- 0;
+            evs)
+          !registry
+      in
+      List.stable_sort compare_events all)
+
+let dropped () =
+  Mutex.protect registry_mu (fun () ->
+      List.fold_left (fun acc r -> acc + r.dropped) 0 !registry)
+
+let reset () =
+  Mutex.protect registry_mu (fun () ->
+      List.iter
+        (fun r ->
+          r.len <- 0;
+          r.dropped <- 0)
+        !registry)

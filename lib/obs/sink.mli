@@ -1,0 +1,38 @@
+(** The global event sink: disabled by default, near-zero cost when off.
+
+    Each OCaml domain owns a private ring buffer (domain-local storage), so
+    recording never contends on a lock — solver workers in a portfolio
+    write telemetry at full speed without serializing on each other. When
+    the sink is disabled, {!record} is a single atomic load and no event is
+    ever built, so instrumented hot paths cost nothing measurable.
+
+    Draining is meant to happen at quiescence (after worker domains have
+    been joined): {!drain} walks every ring under a registry lock and
+    returns the merged, time-sorted event list. Rings that fill up drop the
+    {e newest} events (counted by {!dropped}) instead of overwriting older
+    ones, which would orphan span-begin events. *)
+
+val enabled : unit -> bool
+
+val enable : ?capacity:int -> unit -> unit
+(** Start recording. [capacity] is the per-domain ring size in events
+    (default 65536); raises [Invalid_argument] if non-positive. Rings
+    already allocated keep their size. *)
+
+val disable : unit -> unit
+(** Stop recording. Buffered events stay drainable. *)
+
+val record : Event.payload -> unit
+(** Timestamp the payload with {!Clock.now_ns} and append it to the
+    calling domain's ring. No-op when the sink is disabled. *)
+
+val drain : unit -> Event.t list
+(** All buffered events from every domain, sorted by timestamp, oldest
+    first; the rings are emptied. Call after parallel work has joined —
+    an append racing a drain may be missed until the next drain. *)
+
+val dropped : unit -> int
+(** Events discarded because a ring was full, since the last {!reset}. *)
+
+val reset : unit -> unit
+(** Empty every ring and zero the drop counts. *)

@@ -1,0 +1,16 @@
+let with_ name f =
+  if Sink.enabled () then begin
+    Sink.record (Event.Span_begin name);
+    match f () with
+    | v ->
+        Sink.record (Event.Span_end name);
+        v
+    | exception e ->
+        Sink.record (Event.Span_end name);
+        raise e
+  end
+  else f ()
+
+let begin_ name = Sink.record (Event.Span_begin name)
+let end_ name = Sink.record (Event.Span_end name)
+let mark name = Sink.record (Event.Mark name)

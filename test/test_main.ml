@@ -2,6 +2,7 @@ let () =
   Alcotest.run "cloudia"
     [
       ("prng", Test_prng.suite);
+      ("obs", Test_obs.suite);
       ("stats", Test_stats.suite);
       ("graphs", Test_graphs.suite);
       ("lp", Test_lp.suite);

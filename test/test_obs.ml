@@ -1,0 +1,423 @@
+(* Tests for the observability library: sink gating, span nesting across
+   domains, counter atomicity, incumbent-stream monotonicity, and exporter
+   well-formedness. The sink and the counter registry are process-global,
+   so every test that enables tracing resets and disables it on exit. *)
+
+let with_tracing f =
+  Obs.Sink.reset ();
+  Obs.Sink.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Sink.disable ();
+      Obs.Sink.reset ())
+    f
+
+(* ---- a minimal JSON parser, enough to check exporter output ---- *)
+
+exception Bad_json of string
+
+let parse_json (s : string) =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word =
+    String.iter expect word
+  in
+  let parse_string () =
+    expect '"';
+    let continue = ref true in
+    while !continue do
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' ->
+          advance ();
+          continue := false
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> fail "bad \\u escape"
+              done
+          | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "control char in string"
+      | Some _ -> advance ()
+    done
+  in
+  let parse_number () =
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    let start = !pos in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some _ -> ()
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then advance ()
+        else
+          let continue = ref true in
+          while !continue do
+            skip_ws ();
+            parse_string ();
+            skip_ws ();
+            expect ':';
+            parse_value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance ()
+            | Some '}' ->
+                advance ();
+                continue := false
+            | _ -> fail "expected , or } in object"
+          done
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then advance ()
+        else
+          let continue = ref true in
+          while !continue do
+            parse_value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance ()
+            | Some ']' ->
+                advance ();
+                continue := false
+            | _ -> fail "expected , or ] in array"
+          done
+    | Some '"' -> parse_string ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some _ -> parse_number ()
+    | None -> fail "unexpected end of input"
+  in
+  parse_value ();
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage"
+
+let export_to_string export events =
+  let file = Filename.temp_file "obs_test" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Out_channel.with_open_text file (fun oc -> export oc events);
+      In_channel.with_open_text file In_channel.input_all)
+
+(* ---- sink gating ---- *)
+
+let test_disabled_sink_records_nothing () =
+  Obs.Sink.disable ();
+  Obs.Sink.reset ();
+  Obs.Span.with_ "silent" (fun () -> ());
+  Obs.Span.mark "silent-mark";
+  let stream = Obs.Incumbent.stream "silent" in
+  Alcotest.(check bool) "observe still tracks" true (Obs.Incumbent.observe stream 3.0);
+  Alcotest.(check int) "no events buffered" 0 (List.length (Obs.Sink.drain ()));
+  (* Counters are always on, independent of the sink. *)
+  let c = Obs.Counter.make "test.obs.gated" in
+  let before = Obs.Counter.value c in
+  Obs.Counter.incr c;
+  Alcotest.(check int) "counter counts while disabled" (before + 1) (Obs.Counter.value c)
+
+let test_span_result_passthrough () =
+  Alcotest.(check int) "disabled" 7 (Obs.Span.with_ "x" (fun () -> 7));
+  with_tracing (fun () ->
+      Alcotest.(check int) "enabled" 9 (Obs.Span.with_ "x" (fun () -> 9)))
+
+(* ---- span nesting and ordering ---- *)
+
+let test_span_nesting_single_domain () =
+  with_tracing (fun () ->
+      Obs.Span.with_ "outer" (fun () ->
+          Obs.Span.with_ "inner" (fun () -> ());
+          Obs.Span.mark "between";
+          Obs.Span.with_ "inner2" (fun () -> ()));
+      let events = Obs.Sink.drain () in
+      let names =
+        List.map
+          (fun (e : Obs.Event.t) ->
+            match e.Obs.Event.payload with
+            | Obs.Event.Span_begin n -> "B:" ^ n
+            | Obs.Event.Span_end n -> "E:" ^ n
+            | Obs.Event.Mark n -> "M:" ^ n
+            | Obs.Event.Incumbent { stream; _ } -> "I:" ^ stream)
+          events
+      in
+      Alcotest.(check (list string)) "well-nested order"
+        [ "B:outer"; "B:inner"; "E:inner"; "M:between"; "B:inner2"; "E:inner2"; "E:outer" ]
+        names;
+      let ts = List.map (fun (e : Obs.Event.t) -> e.Obs.Event.t_ns) events in
+      Alcotest.(check bool) "timestamps sorted" true
+        (List.for_all2 (fun a b -> Int64.compare a b <= 0)
+           (List.filteri (fun i _ -> i < List.length ts - 1) ts)
+           (List.tl ts)))
+
+let test_spans_exception_safe () =
+  with_tracing (fun () ->
+      (try Obs.Span.with_ "raiser" (fun () -> failwith "boom") with Failure _ -> ());
+      match Obs.Sink.drain () with
+      | [ b; e ] ->
+          Alcotest.(check string) "begin" "raiser" (Obs.Event.name b);
+          Alcotest.(check string) "end" "raiser" (Obs.Event.name e);
+          (match (b.Obs.Event.payload, e.Obs.Event.payload) with
+          | Obs.Event.Span_begin _, Obs.Event.Span_end _ -> ()
+          | _ -> Alcotest.fail "expected begin then end")
+      | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs))
+
+let test_spans_multiple_domains () =
+  with_tracing (fun () ->
+      let work tag () =
+        for i = 1 to 10 do
+          Obs.Span.with_ (Printf.sprintf "%s.%d" tag i) (fun () ->
+              Obs.Span.with_ (tag ^ ".child") (fun () -> ()))
+        done
+      in
+      let domains =
+        List.map (fun tag -> Domain.spawn (work tag)) [ "a"; "b"; "c" ]
+      in
+      work "main" ();
+      List.iter Domain.join domains;
+      let events = Obs.Sink.drain () in
+      Alcotest.(check int) "4 domains x 10 spans x 2 levels x begin/end" 160
+        (List.length events);
+      (* Per domain the event stream must be well-nested, whatever the
+         global interleaving. *)
+      let by_domain = Hashtbl.create 8 in
+      List.iter
+        (fun (e : Obs.Event.t) ->
+          let stack =
+            match Hashtbl.find_opt by_domain e.Obs.Event.domain with
+            | Some st -> st
+            | None ->
+                let st = ref [] in
+                Hashtbl.add by_domain e.Obs.Event.domain st;
+                st
+          in
+          match e.Obs.Event.payload with
+          | Obs.Event.Span_begin n -> stack := n :: !stack
+          | Obs.Event.Span_end n -> (
+              match !stack with
+              | top :: rest when top = n -> stack := rest
+              | _ -> Alcotest.failf "unbalanced span end %s" n)
+          | _ -> ())
+        events;
+      Alcotest.(check int) "4 distinct domains" 4 (Hashtbl.length by_domain);
+      Hashtbl.iter
+        (fun _ stack ->
+          Alcotest.(check (list string)) "all spans closed" [] !stack)
+        by_domain)
+
+(* ---- counters ---- *)
+
+let test_counter_atomic_across_domains () =
+  let c = Obs.Counter.make "test.obs.atomic" in
+  let before = Obs.Counter.value c in
+  let per_domain = 25_000 in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Obs.Counter.incr c
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no lost updates" (before + (4 * per_domain)) (Obs.Counter.value c)
+
+let test_counter_registry_and_delta () =
+  let c1 = Obs.Counter.make "test.obs.delta" in
+  let again = Obs.Counter.make "test.obs.delta" in
+  Obs.Counter.incr c1;
+  Alcotest.(check int) "make is idempotent per name" (Obs.Counter.value c1)
+    (Obs.Counter.value again);
+  let before = Obs.Counter.snapshot () in
+  Obs.Counter.add c1 5;
+  let delta = Obs.Counter.delta ~before ~after:(Obs.Counter.snapshot ()) in
+  Alcotest.(check (list (pair string int))) "only the changed counter"
+    [ ("test.obs.delta", 5) ]
+    delta
+
+(* ---- incumbent streams ---- *)
+
+let test_incumbent_monotone () =
+  let s = Obs.Incumbent.stream "test" in
+  Alcotest.(check bool) "first always improves" true (Obs.Incumbent.observe s 10.0);
+  Alcotest.(check bool) "worse rejected" false (Obs.Incumbent.observe s 11.0);
+  Alcotest.(check bool) "equal rejected" false (Obs.Incumbent.observe s 10.0);
+  Alcotest.(check bool) "better accepted" true (Obs.Incumbent.observe s 4.0);
+  Alcotest.(check bool) "better again" true (Obs.Incumbent.observe s 1.5);
+  Alcotest.(check (float 1e-9)) "best" 1.5 (Obs.Incumbent.best s);
+  let series = Obs.Incumbent.series s in
+  Alcotest.(check (list (float 1e-9))) "strictly decreasing costs" [ 10.0; 4.0; 1.5 ]
+    (List.map snd series);
+  let rec sorted = function
+    | (t1, _) :: ((t2, _) :: _ as tl) -> Int64.compare t1 t2 <= 0 && sorted tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "timestamps non-decreasing" true (sorted series);
+  (* Streams are fresh per call: a second solve starts from infinity even
+     under the same name. *)
+  let s2 = Obs.Incumbent.stream "test" in
+  Alcotest.(check bool) "fresh stream improves again" true (Obs.Incumbent.observe s2 100.0)
+
+let test_incumbent_emits_events () =
+  with_tracing (fun () ->
+      let s = Obs.Incumbent.stream "conv" in
+      List.iter
+        (fun c -> ignore (Obs.Incumbent.observe s c : bool))
+        [ 5.0; 7.0; 3.0; 3.0; 2.0 ];
+      let incs =
+        List.filter_map
+          (fun (e : Obs.Event.t) ->
+            match e.Obs.Event.payload with
+            | Obs.Event.Incumbent { stream; cost } when stream = "conv" -> Some cost
+            | _ -> None)
+          (Obs.Sink.drain ())
+      in
+      Alcotest.(check (list (float 1e-9))) "one event per improvement" [ 5.0; 3.0; 2.0 ] incs)
+
+(* ---- exporters ---- *)
+
+let sample_events () =
+  with_tracing (fun () ->
+      Obs.Span.with_ "search" (fun () ->
+          Obs.Span.with_ "dive \"quoted\"\n" (fun () -> ());
+          let s = Obs.Incumbent.stream "cp" in
+          ignore (Obs.Incumbent.observe s 4.5 : bool);
+          ignore (Obs.Incumbent.observe s 2.25 : bool);
+          Obs.Span.mark "unsat");
+      Obs.Sink.drain ())
+
+let test_chrome_trace_well_formed () =
+  let events = sample_events () in
+  let out =
+    export_to_string (Obs.Export.chrome ~counters:[ ("k", 3) ]) events
+  in
+  (match parse_json out with
+  | () -> ()
+  | exception Bad_json msg -> Alcotest.failf "invalid chrome JSON: %s" msg);
+  Alcotest.(check bool) "has traceEvents" true
+    (String.length out > 0
+    && String.sub out 0 15 = "{\"traceEvents\":");
+  (* Same number of B and E phases, and the incumbent shows up as a
+     counter track. *)
+  let count needle =
+    let rec go from acc =
+      match String.index_from_opt out from needle.[0] with
+      | None -> acc
+      | Some i ->
+          if i + String.length needle <= String.length out
+             && String.sub out i (String.length needle) = needle
+          then go (i + 1) (acc + 1)
+          else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "balanced B/E" (count "\"ph\":\"B\"") (count "\"ph\":\"E\"");
+  Alcotest.(check bool) "incumbent counter events" true (count "\"ph\":\"C\"" >= 2)
+
+let test_jsonl_lines_parse () =
+  let events = sample_events () in
+  let out = export_to_string (Obs.Export.jsonl ~counters:[ ("k", 3) ]) events in
+  let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "spans + incumbents + mark + counter"
+    (List.length events + 1) (List.length lines);
+  List.iter
+    (fun line ->
+      match parse_json line with
+      | () -> ()
+      | exception Bad_json msg -> Alcotest.failf "invalid JSONL line %S: %s" line msg)
+    lines
+
+let test_summary_renders () =
+  let events = sample_events () in
+  let out =
+    export_to_string
+      (Obs.Export.summary ~counters:[ ("test.obs.k", 3) ]
+         ~gauges:[ ("test.obs.g", 0.5) ])
+      events
+  in
+  let contains needle =
+    let nl = String.length needle and ol = String.length out in
+    let rec go i = i + nl <= ol && (String.sub out i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "span tree" true (contains "search");
+  Alcotest.(check bool) "incumbent stream" true (contains "cp");
+  Alcotest.(check bool) "counter table" true (contains "test.obs.k");
+  Alcotest.(check bool) "gauge table" true (contains "test.obs.g")
+
+let test_ring_drop_newest () =
+  Obs.Sink.reset ();
+  Obs.Sink.enable ~capacity:8 ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Sink.disable ();
+      Obs.Sink.reset ())
+    (fun () ->
+      (* Rings size themselves at first use, so a ring allocated by an
+         earlier test keeps its old capacity: exercise the cap from a fresh
+         domain, whose ring is created under the small capacity. *)
+      let dropped_in_domain =
+        Domain.join
+          (Domain.spawn (fun () ->
+               for i = 1 to 20 do
+                 Obs.Span.mark (string_of_int i)
+               done;
+               Obs.Sink.dropped ()))
+      in
+      let events = Obs.Sink.drain () in
+      Alcotest.(check int) "ring capped" 8 (List.length events);
+      (* Drop-newest: the oldest events survive. *)
+      Alcotest.(check (list string)) "oldest kept"
+        [ "1"; "2"; "3"; "4"; "5"; "6"; "7"; "8" ]
+        (List.map Obs.Event.name events);
+      Alcotest.(check int) "drops counted" 12 dropped_in_domain)
+
+let suite =
+  [
+    Alcotest.test_case "disabled sink records nothing" `Quick
+      test_disabled_sink_records_nothing;
+    Alcotest.test_case "span passes result through" `Quick test_span_result_passthrough;
+    Alcotest.test_case "span nesting single domain" `Quick test_span_nesting_single_domain;
+    Alcotest.test_case "span exception safety" `Quick test_spans_exception_safe;
+    Alcotest.test_case "spans across domains" `Quick test_spans_multiple_domains;
+    Alcotest.test_case "counter atomicity" `Quick test_counter_atomic_across_domains;
+    Alcotest.test_case "counter registry and delta" `Quick test_counter_registry_and_delta;
+    Alcotest.test_case "incumbent monotonicity" `Quick test_incumbent_monotone;
+    Alcotest.test_case "incumbent emits events" `Quick test_incumbent_emits_events;
+    Alcotest.test_case "chrome trace well-formed" `Quick test_chrome_trace_well_formed;
+    Alcotest.test_case "jsonl lines parse" `Quick test_jsonl_lines_parse;
+    Alcotest.test_case "summary renders" `Quick test_summary_renders;
+    Alcotest.test_case "ring drops newest" `Quick test_ring_drop_newest;
+  ]
