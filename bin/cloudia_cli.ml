@@ -3,6 +3,7 @@
    Subcommands:
      advise    - run the full pipeline for a workload and print the report
      plan      - solve a deployment from a user-supplied cost matrix
+     lint      - validate an instance (matrix/graph/config) without solving
      measure   - compare the three measurement schemes on one allocation
      survey    - print latency heterogeneity and stability for a provider
      redeploy  - simulate iterative re-deployment under changing conditions
@@ -121,10 +122,13 @@ let telemetry_json (t : Cloudia.Advisor.telemetry) =
           (List.map (fun (n, v) -> (n, json_int v)) t.Cloudia.Advisor.counters) );
     ]
 
+let diagnostics_json ds = Lint.Diagnostic.to_json ds
+
 let report_json ~describe ~objective (r : Cloudia.Advisor.report) =
   json_obj
     [
       ("workload", json_str describe);
+      ("diagnostics", diagnostics_json r.Cloudia.Advisor.diagnostics);
       ("objective", json_str (Cloudia.Cost.objective_to_string objective));
       ("instances_allocated", json_int (Cloudsim.Env.count r.Cloudia.Advisor.env));
       ("measurement_minutes", json_float r.Cloudia.Advisor.measurement_minutes);
@@ -225,7 +229,7 @@ let strategy_of_string ~time_limit ~domains ~objective s =
   | _ -> Error (`Msg "strategy must be g1, g2, r1, r2, anneal, cp, mip or portfolio")
 
 let advise provider seed workload strategy_name scale over metric time_limit domains
-    graph_spec graph_file trace_file trace_format obs_summary json =
+    graph_spec graph_file trace_file trace_format obs_summary strict_lint json =
   let from_workload () =
     match workload with
     | Behavioral ->
@@ -293,10 +297,23 @@ let advise provider seed workload strategy_name scale over metric time_limit dom
         }
       in
       if trace_file <> None || obs_summary then Obs.Sink.enable ();
-      match Cloudia.Advisor.run (Prng.create seed) (Cloudsim.Provider.get provider) config with
+      match
+        Cloudia.Advisor.run ~strict_lint (Prng.create seed)
+          (Cloudsim.Provider.get provider) config
+      with
       | exception Invalid_argument m -> prerr_endline m; 2
+      | exception Lint.Diagnostic.Failed ds ->
+          Format.eprintf "%a" Lint.Diagnostic.render ds;
+          prerr_endline
+            (if strict_lint then "advise: blocked by lint (running with --strict-lint)"
+             else "advise: blocked by lint errors");
+          2
       | report ->
           export_observability ~trace_file ~trace_format ~obs_summary;
+          (* Tolerated findings still deserve eyeballs: render them on
+             stderr so stdout stays machine-readable. *)
+          if not json then
+            Format.eprintf "%a" Lint.Diagnostic.render report.Cloudia.Advisor.diagnostics;
           if json then print_endline (report_json ~describe ~objective report)
           else begin
             let telemetry = report.Cloudia.Advisor.telemetry in
@@ -391,16 +408,21 @@ let advise_cmd =
     Arg.(value & flag & info [ "obs-summary" ]
            ~doc:"Print a per-domain span tree, incumbent streams and counter totals to stderr.")
   in
+  let strict_lint_arg =
+    Arg.(value & flag & info [ "strict-lint" ]
+           ~doc:"Treat lint warnings as fatal: the pre-solve gate blocks the run instead of \
+                 recording them in the report's diagnostics.")
+  in
   let json_arg =
     Arg.(value & flag & info [ "json" ]
-           ~doc:"Emit the full report (costs, plan, telemetry) as one JSON object on stdout.")
+           ~doc:"Emit the full report (costs, plan, telemetry, diagnostics) as one JSON object on stdout.")
   in
   Cmd.v
     (Cmd.info "advise" ~doc:"Run the ClouDiA pipeline for a workload")
     Term.(
       const advise $ provider_arg $ seed_arg $ workload_arg $ strategy_arg $ scale_arg
       $ over_arg $ metric_arg $ time_arg $ domains_arg $ graph_spec_arg $ graph_file_arg
-      $ trace_arg $ trace_format_arg $ obs_summary_arg $ json_arg)
+      $ trace_arg $ trace_format_arg $ obs_summary_arg $ strict_lint_arg $ json_arg)
 
 (* ---- measure ---- *)
 
@@ -491,6 +513,10 @@ let plan_cmd_run seed costs_file graph_spec objective_name strategy_name time_li
           | exception Invalid_argument m ->
               prerr_endline m;
               2
+          | exception Lint.Diagnostic.Failed ds ->
+              Format.eprintf "%a" Lint.Diagnostic.render ds;
+              prerr_endline "plan: blocked by lint errors";
+              2
           | plan ->
               let default = Cloudia.Types.identity_plan problem in
               let cost = Cloudia.Cost.eval objective problem plan in
@@ -538,6 +564,129 @@ let plan_cmd =
     Term.(
       const plan_cmd_run $ seed_arg $ costs_arg $ graph_arg $ objective_arg $ strategy_arg
       $ time_arg $ domains_arg)
+
+(* ---- lint: validate an instance without solving ---- *)
+
+let lint_run costs_file graph_spec graph_file objective_name time_limit domains strict json =
+  let requires_dag =
+    match String.lowercase_ascii objective_name with
+    | "ll" | "longest-link" -> Ok false
+    | "lp" | "longest-path" -> Ok true
+    | _ -> Error "objective must be ll or lp"
+  in
+  (* The raw loaders accept exactly the malformed inputs the strict
+     parsers reject, so every problem is reported at once, with codes. *)
+  let matrix_result =
+    match costs_file with
+    | None -> Ok None
+    | Some file -> (
+        match Cloudia.Matrix_io.load_raw file with
+        | Ok m -> Ok (Some m)
+        | Error e -> Error ("costs: " ^ e))
+  in
+  let graph_result =
+    match (graph_spec, graph_file) with
+    | Some _, Some _ -> Error "give either --graph-spec or --graph-file, not both"
+    | Some spec, None -> (
+        match Graphs.Graph_io.parse_spec spec with
+        | Ok g -> Ok (Some (`Graph g))
+        | Error e -> Error e)
+    | None, Some file -> (
+        match In_channel.with_open_text file In_channel.input_all with
+        | exception Sys_error e -> Error e
+        | text -> (
+            match Graphs.Graph_io.parse_edge_list_raw text with
+            | Ok (n, edges) -> Ok (Some (`Edges (n, edges)))
+            | Error e -> Error e))
+    | None, None -> Ok None
+  in
+  match (requires_dag, matrix_result, graph_result) with
+  | Error e, _, _ | _, Error e, _ | _, _, Error e ->
+      prerr_endline e;
+      2
+  | Ok _, Ok None, Ok None ->
+      prerr_endline "nothing to lint: give --costs-file and/or --graph-spec/--graph-file";
+      2
+  | Ok requires_dag, Ok matrix, Ok graph ->
+      let pool = Option.map Array.length matrix in
+      let matrix_diags =
+        match matrix with
+        | None -> []
+        | Some m -> Lint.Instance.check_matrix m
+      in
+      let graph_diags =
+        match graph with
+        | None -> []
+        | Some (`Graph g) -> Lint.Instance.check_graph ?pool ~requires_dag g
+        | Some (`Edges (n, edges)) -> (
+            let edge_diags = Lint.Instance.check_edges ~n edges in
+            (* Structural errors poison construction; only lint the graph
+               itself once the edge list is sound. *)
+            if Lint.Diagnostic.errors edge_diags <> [] then edge_diags
+            else
+              edge_diags
+              @ Lint.Instance.check_graph ?pool ~requires_dag
+                  (Graphs.Digraph.create ~n
+                     (List.sort_uniq compare (List.filter (fun (u, v) -> u <> v) edges))))
+      in
+      let config_diags =
+        Lint.Instance.check_config ?time_limit ?domains ?pool ()
+      in
+      let diagnostics = matrix_diags @ graph_diags @ config_diags in
+      if json then print_endline (diagnostics_json diagnostics)
+      else begin
+        Format.printf "%a" Lint.Diagnostic.render diagnostics;
+        Printf.printf "lint: %d error(s), %d warning(s), %d info(s)\n"
+          (List.length (Lint.Diagnostic.errors diagnostics))
+          (List.length (Lint.Diagnostic.warnings diagnostics))
+          (List.length diagnostics
+          - List.length (Lint.Diagnostic.errors diagnostics)
+          - List.length (Lint.Diagnostic.warnings diagnostics))
+      end;
+      let blocking =
+        Lint.Diagnostic.errors diagnostics <> []
+        || (strict && Lint.Diagnostic.warnings diagnostics <> [])
+      in
+      if blocking then 1 else 0
+
+let lint_cmd =
+  let costs_arg =
+    Arg.(value & opt (some string) None & info [ "costs-file" ]
+           ~doc:"CSV cost matrix to validate (NaN/inf/negative entries are reported, not rejected).")
+  in
+  let graph_spec_arg =
+    Arg.(value & opt (some string) None & info [ "graph-spec" ]
+           ~doc:"Communication graph template to validate, e.g. 'mesh2d 4 4'.")
+  in
+  let graph_file_arg =
+    Arg.(value & opt (some string) None & info [ "graph-file" ]
+           ~doc:"Edge-list file to validate (self-loops, range errors and duplicates are reported).")
+  in
+  let objective_arg =
+    Arg.(value & opt string "ll" & info [ "objective" ]
+           ~doc:"ll (longest link) or lp (longest path; enables the acyclicity check).")
+  in
+  let time_arg =
+    Arg.(value & opt (some float) None & info [ "time-limit" ]
+           ~doc:"Solver budget to sanity-check (seconds).")
+  in
+  let domains_arg =
+    Arg.(value & opt (some int) None & info [ "domains" ]
+           ~doc:"Portfolio domain count to sanity-check.")
+  in
+  let strict_arg =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Exit non-zero on warnings, not just errors.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the diagnostics as a JSON array on stdout.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Validate a deployment instance (cost matrix, communication graph, solver config) without solving")
+    Term.(
+      const lint_run $ costs_arg $ graph_spec_arg $ graph_file_arg $ objective_arg
+      $ time_arg $ domains_arg $ strict_arg $ json_arg)
 
 (* ---- redeploy ---- *)
 
@@ -624,4 +773,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ advise_cmd; plan_cmd; measure_cmd; survey_cmd; redeploy_cmd; bandwidth_cmd ]))
+          [ advise_cmd; plan_cmd; lint_cmd; measure_cmd; survey_cmd; redeploy_cmd; bandwidth_cmd ]))

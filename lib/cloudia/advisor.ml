@@ -65,9 +65,47 @@ type report = {
   search_seconds : float;
   terminated : int list;
   telemetry : telemetry;
+  diagnostics : Lint.Diagnostic.t list;
 }
 
+(* The lint gate needs the budget/parallelism a strategy will actually
+   use; greedy strategies and fixed-trial R1 have no time budget. *)
+let strategy_time_limit = function
+  | Greedy_g1 | Greedy_g2 | Random_r1 _ -> None
+  | Random_r2 s -> Some s
+  | Anneal o -> Some o.Anneal.time_limit
+  | Cp o -> Some o.Cp_solver.time_limit
+  | Mip o -> Some o.Mip_solver.time_limit
+  | Portfolio o -> Some o.Portfolio.time_limit
+
+let strategy_domains = function
+  | Portfolio o -> Some (List.length o.Portfolio.members)
+  | _ -> None
+
+let requires_dag = function Cost.Longest_path -> true | Cost.Longest_link -> false
+
+let lint ?pool config =
+  Lint.Instance.check_graph ?pool ~requires_dag:(requires_dag config.objective)
+    config.graph
+  @ Lint.Instance.check_config
+      ?time_limit:(strategy_time_limit config.strategy)
+      ?domains:(strategy_domains config.strategy)
+      ?pool ~over_allocation:config.over_allocation
+      ~samples_per_pair:config.samples_per_pair ()
+
 let search_with_telemetry rng strategy objective problem =
+  (* Errors fail fast before any solver runs: a cyclic graph under the
+     longest-path objective would otherwise raise deep inside Cost, and a
+     non-positive budget would spin a solver forever or not at all. *)
+  Lint.Diagnostic.check
+    (Lint.Diagnostic.errors
+       (Lint.Instance.check_graph
+          ~pool:(Types.instance_count problem)
+          ~requires_dag:(requires_dag objective) problem.Types.graph
+       @ Lint.Instance.check_config
+           ?time_limit:(strategy_time_limit strategy)
+           ?domains:(strategy_domains strategy)
+           ~pool:(Types.instance_count problem) ()));
   let before = Obs.Counter.snapshot () in
   let finish ?(solver = No_solver_stats) ?(proven = false) ?(trace = []) ?winner
       ?(members = []) plan =
@@ -84,10 +122,10 @@ let search_with_telemetry rng strategy objective problem =
   in
   (* For the strategies whose solvers do not record their own trace, the
      improvement callback reconstructs one against this start time. *)
-  let started = Unix.gettimeofday () in
+  let started = Obs.Clock.now_s () in
   let trace = ref [] in
   let on_improve _plan cost =
-    trace := (Unix.gettimeofday () -. started, cost) :: !trace
+    trace := (Obs.Clock.now_s () -. started, cost) :: !trace
   in
   match strategy with
   | Greedy_g1 -> finish (Greedy.g1 problem)
@@ -163,11 +201,12 @@ let search_with_telemetry rng strategy objective problem =
 let search rng strategy objective problem =
   fst (search_with_telemetry rng strategy objective problem)
 
-let run rng provider config =
-  if config.over_allocation < 0.0 then
-    invalid_arg "Advisor.run: over-allocation ratio must be non-negative";
+let run ?(strict_lint = false) rng provider config =
+  (* Pre-allocation gate: everything checkable before spending money on
+     instances. Errors (and, under --strict-lint, warnings) fail fast. *)
+  let pre_diagnostics = lint config in
+  Lint.Diagnostic.check ~strict:strict_lint pre_diagnostics;
   let nodes = Graphs.Digraph.n config.graph in
-  if nodes = 0 then invalid_arg "Advisor.run: empty communication graph";
   Obs.Span.with_ "advise" @@ fun () ->
   (* Step 1: allocate with over-allocation. *)
   let count =
@@ -182,17 +221,26 @@ let run rng provider config =
     Obs.Span.with_ "measure" @@ fun () ->
     Metrics.estimate rng env config.metric ~samples_per_pair:config.samples_per_pair
   in
+  (* Post-measurement gate: data-quality checks on the measured matrix,
+     plus the pool-aware config checks the first gate could not run. *)
+  let diagnostics =
+    pre_diagnostics
+    @ Lint.Instance.check_matrix costs
+    @ Lint.Instance.check_config ?domains:(strategy_domains config.strategy)
+        ~pool:count ()
+  in
+  Lint.Diagnostic.check ~strict:strict_lint diagnostics;
   let problem = Types.problem ~graph:config.graph ~costs in
   let measurement_minutes =
     Netmeasure.Schemes.staged_time_for ~n:count ~reference_minutes:5.0
   in
   (* Step 3: search. *)
-  let started = Unix.gettimeofday () in
+  let started = Obs.Clock.now_s () in
   let plan, telemetry =
     Obs.Span.with_ "search" @@ fun () ->
     search_with_telemetry rng config.strategy config.objective problem
   in
-  let search_seconds = Unix.gettimeofday () -. started in
+  let search_seconds = Obs.Clock.now_s () -. started in
   Types.validate problem plan;
   let default_plan = Types.identity_plan problem in
   let cost = Cost.eval config.objective problem plan in
@@ -211,4 +259,5 @@ let run rng provider config =
     search_seconds;
     terminated;
     telemetry;
+    diagnostics;
   }

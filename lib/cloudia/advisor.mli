@@ -83,12 +83,26 @@ type report = {
   search_seconds : float;          (** wall-clock spent searching *)
   terminated : int list;           (** over-allocated instances shut down *)
   telemetry : telemetry;           (** what the search actually did *)
+  diagnostics : Lint.Diagnostic.t list;
+      (** every lint finding from the pre-solve gate: the warnings and
+          infos a non-strict run tolerated (errors never reach a report —
+          they raise {!Lint.Diagnostic.Failed} first) *)
 }
 
-val run : Prng.t -> Cloudsim.Provider.t -> config -> report
-(** Raises [Invalid_argument] when the strategy cannot handle the
-    objective (CP handles longest link only, per Sect. 4.4's argument that
-    the longest-path objective defeats the iterated-SIP scheme). The
+val lint : ?pool:int -> config -> Lint.Diagnostic.t list
+(** The pre-solve gate's view of a configuration: communication-graph
+    checks (acyclicity when the objective is longest-path, connectivity,
+    [|V| <= pool] when [pool] is given) plus solver-config sanity (time
+    limits, domain counts, over-allocation, sampling effort). Pure — no
+    allocation or measurement happens. *)
+
+val run : ?strict_lint:bool -> Prng.t -> Cloudsim.Provider.t -> config -> report
+(** Raises [Lint.Diagnostic.Failed] when the pre-solve lint gate finds an
+    error in the configuration, the communication graph, or the measured
+    cost matrix — with [~strict_lint:true], warnings block too. Raises
+    [Invalid_argument] when the strategy cannot handle the objective (CP
+    handles longest link only, per Sect. 4.4's argument that the
+    longest-path objective defeats the iterated-SIP scheme). The
     allocate / measure / search steps run under {!Obs.Span}s of those
     names (nested in an ["advise"] root), so [--trace] output shows where
     the tuning budget went. *)
@@ -99,4 +113,8 @@ val search : Prng.t -> strategy -> Cost.objective -> Types.problem -> Types.plan
 val search_with_telemetry :
   Prng.t -> strategy -> Cost.objective -> Types.problem -> Types.plan * telemetry
 (** Like {!search} but also returns the solver statistics, incumbent trace
-    and counter deltas the plain interface drops. *)
+    and counter deltas the plain interface drops. Both run the pre-solve
+    lint gate on the problem first and raise [Lint.Diagnostic.Failed] on an
+    error-severity finding (e.g. a cyclic graph under the longest-path
+    objective, which would otherwise surface as an unguarded exception deep
+    inside {!Cost}). *)

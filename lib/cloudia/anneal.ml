@@ -52,7 +52,7 @@ let run rng eval (t : Types.problem) options ~deadline ~stop ~improved ~tried ~a
     !temperature > min_temperature
     && !budget_left > 0
     && (not (stop ()))
-    && Unix.gettimeofday () < deadline
+    && Obs.Clock.now_s () < deadline
   do
     let moves = ref options.moves_per_temperature in
     while !moves > 0 && !budget_left > 0 do
@@ -112,7 +112,7 @@ let solve ?(options = default_options) ?(stop = fun () -> false) ?on_improve rng
     ignore (Obs.Incumbent.observe obs_stream cost : bool);
     match on_improve with Some f -> f plan cost | None -> ()
   in
-  let deadline = Unix.gettimeofday () +. options.time_limit in
+  let deadline = Obs.Clock.now_s () +. options.time_limit in
   let tried = ref 0 and accepted = ref 0 in
   let budget_left = ref (match options.max_moves with Some m -> m | None -> max_int) in
   let best_plan = ref (Types.random_plan rng t) in
@@ -120,7 +120,7 @@ let solve ?(options = default_options) ?(stop = fun () -> false) ?on_improve rng
   improved !best_plan !best_cost;
   let remaining = ref options.restarts in
   while
-    !remaining > 0 && !budget_left > 0 && (not (stop ())) && Unix.gettimeofday () < deadline
+    !remaining > 0 && !budget_left > 0 && (not (stop ())) && Obs.Clock.now_s () < deadline
   do
     decr remaining;
     run rng eval t options ~deadline ~stop ~improved ~tried ~accepted ~budget_left

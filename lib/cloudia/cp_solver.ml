@@ -75,8 +75,8 @@ let solve ?(options = default_options) ?edge_weight ?(order_values = true) ?max_
     ?(stop = fun () -> false) ?peek ?on_incumbent rng (t : Types.problem) =
   Obs.Span.with_ "cp_solver.solve" @@ fun () ->
   let obs_stream = Obs.Incumbent.stream "cp" in
-  let start = Unix.gettimeofday () in
-  let elapsed () = Unix.gettimeofday () -. start in
+  let start = Obs.Clock.now_s () in
+  let elapsed () = Obs.Clock.now_s () -. start in
   let n = Types.node_count t and m = Types.instance_count t in
   let edges = Graphs.Digraph.edges t.Types.graph in
   let weight = match edge_weight with Some w -> w | None -> fun _ _ -> 1.0 in

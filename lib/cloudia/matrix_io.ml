@@ -1,4 +1,4 @@
-let parse text =
+let parse_raw text =
   let lines =
     String.split_on_char '\n' text
     |> List.map String.trim
@@ -20,9 +20,13 @@ let parse text =
           | Ok row -> collect (lineno + 1) (row :: acc) rest
           | Error _ as e -> e)
     in
-    match collect 1 [] lines with
-    | Error e -> Error e
-    | Ok matrix ->
+    collect 1 [] lines
+  end
+
+let parse text =
+  match parse_raw text with
+  | Error e -> Error e
+  | Ok matrix ->
         let n = Array.length matrix in
         let problem = ref None in
         Array.iteri
@@ -43,7 +47,6 @@ let parse text =
                   row)
           matrix;
         (match !problem with Some e -> Error e | None -> Ok matrix)
-  end
 
 let print matrix =
   let buf = Buffer.create 256 in
@@ -62,3 +65,8 @@ let load path =
   match In_channel.with_open_text path In_channel.input_all with
   | exception Sys_error e -> Error e
   | text -> parse text
+
+let load_raw path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | text -> parse_raw text

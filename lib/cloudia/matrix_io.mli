@@ -24,3 +24,14 @@ val print : float array array -> string
 
 val load : string -> (float array array, string) result
 (** Read and {!parse} a file. *)
+
+val parse_raw : string -> (float array array, string) result
+(** Parse CSV text into rows of floats without enforcing any matrix
+    invariant — rows may be ragged and entries may be NaN, infinite or
+    negative. This is the linter's entry point: [cloudia lint] must be
+    able to load exactly the malformed matrices {!parse} rejects, so it
+    can report every problem at once with codes instead of failing on the
+    first. Only syntax errors (non-numeric cells, no rows) are [Error]. *)
+
+val load_raw : string -> (float array array, string) result
+(** Read and {!parse_raw} a file. *)

@@ -12,6 +12,15 @@ let of_string = function
   | _ -> None
 
 let of_samples metric samples =
+  (* A single NaN sample would otherwise propagate through every reduction
+     into the cost matrix and from there through the solvers' DP tables. *)
+  Array.iteri
+    (fun i s ->
+      if not (Float.is_finite s) then
+        invalid_arg
+          (Printf.sprintf "Metrics.of_samples: sample %d is %s; RTT samples must be finite" i
+             (if Float.is_nan s then "NaN" else "infinite")))
+    samples;
   match metric with
   | Mean -> Stats.Summary.mean samples
   | Mean_plus_sd -> Stats.Summary.mean samples +. Stats.Summary.stddev samples

@@ -14,8 +14,9 @@ val of_string : string -> t option
 (** Accepts ["mean"], ["mean+sd"], ["p99"]. *)
 
 val of_samples : t -> float array -> float
-(** Reduce one link's RTT samples to a scalar cost. Raises on empty
-    input. *)
+(** Reduce one link's RTT samples to a scalar cost. Raises
+    [Invalid_argument] on empty input or when a sample is non-finite
+    (a NaN would otherwise propagate into the cost matrix unnoticed). *)
 
 val estimate :
   Prng.t -> Cloudsim.Env.t -> t -> samples_per_pair:int -> float array array

@@ -98,7 +98,7 @@ let run_bnb ~options ~stop ~publish ~model ~x ~m ~n ~seed_obj ~seed_sol ~true_ev
   Obs.Span.with_ "mip_solver.solve" @@ fun () ->
   let obs_stream = Obs.Incumbent.stream "mip" in
   let trace = ref [] in
-  let start = Unix.gettimeofday () in
+  let start = Obs.Clock.now_s () in
   let best_plan = ref (plan_of_solution ~x ~m ~n seed_sol) in
   trace := [ (0.0, true_eval !best_plan) ];
   ignore (Obs.Incumbent.observe obs_stream (true_eval !best_plan) : bool);

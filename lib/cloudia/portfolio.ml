@@ -110,8 +110,8 @@ let solve ?(options = default_options) rng objective (t : Types.problem) =
   Obs.Span.with_ "portfolio.solve" @@ fun () ->
   let obs_stream = Obs.Incumbent.stream "portfolio" in
   let eval = Cost.eval objective t in
-  let start = Unix.gettimeofday () in
-  let elapsed () = Unix.gettimeofday () -. start in
+  let start = Obs.Clock.now_s () in
+  let elapsed () = Obs.Clock.now_s () -. start in
   let deadline = start +. options.time_limit in
   (* Shared state. [best] holds a private copy of the cheapest plan any
      worker has published — consumed only through [peek] by the CP
@@ -122,7 +122,7 @@ let solve ?(options = default_options) rng objective (t : Types.problem) =
   let best : (Types.plan * float) option ref = ref None in
   let events : (float * float) list ref = ref [] in
   let cancelled = Atomic.make false in
-  let stop () = Atomic.get cancelled || Unix.gettimeofday () > deadline in
+  let stop () = Atomic.get cancelled || Obs.Clock.now_s () > deadline in
   let peek =
     if options.share_incumbent then
       Some
@@ -136,7 +136,7 @@ let solve ?(options = default_options) rng objective (t : Types.problem) =
   in
   let run_member member rng =
     (* Worker-local telemetry; only this domain touches these refs. *)
-    let member_start = Unix.gettimeofday () in
+    let member_start = Obs.Clock.now_s () in
     let own_best = ref infinity and own_tt = ref 0.0 in
     let publish plan cost =
       if cost < !own_best then begin
@@ -154,7 +154,7 @@ let solve ?(options = default_options) rng objective (t : Types.problem) =
     in
     (* Members measure their own budget from their start time, so hand
        them whatever remains of the global one. *)
-    let budget () = Float.max 0.001 (deadline -. Unix.gettimeofday ()) in
+    let budget () = Float.max 0.001 (deadline -. Obs.Clock.now_s ()) in
     let outcome ?(iterations = 1) ?(moves_tried = 0) ?(moves_accepted = 0)
         ?(proved = false) ?(exact = false) plan cost =
       publish plan cost;
@@ -168,7 +168,7 @@ let solve ?(options = default_options) rng objective (t : Types.problem) =
             moves_tried;
             moves_accepted;
             proved_optimal = proved;
-            elapsed = Unix.gettimeofday () -. member_start;
+            elapsed = Obs.Clock.now_s () -. member_start;
           };
         final_plan = plan;
         final_cost = cost;

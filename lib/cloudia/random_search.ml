@@ -28,7 +28,7 @@ let r1_eval ?(stop = no_stop) ?on_improve rng ~eval problem ~trials =
   Obs.Counter.add c_trials !drawn;
   (!best_plan, !best_cost)
 
-let r2_eval ?(stop = no_stop) ?on_improve ?(now = Unix.gettimeofday) rng ~eval problem
+let r2_eval ?(stop = no_stop) ?on_improve ?(now = Obs.Clock.now_s) rng ~eval problem
     ~time_limit =
   if time_limit <= 0.0 then invalid_arg "Random_search.r2: need a positive time limit";
   Obs.Span.with_ "random_search.r2" @@ fun () ->

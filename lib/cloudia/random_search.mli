@@ -26,9 +26,9 @@ val r2_eval :
   Types.plan * float * int
 (** Random plans until [time_limit] seconds elapse; returns the best plan,
     its cost, and the number of plans tried. [stop]/[on_improve] as in
-    {!r1_eval}. [now] injects the clock (default [Unix.gettimeofday]) so
-    tests can drive the budget with a deterministic fake clock instead of
-    depending on real scheduler behaviour. *)
+    {!r1_eval}. [now] injects the clock (default the monotonic
+    [Obs.Clock.now_s]) so tests can drive the budget with a deterministic
+    fake clock instead of depending on real scheduler behaviour. *)
 
 val r1 :
   ?stop:(unit -> bool) ->

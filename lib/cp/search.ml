@@ -22,7 +22,7 @@ let c_propagations = Obs.Counter.make "cp.search.propagations"
 let solve ?time_limit ?node_limit ?should_stop
     ?(value_order = fun ~var:_ values -> values) csp =
   Obs.Span.with_ "cp.search" @@ fun () ->
-  let start = Unix.gettimeofday () in
+  let start = Obs.Clock.now_s () in
   let nodes = ref 0 and failures = ref 0 and propagations = ref 0 in
   let deadline = Option.map (fun l -> start +. l) time_limit in
   let check_budget () =
@@ -30,7 +30,7 @@ let solve ?time_limit ?node_limit ?should_stop
     (match should_stop with Some f when f () -> raise Out_of_budget | _ -> ());
     (* The time check is cheap enough to run at every node. *)
     match deadline with
-    | Some d when Unix.gettimeofday () > d -> raise Out_of_budget
+    | Some d when Obs.Clock.now_s () > d -> raise Out_of_budget
     | _ -> ()
   in
   let initial = Csp.save csp in
@@ -82,7 +82,7 @@ let solve ?time_limit ?node_limit ?should_stop
         nodes = !nodes;
         failures = !failures;
         propagations = !propagations;
-        elapsed = Unix.gettimeofday () -. start;
+        elapsed = Obs.Clock.now_s () -. start;
       } )
   in
   match search () with

@@ -38,7 +38,10 @@ let parse_spec spec =
       | _ -> fail ())
   | _ -> fail ()
 
-let parse_edge_list text =
+(* Syntax-only pass shared by the strict parser and the raw one the
+   linter uses: node count plus every edge entry, unchecked against
+   range / self-loop / duplicate invariants. *)
+let parse_edge_list_entries text =
   let lines =
     String.split_on_char '\n' text
     |> List.map String.trim
@@ -74,18 +77,26 @@ let parse_edge_list text =
               in
               match collect 2 [] rest with
               | Error e -> Error e
-              | Ok entries -> (
-                  let edges = List.map fst entries in
-                  match Digraph.create ~n edges with
-                  | exception Invalid_argument msg -> Error msg
-                  | graph ->
-                      let weights =
-                        List.filter_map
-                          (fun (e, w) -> Option.map (fun w -> (e, w)) w)
-                          entries
-                      in
-                      Ok (graph, weights))))
+              | Ok entries -> Ok (n, entries)))
       | _ -> Error "first non-comment line must be 'nodes N'")
+
+let parse_edge_list_raw text =
+  match parse_edge_list_entries text with
+  | Error e -> Error e
+  | Ok (n, entries) -> Ok (n, List.map fst entries)
+
+let parse_edge_list text =
+  match parse_edge_list_entries text with
+  | Error e -> Error e
+  | Ok (n, entries) -> (
+      let edges = List.map fst entries in
+      match Digraph.create ~n edges with
+      | exception Invalid_argument msg -> Error msg
+      | graph ->
+          let weights =
+            List.filter_map (fun (e, w) -> Option.map (fun w -> (e, w)) w) entries
+          in
+          Ok (graph, weights))
 
 let print_edge_list ?(weights = []) g =
   let buf = Buffer.create 256 in

@@ -30,6 +30,12 @@ val parse_edge_list : string -> (Digraph.t * ((int * int) * float) list, string)
 (** Parse edge-list text; returns the graph and the explicit edge weights
     (edges without a weight column are omitted from the list). *)
 
+val parse_edge_list_raw : string -> (int * (int * int) list, string) result
+(** Syntax-only variant for the linter: the declared node count and every
+    edge as written, without the range / self-loop / duplicate validation
+    {!Digraph.create} performs — so [cloudia lint] can report each
+    structural problem with a code instead of stopping at the first. *)
+
 val print_edge_list : ?weights:((int * int) * float) list -> Digraph.t -> string
 (** Render a graph back to the edge-list format (round-trips with
     {!parse_edge_list}). *)

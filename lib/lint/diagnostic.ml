@@ -1,0 +1,84 @@
+type severity = Info | Warning | Error
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+
+type t = {
+  severity : severity;
+  code : string;
+  context : string;
+  message : string;
+}
+
+let make severity ~code ~context message = { severity; code; context; message }
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let warnings ds = List.filter (fun d -> d.severity = Warning) ds
+
+let worst = function
+  | [] -> None
+  | ds ->
+      Some
+        (List.fold_left
+           (fun acc d -> if severity_rank d.severity > severity_rank acc then d.severity else acc)
+           Info ds)
+
+let sort ds =
+  List.stable_sort
+    (fun a b ->
+      match compare (severity_rank b.severity) (severity_rank a.severity) with
+      | 0 -> ( match compare a.code b.code with 0 -> compare a.context b.context | c -> c)
+      | c -> c)
+    ds
+
+let to_string d =
+  Printf.sprintf "%s[%s] %s: %s" (severity_to_string d.severity) d.code d.context d.message
+
+let pp fmt d = Format.pp_print_string fmt (to_string d)
+
+let render fmt ds =
+  List.iter (fun d -> Format.fprintf fmt "%a@." pp d) (sort ds)
+
+(* Hand-rolled JSON, mirroring the CLI's emitter: no external dependency. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json ds =
+  let one d =
+    Printf.sprintf "{\"severity\":\"%s\",\"code\":\"%s\",\"context\":\"%s\",\"message\":\"%s\"}"
+      (severity_to_string d.severity) (json_escape d.code) (json_escape d.context)
+      (json_escape d.message)
+  in
+  "[" ^ String.concat "," (List.map one (sort ds)) ^ "]"
+
+exception Failed of t list
+
+let failure_message ds =
+  String.concat "\n" (List.map to_string (sort ds))
+
+let check ?(strict = false) ds =
+  let blocking d =
+    match d.severity with Error -> true | Warning -> strict | Info -> false
+  in
+  if List.exists blocking ds then raise (Failed ds)
+
+let () =
+  Printexc.register_printer (function
+    | Failed ds -> Some ("lint failed:\n" ^ failure_message ds)
+    | _ -> None)

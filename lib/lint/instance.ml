@@ -1,0 +1,212 @@
+open Diagnostic
+
+(* Aggregate per-entry findings: one diagnostic per code, carrying the
+   first offending location and the total count. *)
+type tally = { mutable count : int; mutable first : string; mutable detail : string }
+
+let tally () = { count = 0; first = ""; detail = "" }
+
+let hit t ~context detail =
+  if t.count = 0 then begin
+    t.first <- context;
+    t.detail <- detail
+  end;
+  t.count <- t.count + 1
+
+let flush t severity ~code acc =
+  if t.count = 0 then acc
+  else
+    let message =
+      if t.count = 1 then t.detail
+      else Printf.sprintf "%s (%d occurrences in total)" t.detail t.count
+    in
+    make severity ~code ~context:t.first message :: acc
+
+let check_matrix ?(asymmetry_tolerance = 0.5) ?(max_triangle_n = 128) costs =
+  let n = Array.length costs in
+  let not_square = tally () in
+  let non_finite = tally () in
+  let negative = tally () in
+  let diagonal = tally () in
+  let asymmetric = tally () in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> n then
+        hit not_square ~context:(Printf.sprintf "costs[%d]" i)
+          (Printf.sprintf "row %d has %d entries, expected %d" i (Array.length row) n))
+    costs;
+  let square = not_square.count = 0 in
+  if square then
+    Array.iteri
+      (fun i row ->
+        Array.iteri
+          (fun j c ->
+            let context = Printf.sprintf "costs[%d][%d]" i j in
+            if not (Float.is_finite c) then
+              hit non_finite ~context
+                (Printf.sprintf "entry (%d,%d) is %s; latencies must be finite" i j
+                   (if Float.is_nan c then "NaN" else "infinite"))
+            else if c < 0.0 then
+              hit negative ~context
+                (Printf.sprintf "entry (%d,%d) = %g is negative" i j c)
+            else if i = j && c <> 0.0 then
+              hit diagonal ~context
+                (Printf.sprintf "diagonal entry (%d,%d) = %g must be 0 (an instance talks to itself for free)" i j c))
+          row)
+      costs;
+  let clean = square && non_finite.count = 0 && negative.count = 0 && diagonal.count = 0 in
+  if clean then
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let a = costs.(i).(j) and b = costs.(j).(i) in
+        let scale = Float.max a b in
+        if scale > 0.0 && Float.abs (a -. b) > asymmetry_tolerance *. scale then
+          hit asymmetric ~context:(Printf.sprintf "costs[%d][%d]" i j)
+            (Printf.sprintf
+               "cost(%d,%d)=%g vs cost(%d,%d)=%g differ by more than %.0f%%; check the measurements"
+               i j a j i b (100.0 *. asymmetry_tolerance))
+      done
+    done;
+  let triangle =
+    if not clean || n > max_triangle_n then []
+    else begin
+      let violations = ref 0 and example = ref "" in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if j <> i then
+            for k = 0 to n - 1 do
+              if k <> i && k <> j && costs.(i).(k) > costs.(i).(j) +. costs.(j).(k) then begin
+                if !violations = 0 then
+                  example :=
+                    Printf.sprintf "e.g. cost(%d,%d)=%g > cost(%d,%d)+cost(%d,%d)=%g" i k
+                      costs.(i).(k) i j j k
+                      (costs.(i).(j) +. costs.(j).(k));
+                incr violations
+              end
+            done
+        done
+      done;
+      if !violations = 0 then []
+      else
+        [
+          make Info ~code:"LAT006" ~context:"costs"
+            (Printf.sprintf
+               "%d triangle-inequality violation(s) among %d triples (%s) — expected on real networks, but a high count suggests noisy measurements"
+               !violations (n * (n - 1) * (n - 2)) !example);
+        ]
+    end
+  in
+  triangle
+  |> flush asymmetric Warning ~code:"LAT005"
+  |> flush diagonal Error ~code:"LAT004"
+  |> flush negative Error ~code:"LAT003"
+  |> flush non_finite Error ~code:"LAT002"
+  |> flush not_square Error ~code:"LAT001"
+  |> List.rev
+
+let check_edges ~n edges =
+  let self_loops = tally () in
+  let out_of_range = tally () in
+  let duplicates = tally () in
+  let seen = Hashtbl.create (List.length edges) in
+  List.iter
+    (fun (u, v) ->
+      let context = Printf.sprintf "edge (%d,%d)" u v in
+      if u < 0 || u >= n || v < 0 || v >= n then
+        hit out_of_range ~context
+          (Printf.sprintf "edge (%d,%d) has an endpoint outside 0..%d" u v (n - 1))
+      else if u = v then
+        hit self_loops ~context
+          (Printf.sprintf "self-loop on node %d; a node never talks to itself over the network" u)
+      else if Hashtbl.mem seen (u, v) then
+        hit duplicates ~context
+          (Printf.sprintf "edge (%d,%d) appears more than once; duplicates are collapsed" u v)
+      else Hashtbl.add seen (u, v) ())
+    edges;
+  []
+  |> flush duplicates Warning ~code:"GRF003"
+  |> flush out_of_range Error ~code:"GRF002"
+  |> flush self_loops Error ~code:"GRF001"
+  |> List.rev
+
+let check_graph ?pool ?(requires_dag = false) graph =
+  let n = Graphs.Digraph.n graph in
+  let acc = ref [] in
+  let add d = acc := d :: !acc in
+  if n = 0 || Graphs.Digraph.edge_count graph = 0 then
+    add
+      (make Error ~code:"GRF008" ~context:"graph"
+         "empty communication graph: no nodes talk, so every objective is vacuous");
+  (match pool with
+  | Some pool when n > pool ->
+      add
+        (make Error ~code:"GRF006" ~context:"graph"
+           (Printf.sprintf
+              "%d application nodes but only %d allocated instances; the deployment injection needs |V| <= |S| (Definition 2)"
+              n pool))
+  | _ -> ());
+  if requires_dag && not (Graphs.Digraph.is_dag graph) then
+    add
+      (make Error ~code:"GRF005" ~context:"graph"
+         "communication graph has a directed cycle; the longest-path objective (LPNDP, Sect. 4.2) is only defined on DAGs");
+  if n > 1 && not (Graphs.Digraph.is_connected_undirected graph) then
+    add
+      (make Warning ~code:"GRF004" ~context:"graph"
+         "communication graph is not (weakly) connected; disconnected components optimize independently — was the template intended?");
+  if n > 1 then begin
+    let isolated = ref 0 and first = ref (-1) in
+    for v = 0 to n - 1 do
+      if Graphs.Digraph.undirected_degree graph v = 0 then begin
+        if !isolated = 0 then first := v;
+        incr isolated
+      end
+    done;
+    if !isolated > 0 then
+      add
+        (make Info ~code:"GRF007" ~context:(Printf.sprintf "node %d" !first)
+           (Printf.sprintf
+              "%d node(s) have no incident edges; they never communicate and any placement is optimal for them"
+              !isolated))
+  end;
+  List.rev !acc
+
+let check_config ?time_limit ?domains ?pool ?over_allocation ?samples_per_pair () =
+  let acc = ref [] in
+  let add d = acc := d :: !acc in
+  (match time_limit with
+  | Some t when t <= 0.0 ->
+      add
+        (make Error ~code:"CFG001" ~context:"config.time_limit"
+           (Printf.sprintf "solver time limit %g must be positive" t))
+  | _ -> ());
+  (match domains with
+  | Some d when d < 1 ->
+      add
+        (make Error ~code:"CFG002" ~context:"config.domains"
+           (Printf.sprintf "portfolio needs at least one domain, got %d" d))
+  | _ -> ());
+  (match (domains, pool) with
+  | Some d, Some p when d >= 1 && d > p ->
+      add
+        (make Warning ~code:"CFG003" ~context:"config.domains"
+           (Printf.sprintf
+              "%d portfolio domains for a pool of %d instances; extra workers only duplicate effort"
+              d p))
+  | _ -> ());
+  (match over_allocation with
+  | Some o when o < 0.0 ->
+      add
+        (make Error ~code:"CFG004" ~context:"config.over_allocation"
+           (Printf.sprintf "over-allocation ratio %g must be non-negative" o))
+  | _ -> ());
+  (match samples_per_pair with
+  | Some s when s <= 0 ->
+      add
+        (make Error ~code:"CFG005" ~context:"config.samples_per_pair"
+           (Printf.sprintf "need a positive number of RTT samples per pair, got %d" s))
+  | _ -> ());
+  List.rev !acc
+
+let check_problem ?asymmetry_tolerance ?requires_dag ~graph ~costs () =
+  check_matrix ?asymmetry_tolerance costs
+  @ check_graph ~pool:(Array.length costs) ?requires_dag graph

@@ -1,0 +1,71 @@
+(** Pre-solve validation of deployment-problem instances.
+
+    ClouDiA's solvers assume well-formed inputs that nothing in the paper's
+    pipeline re-checks at solve time: finite non-negative mean latencies
+    with a zero diagonal (Sect. 3.1–3.2), an acyclic communication graph
+    for the longest-path objective (LPNDP, Sect. 4.2), and an instance pool
+    at least as large as the node set so the deployment injection exists
+    (Definition 2). This module turns each assumption into a coded
+    diagnostic so a violation fails fast instead of surfacing as NaN costs
+    or an unguarded exception deep inside the solvers.
+
+    Codes (see DESIGN.md §7 for the code ↔ paper-assumption map):
+
+    - [LAT001] (error) cost matrix is not square
+    - [LAT002] (error) non-finite entry (NaN / ±inf)
+    - [LAT003] (error) negative entry
+    - [LAT004] (error) non-zero diagonal entry
+    - [LAT005] (warning) asymmetry beyond tolerance
+    - [LAT006] (info) triangle-inequality violations (data-quality signal)
+    - [GRF001] (error) self-loop edge
+    - [GRF002] (error) edge endpoint out of range
+    - [GRF003] (warning) duplicate edge
+    - [GRF004] (warning) communication graph not weakly connected
+    - [GRF005] (error) cyclic graph under the longest-path objective
+    - [GRF006] (error) more application nodes than pool instances
+    - [GRF007] (info) isolated nodes (never communicate)
+    - [GRF008] (error) empty communication graph (no nodes or no edges)
+    - [CFG001] (error) non-positive solver time limit
+    - [CFG002] (error) fewer than one portfolio domain
+    - [CFG003] (warning) more portfolio domains than pool instances
+    - [CFG004] (error) negative over-allocation ratio
+    - [CFG005] (error) non-positive samples-per-pair
+
+    Per-entry matrix findings are aggregated: each code yields at most one
+    diagnostic carrying the first offending location and the total count,
+    so a fully-NaN matrix produces one [LAT002], not n². *)
+
+val check_matrix :
+  ?asymmetry_tolerance:float -> ?max_triangle_n:int -> float array array
+  -> Diagnostic.t list
+(** Validate a latency/cost matrix. [asymmetry_tolerance] (default [0.5])
+    is relative: [|c(i,j) - c(j,i)| > tol · max(c(i,j), c(j,i))] flags the
+    pair — measured RTTs are legitimately asymmetric (Sect. 3.1), so only
+    gross asymmetry warns. The O(n³) triangle scan is skipped above
+    [max_triangle_n] (default [128]) and whenever the matrix already has
+    errors (NaN would poison the comparisons). *)
+
+val check_edges : n:int -> (int * int) list -> Diagnostic.t list
+(** Validate a raw edge list before graph construction (the CLI path):
+    self-loops, out-of-range endpoints, duplicates. {!Graphs.Digraph.create}
+    rejects the first two with an exception; linting them instead reports
+    every problem at once with codes. *)
+
+val check_graph :
+  ?pool:int -> ?requires_dag:bool -> Graphs.Digraph.t -> Diagnostic.t list
+(** Validate a constructed communication graph. [pool] is the allocated
+    instance count (enables the [GRF006] injection check); [requires_dag]
+    (default [false]) enables the [GRF005] acyclicity check — set it when
+    the objective is longest-path. *)
+
+val check_config :
+  ?time_limit:float -> ?domains:int -> ?pool:int -> ?over_allocation:float
+  -> ?samples_per_pair:int -> unit -> Diagnostic.t list
+(** Solver/pipeline configuration sanity. Only the supplied fields are
+    checked, so callers pass exactly what their strategy uses. *)
+
+val check_problem :
+  ?asymmetry_tolerance:float -> ?requires_dag:bool -> graph:Graphs.Digraph.t
+  -> costs:float array array -> unit -> Diagnostic.t list
+(** Full instance check: {!check_matrix} plus {!check_graph} with the pool
+    taken from the matrix dimension. This is the advisor's pre-solve gate. *)

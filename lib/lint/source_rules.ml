@@ -1,0 +1,287 @@
+type rule = { id : string; description : string }
+
+let rules =
+  [
+    {
+      id = "R001";
+      description =
+        "Unix.gettimeofday outside lib/obs/ and bench/ (use the monotonic Obs.Clock)";
+    };
+    {
+      id = "R002";
+      description = "global Random outside lib/prng/ (use seeded Prng streams)";
+    };
+    { id = "R003"; description = "Obj.magic anywhere" };
+    {
+      id = "R004";
+      description = "console output in library code (libraries return data; binaries print)";
+    };
+    { id = "R005"; description = "lib/**/*.ml without a matching .mli" };
+  ]
+
+type violation = {
+  rule_id : string;
+  path : string;
+  line : int;
+  excerpt : string;
+}
+
+(* ---- source sanitizer ---- *)
+
+let is_ident c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+(* Blank comments / string literals / char literals with spaces, preserving
+   byte offsets and newlines. Nested comments and strings-inside-comments
+   follow the OCaml lexer; quoted strings {|...|} are handled without
+   custom delimiters (the repo does not use {id|...|id}). *)
+let sanitize text =
+  let n = String.length text in
+  let out = Bytes.of_string text in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let i = ref 0 in
+  let skip_string start =
+    (* [start] points at the opening quote; returns index after closing. *)
+    let j = ref (start + 1) in
+    let continue = ref true in
+    while !continue && !j < n do
+      (match text.[!j] with
+      | '\\' when !j + 1 < n -> incr j
+      | '"' -> continue := false
+      | _ -> ());
+      incr j
+    done;
+    for k = start to min (!j - 1) (n - 1) do
+      blank k
+    done;
+    !j
+  in
+  let skip_quoted start =
+    (* [start] points at '{' of "{|"; returns index after "|}". *)
+    let j = ref (start + 2) in
+    while !j + 1 < n && not (text.[!j] = '|' && text.[!j + 1] = '}') do
+      incr j
+    done;
+    let stop = min (!j + 2) n in
+    for k = start to stop - 1 do
+      blank k
+    done;
+    stop
+  in
+  let skip_comment start =
+    (* [start] points at '(' of "(*"; handles nesting and inner strings. *)
+    let depth = ref 1 in
+    let j = ref (start + 2) in
+    while !depth > 0 && !j < n do
+      if !j + 1 < n && text.[!j] = '(' && text.[!j + 1] = '*' then begin
+        incr depth;
+        j := !j + 2
+      end
+      else if !j + 1 < n && text.[!j] = '*' && text.[!j + 1] = ')' then begin
+        decr depth;
+        j := !j + 2
+      end
+      else if text.[!j] = '"' then begin
+        let k = ref (!j + 1) in
+        let continue = ref true in
+        while !continue && !k < n do
+          (match text.[!k] with
+          | '\\' when !k + 1 < n -> incr k
+          | '"' -> continue := false
+          | _ -> ());
+          incr k
+        done;
+        j := !k
+      end
+      else incr j
+    done;
+    for k = start to min (!j - 1) (n - 1) do
+      blank k
+    done;
+    !j
+  in
+  while !i < n do
+    let c = text.[!i] in
+    if c = '(' && !i + 1 < n && text.[!i + 1] = '*' then i := skip_comment !i
+    else if c = '"' then i := skip_string !i
+    else if c = '{' && !i + 1 < n && text.[!i + 1] = '|' then i := skip_quoted !i
+    else if c = '\'' && (!i = 0 || not (is_ident text.[!i - 1])) then begin
+      (* Char literal: 'x' or an escape like '\n'; leave type variables
+         ('a) alone. The preceding char must not be an identifier char, so
+         [x' = 'y'] still lexes the literal. *)
+      if !i + 2 < n && text.[!i + 1] <> '\\' && text.[!i + 1] <> '\'' && text.[!i + 2] = '\''
+      then begin
+        for k = !i to !i + 2 do
+          blank k
+        done;
+        i := !i + 3
+      end
+      else if !i + 1 < n && text.[!i + 1] = '\\' then begin
+        let j = ref (!i + 2) in
+        while !j < n && text.[!j] <> '\'' && text.[!j] <> '\n' do
+          incr j
+        done;
+        if !j < n && text.[!j] = '\'' then begin
+          for k = !i to !j do
+            blank k
+          done;
+          i := !j + 1
+        end
+        else incr i
+      end
+      else incr i
+    end
+    else incr i
+  done;
+  Bytes.to_string out
+
+(* ---- token scanning ---- *)
+
+(* All offsets where [token] occurs with identifier boundaries on both
+   sides. A token ending in '.' is a prefix match (e.g. "Random." catches
+   every projection from the module). *)
+let find_token text token =
+  let n = String.length text and m = String.length token in
+  let hits = ref [] in
+  for i = 0 to n - m do
+    if String.sub text i m = token then begin
+      let before_ok = i = 0 || ((not (is_ident text.[i - 1])) && text.[i - 1] <> '.') in
+      let after_ok =
+        (not (is_ident token.[m - 1]))
+        || i + m >= n
+        || not (is_ident text.[i + m])
+      in
+      if before_ok && after_ok then hits := i :: !hits
+    end
+  done;
+  List.rev !hits
+
+let line_of text offset =
+  let line = ref 1 in
+  for i = 0 to offset - 1 do
+    if text.[i] = '\n' then incr line
+  done;
+  !line
+
+let excerpt_at text offset =
+  let n = String.length text in
+  let lo = ref offset and hi = ref offset in
+  while !lo > 0 && text.[!lo - 1] <> '\n' do
+    decr lo
+  done;
+  while !hi < n && text.[!hi] <> '\n' do
+    incr hi
+  done;
+  String.trim (String.sub text !lo (!hi - !lo))
+
+(* ---- rules over paths ---- *)
+
+let normalize path =
+  let path =
+    if String.length path > 2 && String.sub path 0 2 = "./" then
+      String.sub path 2 (String.length path - 2)
+    else path
+  in
+  String.map (fun c -> if c = '\\' then '/' else c) path
+
+let has_prefix prefix path =
+  String.length path >= String.length prefix
+  && String.sub path 0 (String.length prefix) = prefix
+
+let is_source path =
+  Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+
+let content_rules =
+  [
+    ( "R001",
+      [ "Unix.gettimeofday" ],
+      fun path -> not (has_prefix "lib/obs/" path || has_prefix "bench/" path) );
+    ("R002", [ "Random." ], fun path -> not (has_prefix "lib/prng/" path));
+    ("R003", [ "Obj.magic" ], fun _ -> true);
+    ( "R004",
+      [ "print_string"; "print_endline"; "print_newline"; "Printf.printf"; "Format.printf" ],
+      fun path -> has_prefix "lib/" path );
+  ]
+
+let scan_file ~path text =
+  let path = normalize path in
+  if not (is_source path) then []
+  else begin
+    let clean = sanitize text in
+    List.concat_map
+      (fun (rule_id, tokens, applies) ->
+        if not (applies path) then []
+        else
+          List.concat_map
+            (fun token ->
+              List.map
+                (fun offset ->
+                  {
+                    rule_id;
+                    path;
+                    line = line_of clean offset;
+                    excerpt = excerpt_at text offset;
+                  })
+                (find_token clean token))
+            tokens)
+      content_rules
+  end
+
+let missing_mli ~paths =
+  let paths = List.map normalize paths in
+  let present = Hashtbl.create (List.length paths) in
+  List.iter (fun p -> Hashtbl.replace present p ()) paths;
+  List.filter_map
+    (fun p ->
+      if has_prefix "lib/" p && Filename.check_suffix p ".ml"
+         && not (Hashtbl.mem present (p ^ "i"))
+      then
+        Some
+          {
+            rule_id = "R005";
+            path = p;
+            line = 0;
+            excerpt = Printf.sprintf "no interface file %si" (Filename.basename p);
+          }
+      else None)
+    paths
+
+(* ---- allowlist ---- *)
+
+type allow = { allow_rule : string; allow_prefix : string }
+
+let parse_allowlist text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           match String.index_opt line ' ' with
+           | None -> None
+           | Some i ->
+               Some
+                 {
+                   allow_rule = String.sub line 0 i;
+                   allow_prefix =
+                     normalize (String.trim (String.sub line (i + 1) (String.length line - i - 1)));
+                 })
+
+let partition_allowed allows violations =
+  List.partition
+    (fun v ->
+      not
+        (List.exists
+           (fun a -> a.allow_rule = v.rule_id && has_prefix a.allow_prefix v.path)
+           allows))
+    violations
+
+let violation_to_diagnostic v =
+  let description =
+    match List.find_opt (fun r -> r.id = v.rule_id) rules with
+    | Some r -> r.description
+    | None -> "unknown rule"
+  in
+  let context = if v.line = 0 then v.path else Printf.sprintf "%s:%d" v.path v.line in
+  Diagnostic.make Diagnostic.Error ~code:v.rule_id ~context
+    (Printf.sprintf "%s — %s" description v.excerpt)

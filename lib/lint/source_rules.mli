@@ -1,0 +1,63 @@
+(** Repository source rules: the engine behind [tools/repolint].
+
+    Project invariants that OCaml's type system cannot express are enforced
+    here as bannable token patterns over the source tree:
+
+    - [R001] [Unix.gettimeofday] outside [lib/obs/] and [bench/] — the
+      monotonic {!Obs.Clock} is the sanctioned timer; wall-clock jumps
+      corrupt deadlines and telemetry.
+    - [R002] [Random.self_init] or any global [Random] use outside
+      [lib/prng/] — all randomness flows through seeded [Prng] streams so
+      runs are reproducible.
+    - [R003] [Obj.magic] anywhere.
+    - [R004] console output ([print_string], [print_endline],
+      [print_newline], [Printf.printf], [Format.printf]) in library code
+      ([lib/**]) — libraries return data; binaries print.
+    - [R005] every [lib/**/*.ml] must have a matching [.mli] — sealed
+      interfaces are how the invariants above stay local.
+
+    Matching is token-accurate: comments, string literals and char
+    literals are blanked before scanning, so documentation may mention a
+    banned identifier without tripping the rule. Paths are matched with
+    ['/'] separators relative to the repository root.
+
+    Violations are suppressed only through an explicit allowlist (one
+    [RULE path-prefix] pair per line), so every exception is checked in
+    and reviewable. *)
+
+type rule = { id : string; description : string }
+
+val rules : rule list
+(** All rules, in id order. *)
+
+type violation = {
+  rule_id : string;
+  path : string;
+  line : int;       (** 1-based; [0] for whole-file rules like [R005] *)
+  excerpt : string; (** the offending source line, trimmed *)
+}
+
+val sanitize : string -> string
+(** Blank out comments (nested [(* *)]), string literals and char literals,
+    preserving byte positions and newlines, so token scans see only code. *)
+
+val scan_file : path:string -> string -> violation list
+(** Apply every content rule applicable to [path] to the file's text. *)
+
+val missing_mli : paths:string list -> violation list
+(** [R005] over a listing of repository-relative paths. *)
+
+type allow = { allow_rule : string; allow_prefix : string }
+
+val parse_allowlist : string -> allow list
+(** One entry per line: [RULE path-prefix]; [#] starts a comment; blank
+    lines ignored. *)
+
+val partition_allowed :
+  allow list -> violation list -> violation list * violation list
+(** [(kept, suppressed)]: a violation is suppressed when an entry's rule
+    matches and its prefix is a path prefix of the violation's path. *)
+
+val violation_to_diagnostic : violation -> Diagnostic.t
+(** Render as an [Error]-severity {!Diagnostic.t} (context
+    ["path:line"]). *)

@@ -74,8 +74,8 @@ type strategy = Best_first | Depth_first
 let solve ?time_limit ?node_limit ?should_stop ?(strategy = Depth_first) ?on_incumbent
     ?initial_incumbent model =
   Obs.Span.with_ "lp.mip.solve" @@ fun () ->
-  let start = Unix.gettimeofday () in
-  let elapsed () = Unix.gettimeofday () -. start in
+  let start = Obs.Clock.now_s () in
+  let elapsed () = Obs.Clock.now_s () -. start in
   let over_time () =
     (match should_stop with Some f -> f () | None -> false)
     || match time_limit with Some l -> elapsed () > l | None -> false

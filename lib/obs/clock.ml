@@ -1,5 +1,6 @@
 external now_ns : unit -> int64 = "obs_clock_monotonic_ns"
 
+let now_s () = Int64.to_float (now_ns ()) /. 1e9
 let ns_to_us ns = Int64.to_float ns /. 1e3
 let ns_to_ms ns = Int64.to_float ns /. 1e6
 let ns_to_s ns = Int64.to_float ns /. 1e9

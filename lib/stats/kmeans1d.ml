@@ -24,6 +24,15 @@ let distinct_count xs = Array.length (fst (distinct_sorted xs))
 let cluster ~k xs =
   if k <= 0 then invalid_arg "Kmeans1d.cluster: k must be positive";
   if Array.length xs = 0 then invalid_arg "Kmeans1d.cluster: empty input";
+  (* NaN breaks the sort order and ±inf poisons the prefix sums; either
+     would silently corrupt the DP tables, so reject up front. *)
+  Array.iteri
+    (fun i x ->
+      if not (Float.is_finite x) then
+        invalid_arg
+          (Printf.sprintf "Kmeans1d.cluster: input %d is %s; values must be finite" i
+             (if Float.is_nan x then "NaN" else "infinite")))
+    xs;
   let values, weights = distinct_sorted xs in
   let n = Array.length values in
   let k = min k n in

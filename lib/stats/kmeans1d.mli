@@ -17,8 +17,9 @@ val cluster : k:int -> float array -> result
 (** [cluster ~k xs] optimally partitions the multiset [xs] into at most [k]
     contiguous clusters (in value order), minimizing within-cluster squared
     error. If [xs] has fewer than [k] distinct values, each distinct value
-    becomes its own cluster. Raises [Invalid_argument] if [k <= 0] or [xs]
-    is empty. *)
+    becomes its own cluster. Raises [Invalid_argument] if [k <= 0], [xs]
+    is empty, or [xs] contains a non-finite value (NaN/±inf would silently
+    corrupt the DP tables). *)
 
 val assign : result -> float -> float
 (** [assign r x] maps [x] to its cluster's mean (the rounding the paper

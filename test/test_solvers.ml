@@ -287,12 +287,28 @@ let test_advisor_longest_path_mip () =
   Alcotest.(check bool) "LP cost positive" true (report.Advisor.cost > 0.0)
 
 let test_advisor_rejects_cp_for_longest_path () =
+  (* A DAG graph, so the pre-solve lint gate passes and the strategy/
+     objective mismatch is what gets exercised. *)
+  let config =
+    {
+      (advisor_config (Advisor.Cp cp_exact) Cost.Longest_path) with
+      Advisor.graph = Graphs.Templates.aggregation_tree ~fanout:2 ~depth:2;
+    }
+  in
   Alcotest.check_raises "cp + longest path"
     (Invalid_argument "Advisor: the CP strategy only supports the longest-link objective")
-    (fun () ->
-      ignore
-        (Advisor.run (Prng.create 64) ec2
-           (advisor_config (Advisor.Cp cp_exact) Cost.Longest_path)))
+    (fun () -> ignore (Advisor.run (Prng.create 64) ec2 config))
+
+let test_advisor_lint_gate_rejects_cyclic_lpndp () =
+  (* mesh2d is cyclic: the longest-path objective on it must be caught by
+     the lint gate (GRF005) before any solver runs, not surface as an
+     exception deep inside Cost. *)
+  let config = advisor_config Advisor.Greedy_g2 Cost.Longest_path in
+  match Advisor.run (Prng.create 64) ec2 config with
+  | exception Lint.Diagnostic.Failed ds ->
+      Alcotest.(check bool) "GRF005 reported" true
+        (List.exists (fun d -> d.Lint.Diagnostic.code = "GRF005") ds)
+  | _ -> Alcotest.fail "expected Lint.Diagnostic.Failed"
 
 let test_advisor_measurement_time_scales () =
   let r1 = Advisor.run (Prng.create 65) ec2 (advisor_config Advisor.Greedy_g2 Cost.Longest_link) in
@@ -324,5 +340,7 @@ let suite =
     Alcotest.test_case "advisor cp beats default" `Quick test_advisor_exact_strategies_beat_default;
     Alcotest.test_case "advisor longest path mip" `Slow test_advisor_longest_path_mip;
     Alcotest.test_case "advisor rejects cp+lp" `Quick test_advisor_rejects_cp_for_longest_path;
+    Alcotest.test_case "advisor lint gate rejects cyclic lpndp" `Quick
+      test_advisor_lint_gate_rejects_cyclic_lpndp;
     Alcotest.test_case "advisor measurement time" `Quick test_advisor_measurement_time_scales;
   ]

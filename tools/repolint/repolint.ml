@@ -1,0 +1,101 @@
+(* Repository source-rule checker (see Lint.Source_rules for the rules).
+
+   Usage: repolint [--root DIR] [--allow FILE] [--json FILE] [ROOTS...]
+
+   Walks ROOTS (default: lib bin) relative to --root (default: cwd),
+   applies every rule, subtracts the allowlist, prints the survivors and
+   exits 1 if any remain. CI runs it from the repository root and uploads
+   the --json report as an artifact. *)
+
+let default_roots = [ "lib"; "bin" ]
+let default_allow = Filename.concat (Filename.concat "tools" "repolint") "allowlist"
+
+let rec walk dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+      Array.fold_left
+        (fun acc entry ->
+          let path = Filename.concat dir entry in
+          if Sys.is_directory path then
+            if entry = "_build" || entry.[0] = '.' then acc else walk path @ acc
+          else path :: acc)
+        [] entries
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+let () =
+  let root = ref "." in
+  let allow_file = ref None in
+  let json_file = ref None in
+  let roots = ref [] in
+  let args =
+    [
+      ("--root", Arg.Set_string root, "DIR repository root to scan from (default: cwd)");
+      ( "--allow",
+        Arg.String (fun f -> allow_file := Some f),
+        Printf.sprintf "FILE allowlist of 'RULE path-prefix' lines (default: %s if present)"
+          default_allow );
+      ( "--json",
+        Arg.String (fun f -> json_file := Some f),
+        "FILE also write the violations as a JSON diagnostic report" );
+    ]
+  in
+  Arg.parse args (fun r -> roots := r :: !roots) "repolint [options] [roots...]";
+  let roots = if !roots = [] then default_roots else List.rev !roots in
+  let files =
+    List.concat_map
+      (fun r ->
+        let dir = Filename.concat !root r in
+        if Sys.file_exists dir && Sys.is_directory dir then walk dir
+        else begin
+          Printf.eprintf "repolint: no directory %s\n" dir;
+          exit 2
+        end)
+      roots
+  in
+  (* Paths are matched repo-relative; strip the --root prefix. *)
+  let relative path =
+    let prefix = !root ^ "/" in
+    if !root = "." && String.length path > 2 && String.sub path 0 2 = "./" then
+      String.sub path 2 (String.length path - 2)
+    else if String.length path > String.length prefix
+            && String.sub path 0 (String.length prefix) = prefix then
+      String.sub path (String.length prefix) (String.length path - String.length prefix)
+    else path
+  in
+  let sources =
+    List.filter
+      (fun p -> Filename.check_suffix p ".ml" || Filename.check_suffix p ".mli")
+      files
+  in
+  let violations =
+    List.concat_map
+      (fun path -> Lint.Source_rules.scan_file ~path:(relative path) (read_file path))
+      sources
+    @ Lint.Source_rules.missing_mli ~paths:(List.map relative sources)
+  in
+  let allows =
+    let file =
+      match !allow_file with
+      | Some f -> Some f
+      | None ->
+          let f = Filename.concat !root default_allow in
+          if Sys.file_exists f then Some f else None
+    in
+    match file with
+    | Some f -> Lint.Source_rules.parse_allowlist (read_file f)
+    | None -> []
+  in
+  let kept, suppressed = Lint.Source_rules.partition_allowed allows violations in
+  let diagnostics = List.map Lint.Source_rules.violation_to_diagnostic kept in
+  (match !json_file with
+  | Some f ->
+      Out_channel.with_open_text f (fun oc ->
+          Out_channel.output_string oc (Lint.Diagnostic.to_json diagnostics);
+          Out_channel.output_char oc '\n')
+  | None -> ());
+  Format.printf "%a" Lint.Diagnostic.render diagnostics;
+  Printf.printf "repolint: %d file(s), %d violation(s), %d suppressed\n"
+    (List.length sources) (List.length kept) (List.length suppressed);
+  exit (if kept = [] then 0 else 1)
