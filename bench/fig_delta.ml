@@ -1,0 +1,163 @@
+(* Delta-evaluation kernel: correctness and throughput of incremental
+   cost evaluation for local-search moves.
+
+   Every move of the annealing loop used to pay a full Cost.eval — O(|E|)
+   for longest link, a whole-DAG relaxation for longest path. The
+   Delta_cost kernel answers the same proposals from the edges a move
+   actually touches. This section checks and prints two claims:
+
+   - equivalence: on small instances of both objectives the kernel's
+     incremental costs match a from-scratch evaluation after every
+     proposal, commit and abort — any disagreement is a hard failure
+     (non-zero exit), which is what the CI smoke gate relies on;
+   - throughput: annealing with the delta kernel sustains >= 5x the
+     moves/sec of per-move full evaluation on the paper's 64-node
+     behavioral-simulation template (8x8 mesh, longest link). Enforced at
+     full scale; in --smoke mode the ratio is printed but not asserted
+     (the budgets are too small to time reliably). *)
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Float.max 1e-9 (Unix.gettimeofday () -. t0))
+
+(* The same annealing run — same seed, same move budget, same schedule —
+   evaluated either through the delta kernel (solve_objective) or with
+   one full Cost.eval per move. Both draw identical random streams, so
+   they must visit identical plans. *)
+let anneal_run problem objective ~moves ~use_delta seed =
+  let options =
+    {
+      Cloudia.Anneal.default_options with
+      Cloudia.Anneal.time_limit = 3600.0;
+      restarts = 1;
+      max_moves = Some moves;
+    }
+  in
+  if use_delta then
+    Cloudia.Anneal.solve_objective ~options (Prng.create seed) objective problem
+  else
+    Cloudia.Anneal.solve ~options (Prng.create seed)
+      ~eval:(Cloudia.Cost.eval objective problem)
+      problem
+
+let throughput name problem objective ~moves seed =
+  Util.subsection name;
+  let full, t_full = timed (fun () -> anneal_run problem objective ~moves ~use_delta:false seed) in
+  let delta, t_delta = timed (fun () -> anneal_run problem objective ~moves ~use_delta:true seed) in
+  if Float.abs (full.Cloudia.Anneal.cost -. delta.Cloudia.Anneal.cost) > 1e-9 then
+    failwith
+      (Printf.sprintf
+         "fig-delta: delta kernel diverged from full evaluation (%s: %.9f vs %.9f)" name
+         delta.Cloudia.Anneal.cost full.Cloudia.Anneal.cost);
+  let mps_full = float_of_int full.Cloudia.Anneal.moves_tried /. t_full in
+  let mps_delta = float_of_int delta.Cloudia.Anneal.moves_tried /. t_delta in
+  let ratio = mps_delta /. mps_full in
+  Printf.printf "  %-28s %12s %12s %10s\n" "evaluator" "moves" "moves/sec" "cost";
+  Printf.printf "  %-28s %12d %12.0f %7.3f ms\n" "full Cost.eval per move"
+    full.Cloudia.Anneal.moves_tried mps_full full.Cloudia.Anneal.cost;
+  Printf.printf "  %-28s %12d %12.0f %7.3f ms\n" "delta kernel"
+    delta.Cloudia.Anneal.moves_tried mps_delta delta.Cloudia.Anneal.cost;
+  Printf.printf "  speedup: %.1fx (identical plans: %s)\n" ratio
+    (if delta.Cloudia.Anneal.plan = full.Cloudia.Anneal.plan then "yes" else "NO");
+  Util.write_csv
+    ("fig_delta_" ^ String.map (fun c -> if c = ' ' then '_' else c) name)
+    [ "evaluator"; "moves"; "moves_per_sec" ]
+    [
+      [ "full"; string_of_int full.Cloudia.Anneal.moves_tried; Printf.sprintf "%.0f" mps_full ];
+      [ "delta"; string_of_int delta.Cloudia.Anneal.moves_tried; Printf.sprintf "%.0f" mps_delta ];
+    ];
+  ratio
+
+(* Mirror a random proposal stream on a shadow plan and cross-check the
+   kernel against Cost.eval at every step — proposals, commits and aborts
+   alike. Any mismatch fails the whole bench run. *)
+let equivalence name objective problem seed ~steps =
+  let rng = Prng.create seed in
+  let n = Cloudia.Types.node_count problem in
+  let m = Cloudia.Types.instance_count problem in
+  let shadow = Cloudia.Types.random_plan rng problem in
+  let kernel = Cloudia.Delta_cost.create objective problem shadow in
+  let eval = Cloudia.Cost.eval objective problem in
+  let checked = ref 0 in
+  for _ = 1 to steps do
+    let node = Prng.int rng n and target = Prng.int rng m in
+    if target <> shadow.(node) then begin
+      let source = shadow.(node) in
+      let other = Cloudia.Delta_cost.occupant kernel target in
+      shadow.(node) <- target;
+      (match other with Some o -> shadow.(o) <- source | None -> ());
+      let candidate = Cloudia.Delta_cost.propose_move kernel ~node ~target in
+      let reference = eval shadow in
+      if Float.abs (candidate -. reference) > 1e-9 then
+        failwith
+          (Printf.sprintf
+             "fig-delta: %s proposal cost mismatch (delta %.12f vs full %.12f)" name
+             candidate reference);
+      incr checked;
+      if Prng.bool rng then Cloudia.Delta_cost.commit kernel
+      else begin
+        Cloudia.Delta_cost.abort kernel;
+        shadow.(node) <- source;
+        match other with Some o -> shadow.(o) <- target | None -> ()
+      end;
+      let committed = Cloudia.Delta_cost.cost kernel in
+      let reference = eval shadow in
+      if Float.abs (committed -. reference) > 1e-9 then
+        failwith
+          (Printf.sprintf
+             "fig-delta: %s committed cost mismatch (delta %.12f vs full %.12f)" name
+             committed reference)
+    end
+  done;
+  Printf.printf "  %-42s OK (%d proposals cross-checked)\n" name !checked
+
+let run () =
+  Util.section "Delta" "incremental (delta) cost evaluation for local search";
+  Util.subsection "equivalence vs full evaluation (hard gate)";
+  let small_link = Graphs.Templates.mesh2d ~rows:3 ~cols:3 in
+  let small_path = Graphs.Templates.random_dag (Prng.create 611) ~n:12 ~edge_prob:0.3 in
+  List.iter
+    (fun seed ->
+      let env = Util.env_of ~seed Util.ec2 ~count:12 in
+      let problem = Util.problem_of ~seed:(seed + 1) env small_link in
+      equivalence
+        (Printf.sprintf "longest-link 3x3 mesh (seed %d)" seed)
+        Cloudia.Cost.Longest_link problem (seed + 2)
+        ~steps:(Util.trials ~floor:200 2000))
+    [ 621; 622 ];
+  List.iter
+    (fun seed ->
+      let env = Util.env_of ~seed Util.ec2 ~count:15 in
+      let problem = Util.problem_of ~seed:(seed + 1) env small_path in
+      equivalence
+        (Printf.sprintf "longest-path 12-node DAG (seed %d)" seed)
+        Cloudia.Cost.Longest_path problem (seed + 2)
+        ~steps:(Util.trials ~floor:200 2000))
+    [ 631; 632 ];
+  (* Throughput at the paper's behavioral-simulation scale: 8x8 mesh of
+     64 nodes, 20% over-allocation. *)
+  let rows = 8 and cols = 8 in
+  let mesh = Graphs.Templates.mesh2d ~rows ~cols in
+  let env = Util.env_of ~seed:601 Util.ec2 ~count:(rows * cols * 12 / 10) in
+  let problem = Util.problem_of ~seed:602 env mesh in
+  let moves = Util.trials ~floor:4000 200_000 in
+  let ratio =
+    throughput "longest link, 64-node mesh" problem Cloudia.Cost.Longest_link ~moves 603
+  in
+  let dag = Graphs.Templates.random_dag (Prng.create 641) ~n:64 ~edge_prob:0.08 in
+  let env = Util.env_of ~seed:642 Util.ec2 ~count:(64 * 12 / 10) in
+  let dag_problem = Util.problem_of ~seed:643 env dag in
+  let _ =
+    throughput "longest path, 64-node DAG" dag_problem Cloudia.Cost.Longest_path
+      ~moves:(Util.trials ~floor:2000 50_000)
+      644
+  in
+  Printf.printf "\n  longest-link delta speedup vs the >=5x claim: %.1fx — %s\n" ratio
+    (if ratio >= 5.0 then "PASS"
+     else if !Util.smoke then "not enforced in --smoke"
+     else "FAIL");
+  if (not !Util.smoke) && ratio < 5.0 then
+    failwith
+      (Printf.sprintf "fig-delta: delta kernel speedup %.1fx below the 5x acceptance bar"
+         ratio)

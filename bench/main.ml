@@ -44,6 +44,7 @@ let registry : (string * string * (unit -> unit)) list =
     ("ablation-ks", "staged batching parameter sweep", Fig_ext.ablation_ks);
     ("ablation-value-order", "CP value ordering heuristic", Fig_ext.ablation_value_order);
     ("fig-portfolio", "parallel portfolio vs single strategies", Fig_portfolio.run);
+    ("fig-delta", "incremental vs full cost evaluation", Fig_delta.run);
     ("micro", "kernel microbenchmarks", Micro.run);
   ]
 

@@ -194,6 +194,7 @@ let strategy_of_string ~time_limit ~domains ~objective s =
   | "g2" -> Ok Cloudia.Advisor.Greedy_g2
   | "r1" -> Ok (Cloudia.Advisor.Random_r1 1000)
   | "r2" -> Ok (Cloudia.Advisor.Random_r2 time_limit)
+  | "r2d" | "descent" -> Ok (Cloudia.Advisor.Descent time_limit)
   | "anneal" -> Ok (Cloudia.Advisor.Anneal { Cloudia.Anneal.default_options with Cloudia.Anneal.time_limit })
   | "cp" ->
       Ok
@@ -226,7 +227,7 @@ let strategy_of_string ~time_limit ~domains ~objective s =
                time_limit;
                share_incumbent = true;
              })
-  | _ -> Error (`Msg "strategy must be g1, g2, r1, r2, anneal, cp, mip or portfolio")
+  | _ -> Error (`Msg "strategy must be g1, g2, r1, r2, r2d, anneal, cp, mip or portfolio")
 
 let advise provider seed workload strategy_name scale over metric time_limit domains
     graph_spec graph_file trace_file trace_format obs_summary strict_lint json =
@@ -370,7 +371,7 @@ let advise_cmd =
   in
   let strategy_arg =
     Arg.(value & opt string "cp" & info [ "strategy" ]
-           ~doc:"g1, g2, r1, r2, anneal, cp, mip or portfolio.")
+           ~doc:"g1, g2, r1, r2, r2d (descent), anneal, cp, mip or portfolio.")
   in
   let scale_arg =
     Arg.(value & opt int 4 & info [ "scale" ] ~doc:"Mesh side / tree depth / front-end count.")
@@ -550,7 +551,7 @@ let plan_cmd =
   in
   let strategy_arg =
     Arg.(value & opt string "cp" & info [ "strategy" ]
-           ~doc:"g1, g2, r1, r2, anneal, cp, mip or portfolio.")
+           ~doc:"g1, g2, r1, r2, r2d (descent), anneal, cp, mip or portfolio.")
   in
   let time_arg =
     Arg.(value & opt float 10.0 & info [ "time-limit" ] ~doc:"Solver budget in seconds.")

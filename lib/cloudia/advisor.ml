@@ -3,6 +3,7 @@ type strategy =
   | Greedy_g2
   | Random_r1 of int
   | Random_r2 of float
+  | Descent of float
   | Anneal of Anneal.options
   | Cp of Cp_solver.options
   | Mip of Mip_solver.options
@@ -13,6 +14,7 @@ let strategy_to_string = function
   | Greedy_g2 -> "G2"
   | Random_r1 n -> Printf.sprintf "R1(%d)" n
   | Random_r2 s -> Printf.sprintf "R2(%.1fs)" s
+  | Descent s -> Printf.sprintf "R2D(%.1fs)" s
   | Anneal _ -> "SA"
   | Cp _ -> "CP"
   | Mip _ -> "MIP"
@@ -72,7 +74,7 @@ type report = {
    use; greedy strategies and fixed-trial R1 have no time budget. *)
 let strategy_time_limit = function
   | Greedy_g1 | Greedy_g2 | Random_r1 _ -> None
-  | Random_r2 s -> Some s
+  | Random_r2 s | Descent s -> Some s
   | Anneal o -> Some o.Anneal.time_limit
   | Cp o -> Some o.Cp_solver.time_limit
   | Mip o -> Some o.Mip_solver.time_limit
@@ -138,6 +140,11 @@ let search_with_telemetry rng strategy objective problem =
         Random_search.r2 ~on_improve rng objective problem ~time_limit:budget
       in
       finish ~solver:(Random_stats { trials }) ~trace:(List.rev !trace) plan
+  | Descent budget ->
+      let plan, _, restarts =
+        Random_search.r2_descent ~on_improve rng objective problem ~time_limit:budget
+      in
+      finish ~solver:(Random_stats { trials = restarts }) ~trace:(List.rev !trace) plan
   | Anneal options ->
       let r = Anneal.solve_objective ~options ~on_improve rng objective problem in
       finish

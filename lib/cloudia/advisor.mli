@@ -20,6 +20,10 @@ type strategy =
   | Greedy_g2
   | Random_r1 of int            (** best of N random plans *)
   | Random_r2 of float          (** random plans for a time budget (s) *)
+  | Descent of float
+      (** R2 with local descent for a time budget (s): random restarts
+          refined to swap/relocate local optima through the incremental
+          {!Delta_cost} kernel (see {!Random_search.r2_descent}) *)
   | Anneal of Anneal.options    (** simulated annealing (either objective) *)
   | Cp of Cp_solver.options     (** LLNDP only *)
   | Mip of Mip_solver.options

@@ -29,23 +29,21 @@ let c_tried = Obs.Counter.make "anneal.moves_tried"
 let c_accepted = Obs.Counter.make "anneal.moves_accepted"
 let g_acceptance = Obs.Gauge.make "anneal.acceptance_rate"
 
-(* One annealing run from a random start. The global best (shared across
-   restarts) is updated in place so improvement callbacks see the true
-   cross-restart incumbent timeline. *)
-let run rng eval (t : Types.problem) options ~deadline ~stop ~improved ~tried ~accepted
+(* One annealing run from a random start, driven through a {!Delta_cost}
+   kernel: a proposed move costs O(deg) for the standard objectives (one
+   full evaluation only for opaque costs) and is committed or aborted in
+   place. The global best (shared across restarts) is updated in place so
+   improvement callbacks see the true cross-restart incumbent timeline. *)
+let run rng kernel (t : Types.problem) options ~deadline ~stop ~improved ~tried ~accepted
     ~budget_left ~best_plan ~best_cost =
   let n = Types.node_count t and m = Types.instance_count t in
-  let plan = Types.random_plan rng t in
-  let cost = ref (eval plan) in
+  Delta_cost.reset kernel (Types.random_plan rng t);
+  let cost = ref (Delta_cost.cost kernel) in
   if !cost < !best_cost then begin
     best_cost := !cost;
-    best_plan := Array.copy plan;
-    improved plan !cost
+    best_plan := Delta_cost.plan kernel;
+    improved (Delta_cost.current kernel) !cost
   end;
-  (* node_of.(instance) = node currently there, or -1: needed to find swap
-     partners and free instances in O(1). *)
-  let node_of = Array.make m (-1) in
-  Array.iteri (fun node inst -> node_of.(inst) <- node) plan;
   let temperature = ref options.initial_temperature in
   let min_temperature = 1e-4 *. options.initial_temperature in
   while
@@ -59,48 +57,34 @@ let run rng eval (t : Types.problem) options ~deadline ~stop ~improved ~tried ~a
       decr moves;
       decr budget_left;
       incr tried;
-      (* Propose: pick a node and a target instance; swap or relocate
-         depending on whether the target is occupied. *)
+      (* Propose: pick a node and a target instance; the kernel swaps or
+         relocates depending on whether the target is occupied. *)
       let node = Prng.int rng n in
       let target = Prng.int rng m in
-      let source = plan.(node) in
-      if target <> source then begin
-        let other = node_of.(target) in
-        let apply () =
-          plan.(node) <- target;
-          node_of.(target) <- node;
-          node_of.(source) <- other;
-          if other <> -1 then plan.(other) <- source
-        in
-        let revert () =
-          plan.(node) <- source;
-          node_of.(source) <- node;
-          node_of.(target) <- other;
-          if other <> -1 then plan.(other) <- target
-        in
-        apply ();
-        let candidate = eval plan in
+      if target <> Delta_cost.instance_of kernel node then begin
+        let candidate = Delta_cost.propose_move kernel ~node ~target in
         let delta = candidate -. !cost in
         let accept =
           delta <= 0.0 || Prng.uniform rng < exp (-.delta /. !temperature)
         in
         if accept then begin
+          Delta_cost.commit kernel;
           incr accepted;
           cost := candidate;
           if candidate < !best_cost then begin
             best_cost := candidate;
-            Array.blit plan 0 !best_plan 0 n;
-            improved plan candidate
+            Array.blit (Delta_cost.current kernel) 0 !best_plan 0 n;
+            improved (Delta_cost.current kernel) candidate
           end
         end
-        else revert ()
+        else Delta_cost.abort kernel
       end
     done;
     temperature := !temperature *. options.cooling
   done
 
-let solve ?(options = default_options) ?(stop = fun () -> false) ?on_improve rng ~eval
-    (t : Types.problem) =
+let solve_kernel ?(options = default_options) ?(stop = fun () -> false) ?on_improve rng
+    ~make (t : Types.problem) =
   if options.time_limit <= 0.0 then invalid_arg "Anneal.solve: need a positive time limit";
   if options.restarts <= 0 then invalid_arg "Anneal.solve: need at least one restart";
   (match options.max_moves with
@@ -115,22 +99,31 @@ let solve ?(options = default_options) ?(stop = fun () -> false) ?on_improve rng
   let deadline = Obs.Clock.now_s () +. options.time_limit in
   let tried = ref 0 and accepted = ref 0 in
   let budget_left = ref (match options.max_moves with Some m -> m | None -> max_int) in
-  let best_plan = ref (Types.random_plan rng t) in
-  let best_cost = ref (eval !best_plan) in
+  let kernel : Delta_cost.t = make (Types.random_plan rng t) in
+  let best_plan = ref (Delta_cost.plan kernel) in
+  let best_cost = ref (Delta_cost.cost kernel) in
   improved !best_plan !best_cost;
   let remaining = ref options.restarts in
   while
     !remaining > 0 && !budget_left > 0 && (not (stop ())) && Obs.Clock.now_s () < deadline
   do
     decr remaining;
-    run rng eval t options ~deadline ~stop ~improved ~tried ~accepted ~budget_left
+    run rng kernel t options ~deadline ~stop ~improved ~tried ~accepted ~budget_left
       ~best_plan ~best_cost
   done;
+  Delta_cost.flush_counters kernel;
   Obs.Counter.add c_tried !tried;
   Obs.Counter.add c_accepted !accepted;
   if !tried > 0 then
     Obs.Gauge.set g_acceptance (float_of_int !accepted /. float_of_int !tried);
   { plan = !best_plan; cost = !best_cost; moves_tried = !tried; moves_accepted = !accepted }
 
+let solve ?options ?stop ?on_improve rng ~eval t =
+  solve_kernel ?options ?stop ?on_improve rng
+    ~make:(fun init -> Delta_cost.create_eval ~eval t init)
+    t
+
 let solve_objective ?options ?stop ?on_improve rng objective t =
-  solve ?options ?stop ?on_improve rng ~eval:(fun plan -> Cost.eval objective t plan) t
+  solve_kernel ?options ?stop ?on_improve rng
+    ~make:(fun init -> Delta_cost.create objective t init)
+    t

@@ -7,7 +7,16 @@
     exploits over-allocation) — under a geometric cooling schedule.
     Works for any deployment cost function, including the weighted and
     bandwidth objectives ({!Weighted}, {!Bandwidth}) that the exact
-    encodings need special-casing for. *)
+    encodings need special-casing for.
+
+    Moves are evaluated through a {!Delta_cost} kernel: for the two
+    standard objectives ({!solve_objective}) each proposal costs
+    O(deg(node)) — or an affected-suffix DAG re-relaxation for longest
+    path — instead of a full {!Cost.eval}; for an arbitrary [eval]
+    ({!solve}) the kernel transparently falls back to one full
+    evaluation per move. Both paths draw identical random streams and
+    accept identical moves, so a fixed seed yields bit-identical results
+    whichever evaluator runs. *)
 
 type options = {
   time_limit : float;        (** wall-clock budget, seconds *)

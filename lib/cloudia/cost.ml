@@ -5,7 +5,10 @@ let objective_to_string = function
   | Longest_path -> "longest-path"
 
 let longest_link_witness (t : Types.problem) plan =
-  let best = ref 0.0 and witness = ref None in
+  (* Initialize below any real edge cost: with [0.0] and strict [>], an
+     all-zero (or, defensively, negative) cost matrix reported no witness
+     and cost 0.0 even when edges exist. *)
+  let best = ref neg_infinity and witness = ref None in
   Array.iter
     (fun (i, i') ->
       let c = t.Types.costs.(plan.(i)).(plan.(i')) in
@@ -14,7 +17,7 @@ let longest_link_witness (t : Types.problem) plan =
         witness := Some (i, i')
       end)
     (Graphs.Digraph.edges t.Types.graph);
-  (!best, !witness)
+  match !witness with None -> (0.0, None) | Some _ -> (!best, !witness)
 
 let longest_link t plan = fst (longest_link_witness t plan)
 
@@ -27,4 +30,6 @@ let eval = function
   | Longest_path -> longest_path
 
 let improvement ~default ~optimized =
-  if default = 0.0 then 0.0 else (default -. optimized) /. default *. 100.0
+  (* A non-positive baseline makes the ratio meaningless (and a negative
+     one would flip its sign): report "no improvement" instead. *)
+  if default <= 0.0 then 0.0 else (default -. optimized) /. default *. 100.0

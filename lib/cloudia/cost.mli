@@ -13,7 +13,10 @@ val longest_link : Types.problem -> Types.plan -> float
     Zero for an edgeless graph. *)
 
 val longest_link_witness : Types.problem -> Types.plan -> float * (int * int) option
-(** The longest link's cost and the communication edge achieving it. *)
+(** The longest link's cost and the communication edge achieving it.
+    Any non-empty edge set yields a witness (ties broken by edge order),
+    including all-zero cost matrices; [(0., None)] only for an edgeless
+    graph. *)
 
 val longest_path : Types.problem -> Types.plan -> float
 (** Maximum over directed paths of the summed link costs under the plan.
@@ -24,4 +27,7 @@ val eval : objective -> Types.problem -> Types.plan -> float
 
 val improvement : default:float -> optimized:float -> float
 (** Relative reduction in percent: [(default - optimized) / default · 100].
-    [0.] when the default cost is zero. *)
+    Sign convention: positive when the optimized plan is {e cheaper} than
+    the default, negative when it is worse, and [0.] whenever
+    [default <= 0.] (a zero baseline admits no relative improvement, and
+    a negative one would flip the sign of the ratio). *)

@@ -3,6 +3,7 @@ type member =
   | Greedy_g2
   | Random_r1 of int
   | Random_r2
+  | Descent
   | Anneal of Anneal.options
   | Cp of Cp_solver.options
   | Mip of Mip_solver.options
@@ -12,6 +13,7 @@ let member_to_string = function
   | Greedy_g2 -> "G2"
   | Random_r1 n -> Printf.sprintf "R1(%d)" n
   | Random_r2 -> "R2"
+  | Descent -> "R2D"
   | Anneal _ -> "SA"
   | Cp _ -> "CP"
   | Mip _ -> "MIP"
@@ -36,12 +38,15 @@ let default_members ~objective ~domains =
     | Cost.Longest_path ->
         Mip { Mip_solver.default_options with Mip_solver.clusters = None }
   in
-  let base = [ exact; Anneal Anneal.default_options; Random_r2; Greedy_g2 ] in
-  if domains <= 4 then take domains base
+  let base = [ exact; Anneal Anneal.default_options; Descent; Random_r2; Greedy_g2 ] in
+  if domains <= 5 then take domains base
   else
     base
-    @ List.init (domains - 4) (fun i ->
-          if i mod 2 = 0 then Anneal Anneal.default_options else Random_r2)
+    @ List.init (domains - 5) (fun i ->
+          match i mod 3 with
+          | 0 -> Anneal Anneal.default_options
+          | 1 -> Descent
+          | _ -> Random_r2)
 
 let default_options =
   {
@@ -191,6 +196,12 @@ let solve ?(options = default_options) rng objective (t : Types.problem) =
             ~time_limit:(budget ())
         in
         outcome ~iterations:trials plan cost
+    | Descent ->
+        let plan, cost, restarts =
+          Random_search.r2_descent ~stop ~on_improve:publish rng objective t
+            ~time_limit:(budget ())
+        in
+        outcome ~iterations:restarts plan cost
     | Anneal opts ->
         let opts = { opts with Anneal.time_limit = budget () } in
         let r = Anneal.solve_objective ~options:opts ~stop ~on_improve:publish rng objective t in

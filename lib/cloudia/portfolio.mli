@@ -26,6 +26,9 @@ type member =
   | Greedy_g2
   | Random_r1 of int              (** best of N random plans *)
   | Random_r2                     (** random plans until the deadline *)
+  | Descent
+      (** {!Random_search.r2_descent}: random restarts refined to local
+          optima by delta-evaluated first-improvement descent *)
   | Anneal of Anneal.options      (** [time_limit] overridden by the portfolio *)
   | Cp of Cp_solver.options       (** LLNDP only; [time_limit] overridden *)
   | Mip of Mip_solver.options     (** [time_limit] overridden *)
@@ -50,8 +53,8 @@ val default_members : objective:Cost.objective -> domains:int -> member list
 (** A balanced roster of [domains] members: an exact anytime solver
     first (CP with exact costs for the longest-link objective, MIP for
     longest path — exact so that proving optimality cancels the whole
-    portfolio), then annealing, then R2, then G2, padding with
-    alternating annealing/R2 members beyond four. Requires
+    portfolio), then annealing, then descent, then R2, then G2, padding
+    with rotating annealing/descent/R2 members beyond five. Requires
     [domains >= 1]. *)
 
 type worker = {

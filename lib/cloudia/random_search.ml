@@ -69,15 +69,41 @@ let best_of rng objective problem k = fst (r1 rng objective problem ~trials:k)
 
 let best_of_eval rng ~eval problem k = fst (r1_eval rng ~eval problem ~trials:k)
 
-let r2_parallel ?(domains = 4) rng objective problem ~time_limit =
+let r2_parallel ?(domains = 4) ?(stop = no_stop) ?on_improve rng objective problem
+    ~time_limit =
   if domains <= 0 then invalid_arg "Random_search.r2_parallel: need at least one domain";
   if time_limit <= 0.0 then invalid_arg "Random_search.r2_parallel: need a positive time limit";
+  Obs.Span.with_ "random_search.r2_parallel" @@ fun () ->
+  (* One incumbent stream and one improvement callback for the whole
+     gang: per-domain improvements are merged under a mutex so the caller
+     only ever sees the strictly decreasing cross-domain prefix minima
+     (each with a private copy of the plan). [stop] is polled from every
+     domain and must therefore be thread-safe — the portfolio's
+     atomic-flag stop is; so is any pure deadline check. *)
+  let obs_stream = Obs.Incumbent.stream "random.parallel" in
+  let merge_mutex = Mutex.create () in
+  let merged_best = ref infinity in
+  let publish plan cost =
+    ignore (Obs.Incumbent.observe obs_stream cost : bool);
+    match on_improve with
+    | None -> ()
+    | Some f ->
+        let copy = Array.copy plan in
+        Mutex.protect merge_mutex (fun () ->
+            if cost < !merged_best then begin
+              merged_best := cost;
+              f copy cost
+            end)
+  in
   (* Independent streams per domain; evaluation is pure, so workers share
-     nothing but the immutable problem. *)
+     nothing but the immutable problem and the merge state above. Trial
+     counts are merged atomically inside [r2_eval]'s counter flush (the
+     [random_search.trials] counter is a process-global atomic) and
+     summed for the return value below. *)
   let seeds = Array.init domains (fun _ -> Prng.split rng) in
   let worker stream =
     Domain.spawn (fun () ->
-        r2_eval stream
+        r2_eval ~stop ~on_improve:publish stream
           ~eval:(fun plan -> Cost.eval objective problem plan)
           problem ~time_limit)
   in
@@ -90,3 +116,77 @@ let r2_parallel ?(domains = 4) rng objective problem ~time_limit =
     (let p, c, t = results.(0) in
      (p, c, t))
     (Array.sub results 1 (Array.length results - 1))
+
+(* ---------- R2 with local descent ---------- *)
+
+(* Counts completed random restarts of the descent search. *)
+let c_descents = Obs.Counter.make "random_search.descents"
+
+let r2_descent ?(stop = no_stop) ?on_improve ?(now = Obs.Clock.now_s) rng objective
+    problem ~time_limit =
+  if time_limit <= 0.0 then
+    invalid_arg "Random_search.r2_descent: need a positive time limit";
+  Obs.Span.with_ "random_search.r2_descent" @@ fun () ->
+  let obs_stream = Obs.Incumbent.stream "random.descent" in
+  let improved plan cost =
+    ignore (Obs.Incumbent.observe obs_stream cost : bool);
+    match on_improve with Some f -> f plan cost | None -> ()
+  in
+  let n = Types.node_count problem and m = Types.instance_count problem in
+  let deadline = now () +. time_limit in
+  let out_of_budget () = stop () || now () >= deadline in
+  let init = Types.random_plan rng problem in
+  let kernel = Delta_cost.create objective problem init in
+  let best_plan = ref (Delta_cost.plan kernel) in
+  let best_cost = ref (Delta_cost.cost kernel) in
+  improved !best_plan !best_cost;
+  let restarts = ref 0 in
+  (* First-improvement descent over the full (node, target) neighborhood,
+     repeated until a complete pass finds nothing better (a local optimum
+     under swap/relocate moves) or the budget fires. Each proposal is
+     O(deg) through the kernel, so a pass over the n·m neighborhood costs
+     about what two full evaluations used to. *)
+  let descend () =
+    let cur = ref (Delta_cost.cost kernel) in
+    let improved_pass = ref true in
+    while !improved_pass && not (out_of_budget ()) do
+      improved_pass := false;
+      let node = ref 0 in
+      while !node < n && not (out_of_budget ()) do
+        for target = 0 to m - 1 do
+          if target <> Delta_cost.instance_of kernel !node then begin
+            let candidate = Delta_cost.propose_move kernel ~node:!node ~target in
+            if candidate < !cur then begin
+              Delta_cost.commit kernel;
+              cur := candidate;
+              improved_pass := true;
+              if candidate < !best_cost then begin
+                best_cost := candidate;
+                Array.blit (Delta_cost.current kernel) 0 !best_plan 0 n;
+                improved (Delta_cost.current kernel) candidate
+              end
+            end
+            else Delta_cost.abort kernel
+          end
+        done;
+        incr node
+      done
+    done
+  in
+  descend ();
+  incr restarts;
+  while not (out_of_budget ()) do
+    Delta_cost.reset kernel (Types.random_plan rng problem);
+    let start_cost = Delta_cost.cost kernel in
+    if start_cost < !best_cost then begin
+      best_cost := start_cost;
+      best_plan := Delta_cost.plan kernel;
+      improved (Delta_cost.current kernel) start_cost
+    end;
+    descend ();
+    incr restarts
+  done;
+  Delta_cost.flush_counters kernel;
+  Obs.Counter.add c_descents !restarts;
+  Obs.Counter.add c_trials !restarts;
+  (!best_plan, !best_cost, !restarts)

@@ -53,6 +53,8 @@ val best_of_eval : Prng.t -> eval:(Types.plan -> float) -> Types.problem -> int 
 
 val r2_parallel :
   ?domains:int ->
+  ?stop:(unit -> bool) ->
+  ?on_improve:(Types.plan -> float -> unit) ->
   Prng.t ->
   Cost.objective ->
   Types.problem ->
@@ -65,4 +67,31 @@ val r2_parallel :
     as well as the same hardware given to the CP or MIP solvers". Spawns
     [domains] (default 4) OCaml domains, each running an independent
     PRNG-split stream for [time_limit] seconds; returns the best plan,
-    its cost, and the total plans tried across domains. *)
+    its cost, and the total plans tried across domains (per-domain counts
+    are merged atomically into the [random_search.trials] counter).
+
+    [stop] is polled from every domain between trials and must be
+    thread-safe (an atomic flag or pure deadline check) — it cancels the
+    whole gang cooperatively, as the portfolio requires. [on_improve]
+    fires, serialized under a mutex and with a private copy of the plan,
+    for each strict improvement of the {e cross-domain} best; the gang
+    feeds a single ["random.parallel"] incumbent stream. *)
+
+val r2_descent :
+  ?stop:(unit -> bool) ->
+  ?on_improve:(Types.plan -> float -> unit) ->
+  ?now:(unit -> float) ->
+  Prng.t ->
+  Cost.objective ->
+  Types.problem ->
+  time_limit:float ->
+  Types.plan * float * int
+(** R2 with local descent: random restarts, each refined to a local
+    optimum by first-improvement descent over every swap/relocate move,
+    evaluated incrementally through a {!Delta_cost} kernel (O(deg) per
+    proposal instead of a full {!Cost.eval}). Runs until [time_limit]
+    seconds elapse or [stop] fires; returns the best plan, its cost, and
+    the number of restarts begun. [on_improve]/[now] as in {!r2_eval};
+    improvements feed a ["random.descent"] incumbent stream and restarts
+    the [random_search.descents] counter. The returned plan is a local
+    optimum whenever the budget outlasted the final descent. *)

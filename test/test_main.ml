@@ -11,6 +11,7 @@ let () =
       ("netmeasure", Test_netmeasure.suite);
       ("cloudia", Test_cloudia.suite);
       ("solvers", Test_solvers.suite);
+      ("delta", Test_delta.suite);
       ("lint", Test_lint.suite);
       ("portfolio", Test_portfolio.suite);
       ("workloads", Test_workloads.suite);
