@@ -144,6 +144,9 @@ let report_json ~describe ~objective (r : Cloudia.Advisor.report) =
           (Array.to_list (Array.map json_int r.Cloudia.Advisor.default_plan)) );
       ( "terminated",
         json_list (List.map json_int r.Cloudia.Advisor.terminated) );
+      ( "dropped",
+        json_list (List.map json_int r.Cloudia.Advisor.dropped) );
+      ("measurement_coverage", json_float r.Cloudia.Advisor.measurement_coverage);
       ("telemetry", telemetry_json r.Cloudia.Advisor.telemetry);
     ]
 
@@ -229,8 +232,17 @@ let strategy_of_string ~time_limit ~domains ~objective s =
              })
   | _ -> Error (`Msg "strategy must be g1, g2, r1, r2, r2d, anneal, cp, mip or portfolio")
 
+let on_missing_conv =
+  Arg.enum
+    [
+      ("fail", Cloudia.Advisor.Fail);
+      ("impute", Cloudia.Advisor.Impute);
+      ("drop", Cloudia.Advisor.Drop_instance);
+    ]
+
 let advise provider seed workload strategy_name scale over metric time_limit domains
-    graph_spec graph_file trace_file trace_format obs_summary strict_lint json =
+    graph_spec graph_file trace_file trace_format obs_summary strict_lint json
+    on_missing probe_loss stragglers straggler_factor crash fault_seed =
   let from_workload () =
     match workload with
     | Behavioral ->
@@ -298,8 +310,22 @@ let advise provider seed workload strategy_name scale over metric time_limit dom
         }
       in
       if trace_file <> None || obs_summary then Obs.Sink.enable ();
+      let faults =
+        {
+          Cloudsim.Faults.none with
+          Cloudsim.Faults.seed = fault_seed;
+          loss = probe_loss;
+          straggler_fraction = stragglers;
+          straggler_factor;
+          crash_fraction = crash;
+          (* Crash onsets jitter around this; [Faults.none]'s 1 s default
+             outlives a whole staged run at CLI sizes (tens of ms of
+             simulated time), so anchor early enough to bite. *)
+          crash_after_ms = 10.0;
+        }
+      in
       match
-        Cloudia.Advisor.run ~strict_lint (Prng.create seed)
+        Cloudia.Advisor.run ~strict_lint ~faults ~on_missing (Prng.create seed)
           (Cloudsim.Provider.get provider) config
       with
       | exception Invalid_argument m -> prerr_endline m; 2
@@ -325,6 +351,14 @@ let advise provider seed workload strategy_name scale over metric time_limit dom
             Printf.printf "instances allocated : %d\n" (Cloudsim.Env.count report.Cloudia.Advisor.env);
             Printf.printf "measurement charged : %.1f min\n"
               report.Cloudia.Advisor.measurement_minutes;
+            if report.Cloudia.Advisor.measurement_coverage < 1.0 then
+              Printf.printf "probe coverage      : %.1f%% of ordered pairs (on-missing: %s)\n"
+                (100.0 *. report.Cloudia.Advisor.measurement_coverage)
+                (Cloudia.Advisor.on_missing_to_string on_missing);
+            if report.Cloudia.Advisor.dropped <> [] then
+              Printf.printf "dropped (uncovered) : %s\n"
+                (String.concat ", "
+                   (List.map string_of_int report.Cloudia.Advisor.dropped));
             Printf.printf "search time         : %.2f s\n" report.Cloudia.Advisor.search_seconds;
             (match telemetry.Cloudia.Advisor.solver with
             | Cloudia.Advisor.No_solver_stats -> ()
@@ -418,12 +452,41 @@ let advise_cmd =
     Arg.(value & flag & info [ "json" ]
            ~doc:"Emit the full report (costs, plan, telemetry, diagnostics) as one JSON object on stdout.")
   in
+  let on_missing_arg =
+    Arg.(value & opt on_missing_conv Cloudia.Advisor.Fail & info [ "on-missing" ]
+           ~doc:"Policy for unsampled pairs under fault-injected measurement: \
+                 fail (refuse, LAT007), impute (conservative estimates, LAT008) \
+                 or drop (terminate uncovered instances, LAT009).")
+  in
+  let probe_loss_arg =
+    Arg.(value & opt float 0.0 & info [ "probe-loss" ]
+           ~doc:"Base per-link probe loss probability (0 disables; measurement \
+                 then runs the staged scheme probe by probe with retries).")
+  in
+  let stragglers_arg =
+    Arg.(value & opt float 0.0 & info [ "stragglers" ]
+           ~doc:"Fraction of hosts that periodically spike their RTTs.")
+  in
+  let straggler_factor_arg =
+    Arg.(value & opt float 10.0 & info [ "straggler-factor" ]
+           ~doc:"RTT multiplier inside a straggler's spike window.")
+  in
+  let crash_arg =
+    Arg.(value & opt float 0.0 & info [ "crash" ]
+           ~doc:"Fraction of instances that crash mid-measurement and stop answering.")
+  in
+  let fault_seed_arg =
+    Arg.(value & opt int 17 & info [ "fault-seed" ]
+           ~doc:"Seed of the fault realization (which links lose, who straggles, who crashes).")
+  in
   Cmd.v
     (Cmd.info "advise" ~doc:"Run the ClouDiA pipeline for a workload")
     Term.(
       const advise $ provider_arg $ seed_arg $ workload_arg $ strategy_arg $ scale_arg
       $ over_arg $ metric_arg $ time_arg $ domains_arg $ graph_spec_arg $ graph_file_arg
-      $ trace_arg $ trace_format_arg $ obs_summary_arg $ strict_lint_arg $ json_arg)
+      $ trace_arg $ trace_format_arg $ obs_summary_arg $ strict_lint_arg $ json_arg
+      $ on_missing_arg $ probe_loss_arg $ stragglers_arg $ straggler_factor_arg
+      $ crash_arg $ fault_seed_arg)
 
 (* ---- measure ---- *)
 
@@ -435,7 +498,7 @@ let measure provider seed count =
   in
   Printf.printf "Measurement schemes on %s, %d instances (%d links)\n\n"
     (Cloudsim.Provider.to_string provider) count (Array.length truth);
-  Printf.printf "%-15s %10s %12s %14s\n" "scheme" "samples" "sim time" "norm. RMSE";
+  Printf.printf "%-15s %10s %12s %10s %14s\n" "scheme" "samples" "sim time" "coverage" "norm. RMSE";
   let report name (m : Netmeasure.Schemes.t) =
     let v = Netmeasure.Schemes.link_vector m in
     let covered = Array.for_all Float.is_finite v in
@@ -444,7 +507,8 @@ let measure provider seed count =
       else "n/a (gaps)"
     in
     let total = Array.fold_left (fun a row -> a + Array.fold_left ( + ) 0 row) 0 m.Netmeasure.Schemes.samples in
-    Printf.printf "%-15s %10d %10.2f s %14s\n" name total m.Netmeasure.Schemes.sim_seconds rmse
+    Printf.printf "%-15s %10d %10.2f s %9.1f%% %14s\n" name total m.Netmeasure.Schemes.sim_seconds
+      (100.0 *. Netmeasure.Schemes.coverage m) rmse
   in
   let rng = Prng.create (seed + 1) in
   report "token-passing" (Netmeasure.Schemes.token_passing rng env ~samples_per_pair:10);

@@ -55,6 +55,13 @@ type telemetry = {
   counters : (string * int) list;
 }
 
+type on_missing = Fail | Impute | Drop_instance
+
+let on_missing_to_string = function
+  | Fail -> "fail"
+  | Impute -> "impute"
+  | Drop_instance -> "drop"
+
 type report = {
   env : Cloudsim.Env.t;
   problem : Types.problem;
@@ -66,6 +73,9 @@ type report = {
   measurement_minutes : float;
   search_seconds : float;
   terminated : int list;
+  kept : int array;
+  dropped : int list;
+  measurement_coverage : float;
   telemetry : telemetry;
   diagnostics : Lint.Diagnostic.t list;
 }
@@ -95,19 +105,33 @@ let lint ?pool config =
       ?pool ~over_allocation:config.over_allocation
       ~samples_per_pair:config.samples_per_pair ()
 
+(* Unsampled (nan) off-diagonal entries in a problem's cost matrix. *)
+let count_unsampled (costs : float array array) =
+  let missing = ref 0 in
+  Array.iteri
+    (fun j row ->
+      Array.iteri (fun j' c -> if j <> j' && Float.is_nan c then incr missing) row)
+    costs;
+  !missing
+
 let search_with_telemetry rng strategy objective problem =
   (* Errors fail fast before any solver runs: a cyclic graph under the
-     longest-path objective would otherwise raise deep inside Cost, and a
-     non-positive budget would spin a solver forever or not at all. *)
+     longest-path objective would otherwise raise deep inside Cost, a
+     non-positive budget would spin a solver forever or not at all, and a
+     partial (nan-bearing) matrix would poison every cost comparison. *)
+  let pool = Types.instance_count problem in
   Lint.Diagnostic.check
     (Lint.Diagnostic.errors
-       (Lint.Instance.check_graph
-          ~pool:(Types.instance_count problem)
+       (Lint.Instance.check_graph ~pool
           ~requires_dag:(requires_dag objective) problem.Types.graph
        @ Lint.Instance.check_config
            ?time_limit:(strategy_time_limit strategy)
            ?domains:(strategy_domains strategy)
-           ~pool:(Types.instance_count problem) ()));
+           ~pool ()
+       @ Lint.Instance.check_partial
+           ~total:(pool * (pool - 1))
+           ~missing:(count_unsampled problem.Types.costs)
+           ~imputed:0 ~dropped:0 ()));
   let before = Obs.Counter.snapshot () in
   let finish ?(solver = No_solver_stats) ?(proven = false) ?(trace = []) ?winner
       ?(members = []) plan =
@@ -208,11 +232,29 @@ let search_with_telemetry rng strategy objective problem =
 let search rng strategy objective problem =
   fst (search_with_telemetry rng strategy objective problem)
 
-let run ?(strict_lint = false) rng provider config =
+(* Staged-scheme effort matching [samples_per_pair]: each matched pair
+   exchanges [ks] probes per stage, and a pair is matched in one of the
+   two orders once per ~(n-1) stages on average. A floor of six rounds
+   keeps the miss probability per ordered pair below e⁻⁶ even when one
+   round would already deliver the requested samples. *)
+let staged_effort ~samples_per_pair ~n =
+  let ks = max 1 (min 10 samples_per_pair) in
+  let rounds =
+    max 6 (int_of_float (Float.ceil (float_of_int samples_per_pair /. float_of_int ks)))
+  in
+  (ks, rounds * (max 1 (n - 1)))
+
+let run ?(strict_lint = false) ?(faults = Cloudsim.Faults.none)
+    ?(on_missing = Fail) rng provider config =
   (* Pre-allocation gate: everything checkable before spending money on
      instances. Errors (and, under --strict-lint, warnings) fail fast. *)
   let pre_diagnostics = lint config in
   Lint.Diagnostic.check ~strict:strict_lint pre_diagnostics;
+  let faulted = not (Cloudsim.Faults.is_none faults) in
+  if faulted && config.metric <> Metrics.Mean then
+    invalid_arg
+      "Advisor: fault-injected measurement estimates mean latency only (the \
+       probe schemes keep running sums, not sample distributions)";
   let nodes = Graphs.Digraph.n config.graph in
   Obs.Span.with_ "advise" @@ fun () ->
   (* Step 1: allocate with over-allocation. *)
@@ -222,25 +264,85 @@ let run ?(strict_lint = false) rng provider config =
   let env =
     Obs.Span.with_ "allocate" @@ fun () -> Cloudsim.Env.allocate rng provider ~count
   in
-  (* Step 2: measure. The per-pair sampling below is what the staged scheme
-     of Sect. 5 would collect; we charge its time budget. *)
-  let costs =
+  (* Step 2: measure. Without faults the per-pair sampling is what the
+     staged scheme of Sect. 5 would collect and we charge its nominal
+     time budget. With faults we run the staged scheme probe by probe —
+     losses, retries and timeouts included — and charge the simulated
+     clock it actually consumed. *)
+  let costs, measurement_minutes, measurement_coverage, kept, dropped, partial_diags =
     Obs.Span.with_ "measure" @@ fun () ->
-    Metrics.estimate rng env config.metric ~samples_per_pair:config.samples_per_pair
+    if not faulted then
+      let costs =
+        Metrics.estimate rng env config.metric ~samples_per_pair:config.samples_per_pair
+      in
+      let minutes = Netmeasure.Schemes.staged_time_for ~n:count ~reference_minutes:5.0 in
+      (costs, minutes, 1.0, Array.init count (fun i -> i), [], [])
+    else begin
+      let fenv = Cloudsim.Env.with_faults env faults in
+      let ks, stages = staged_effort ~samples_per_pair:config.samples_per_pair ~n:count in
+      let m = Netmeasure.Schemes.staged rng fenv ~ks ~stages in
+      let minutes = m.Netmeasure.Schemes.sim_seconds /. 60.0 in
+      let cov = Netmeasure.Schemes.coverage m in
+      let total = count * (count - 1) in
+      let identity = Array.init count (fun i -> i) in
+      match on_missing with
+      | Fail ->
+          let missing = ref 0 in
+          Array.iteri
+            (fun i row ->
+              Array.iteri
+                (fun j s -> if i <> j && s = 0 then incr missing)
+                row)
+            m.Netmeasure.Schemes.samples;
+          let diags =
+            Lint.Instance.check_partial ~total ~missing:!missing ~imputed:0 ~dropped:0 ()
+          in
+          (m.Netmeasure.Schemes.means, minutes, cov, identity, [], diags)
+      | Impute ->
+          let c = Netmeasure.Completion.complete m in
+          let diags =
+            Lint.Instance.check_partial ~total
+              ~missing:c.Netmeasure.Completion.unresolved
+              ~imputed:c.Netmeasure.Completion.imputed ~dropped:0 ()
+          in
+          (c.Netmeasure.Completion.means, minutes, cov, identity, [], diags)
+      | Drop_instance ->
+          let kept, sub = Netmeasure.Completion.drop_uncovered m in
+          let dropped =
+            let keep = Array.make count false in
+            Array.iter (fun i -> keep.(i) <- true) kept;
+            let out = ref [] in
+            for i = count - 1 downto 0 do
+              if not keep.(i) then out := i :: !out
+            done;
+            !out
+          in
+          let diags =
+            Lint.Instance.check_partial ~total ~missing:0 ~imputed:0
+              ~dropped:(List.length dropped) ()
+          in
+          (sub, minutes, cov, kept, dropped, diags)
+    end
   in
-  (* Post-measurement gate: data-quality checks on the measured matrix,
-     plus the pool-aware config checks the first gate could not run. *)
+  let pool = Array.length kept in
+  (* Post-measurement gate: partial-coverage findings first (an LAT007
+     under --on-missing fail raises here), then data-quality checks on
+     the matrix the solver will actually see, then the pool-aware config
+     checks the first gate could not run. *)
   let diagnostics =
-    pre_diagnostics
+    pre_diagnostics @ partial_diags
     @ Lint.Instance.check_matrix costs
+    (* Dropping instances shrinks the pool; re-run only the error-grade
+       graph checks against it (the warnings are already in the pre gate)
+       so a pool now smaller than the node set fails as GRF006. *)
+    @ (if pool < count then
+         Lint.Diagnostic.errors (Lint.Instance.check_graph ~pool config.graph)
+       else [])
     @ Lint.Instance.check_config ?domains:(strategy_domains config.strategy)
-        ~pool:count ()
+        ~pool ()
   in
   Lint.Diagnostic.check ~strict:strict_lint diagnostics;
   let problem = Types.problem ~graph:config.graph ~costs in
-  let measurement_minutes =
-    Netmeasure.Schemes.staged_time_for ~n:count ~reference_minutes:5.0
-  in
   (* Step 3: search. *)
   let started = Obs.Clock.now_s () in
   let plan, telemetry =
@@ -252,8 +354,14 @@ let run ?(strict_lint = false) rng provider config =
   let default_plan = Types.identity_plan problem in
   let cost = Cost.eval config.objective problem plan in
   let default_cost = Cost.eval config.objective problem default_plan in
-  (* Step 4: terminate the instances the plan does not use. *)
-  let terminated = Types.unused_instances problem plan in
+  (* Step 4: terminate the instances the plan does not use — in original
+     allocation numbering, together with any instance dropped for lack of
+     measurement coverage. [kept] is the identity whenever nothing was
+     dropped, making this exactly [unused_instances] as before. *)
+  let terminated =
+    List.sort compare
+      (List.map (fun s -> kept.(s)) (Types.unused_instances problem plan) @ dropped)
+  in
   {
     env;
     problem;
@@ -265,6 +373,9 @@ let run ?(strict_lint = false) rng provider config =
     measurement_minutes;
     search_seconds;
     terminated;
+    kept;
+    dropped;
+    measurement_coverage;
     telemetry;
     diagnostics;
   }

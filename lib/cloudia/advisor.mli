@@ -42,6 +42,21 @@ type config = {
   strategy : strategy;
 }
 
+type on_missing =
+  | Fail           (** refuse to advise on a partial matrix ([LAT007]) *)
+  | Impute         (** fill unsampled pairs conservatively
+                       ({!Netmeasure.Completion.complete}, warns [LAT008]) *)
+  | Drop_instance  (** terminate instances without full coverage
+                       ({!Netmeasure.Completion.drop_uncovered}, warns
+                       [LAT009]) — natural with over-allocation: an
+                       unmeasurable instance is terminated like an unused
+                       one *)
+(** What to do when fault-injected measurement leaves ordered pairs
+    unsampled. Irrelevant (all pairs covered by construction) without a
+    fault plan. *)
+
+val on_missing_to_string : on_missing -> string
+
 type solver_stats =
   | No_solver_stats                (** greedy strategies: nothing to count *)
   | Cp_stats of { iterations : int; nodes : int; failures : int; propagations : int }
@@ -85,7 +100,19 @@ type report = {
   improvement_pct : float;         (** relative cost reduction vs default *)
   measurement_minutes : float;     (** staged-scheme time budget charged *)
   search_seconds : float;          (** wall-clock spent searching *)
-  terminated : int list;           (** over-allocated instances shut down *)
+  terminated : int list;           (** instances shut down, in original
+                                       allocation numbering: the ones the
+                                       plan leaves unused plus any dropped
+                                       for lack of coverage; ascending *)
+  kept : int array;                (** original index of each instance the
+                                       problem ranges over — the identity
+                                       unless [Drop_instance] pruned some *)
+  dropped : int list;              (** instances dropped for lack of
+                                       measurement coverage (ascending);
+                                       empty except under [Drop_instance] *)
+  measurement_coverage : float;    (** fraction of ordered pairs with ≥ 1
+                                       surviving sample; [1.0] without
+                                       faults *)
   telemetry : telemetry;           (** what the search actually did *)
   diagnostics : Lint.Diagnostic.t list;
       (** every lint finding from the pre-solve gate: the warnings and
@@ -100,7 +127,9 @@ val lint : ?pool:int -> config -> Lint.Diagnostic.t list
     limits, domain counts, over-allocation, sampling effort). Pure — no
     allocation or measurement happens. *)
 
-val run : ?strict_lint:bool -> Prng.t -> Cloudsim.Provider.t -> config -> report
+val run :
+  ?strict_lint:bool -> ?faults:Cloudsim.Faults.t -> ?on_missing:on_missing
+  -> Prng.t -> Cloudsim.Provider.t -> config -> report
 (** Raises [Lint.Diagnostic.Failed] when the pre-solve lint gate finds an
     error in the configuration, the communication graph, or the measured
     cost matrix — with [~strict_lint:true], warnings block too. Raises
@@ -109,7 +138,16 @@ val run : ?strict_lint:bool -> Prng.t -> Cloudsim.Provider.t -> config -> report
     longest-path objective defeats the iterated-SIP scheme). The
     allocate / measure / search steps run under {!Obs.Span}s of those
     names (nested in an ["advise"] root), so [--trace] output shows where
-    the tuning budget went. *)
+    the tuning budget went.
+
+    [faults] (default {!Cloudsim.Faults.none}) injects the fault plan
+    into the measurement step, which then runs the staged scheme probe by
+    probe — losses, retries, timeouts — instead of the idealized
+    estimator, charges the simulated clock it consumed as
+    [measurement_minutes], and resolves any unsampled pairs per
+    [on_missing] (default [Fail]). Fault-injected measurement supports
+    the [Mean] metric only (raises [Invalid_argument] otherwise): the
+    probe schemes keep running sums, not sample distributions. *)
 
 val search : Prng.t -> strategy -> Cost.objective -> Types.problem -> Types.plan
 (** Just step 3: run a strategy on an existing problem. *)

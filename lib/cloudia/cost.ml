@@ -9,21 +9,40 @@ let longest_link_witness (t : Types.problem) plan =
      all-zero (or, defensively, negative) cost matrix reported no witness
      and cost 0.0 even when edges exist. *)
   let best = ref neg_infinity and witness = ref None in
+  let poisoned = ref None in
   Array.iter
     (fun (i, i') ->
       let c = t.Types.costs.(plan.(i)).(plan.(i')) in
-      if c > !best then begin
+      (* An unsampled link under the plan poisons the whole evaluation:
+         [c > !best] is false for nan, so without this the edge would be
+         silently skipped and a partial matrix would look cheap. *)
+      if Float.is_nan c then begin
+        if !poisoned = None then poisoned := Some (i, i')
+      end
+      else if c > !best then begin
         best := c;
         witness := Some (i, i')
       end)
     (Graphs.Digraph.edges t.Types.graph);
-  match !witness with None -> (0.0, None) | Some _ -> (!best, !witness)
+  match !poisoned with
+  | Some _ -> (nan, !poisoned)
+  | None -> (
+      match !witness with None -> (0.0, None) | Some _ -> (!best, !witness))
 
 let longest_link t plan = fst (longest_link_witness t plan)
 
 let longest_path (t : Types.problem) plan =
-  Graphs.Digraph.longest_path t.Types.graph ~weight:(fun i i' ->
-      t.Types.costs.(plan.(i)).(plan.(i')))
+  (* Same poisoning rule: any nan edge used by the plan makes the cost
+     nan, rather than vanishing inside max-comparisons. *)
+  let edges = Graphs.Digraph.edges t.Types.graph in
+  if
+    Array.exists
+      (fun (i, i') -> Float.is_nan t.Types.costs.(plan.(i)).(plan.(i')))
+      edges
+  then nan
+  else
+    Graphs.Digraph.longest_path t.Types.graph ~weight:(fun i i' ->
+        t.Types.costs.(plan.(i)).(plan.(i')))
 
 let eval = function
   | Longest_link -> longest_link

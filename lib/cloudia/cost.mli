@@ -10,18 +10,23 @@ val objective_to_string : objective -> string
 
 val longest_link : Types.problem -> Types.plan -> float
 (** [max over communication edges (i,i') of costs(plan i)(plan i')].
-    Zero for an edgeless graph. *)
+    Zero for an edgeless graph. [nan] if the plan routes any edge over an
+    unsampled ([nan]) pair — a partial matrix poisons the evaluation
+    rather than being silently skipped by the max. *)
 
 val longest_link_witness : Types.problem -> Types.plan -> float * (int * int) option
 (** The longest link's cost and the communication edge achieving it.
     Any non-empty edge set yields a witness (ties broken by edge order),
     including all-zero cost matrices; [(0., None)] only for an edgeless
-    graph. *)
+    graph. If any edge lands on an unsampled pair the result is [(nan,
+    Some e)] where [e] is the first such edge — the witness names the
+    poisoning link. *)
 
 val longest_path : Types.problem -> Types.plan -> float
 (** Maximum over directed paths of the summed link costs under the plan.
-    Requires an acyclic communication graph (raises [Invalid_argument]
-    otherwise, as in Definition Class 2). *)
+    [nan] if any communication edge lands on an unsampled pair. Requires
+    an acyclic communication graph (raises [Invalid_argument] otherwise,
+    as in Definition Class 2). *)
 
 val eval : objective -> Types.problem -> Types.plan -> float
 

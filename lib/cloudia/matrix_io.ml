@@ -6,9 +6,16 @@ let parse_raw text =
   in
   if lines = [] then Error "empty input"
   else begin
+    let parse_cell cell =
+      (* Accept an explicit "nan" (any case) as the unsampled-pair marker
+         that [print] emits, independent of what the platform's strtod
+         recognizes. Everything else goes through the normal float path. *)
+      if String.lowercase_ascii cell = "nan" then Some nan
+      else float_of_string_opt cell
+    in
     let parse_row lineno line =
       let cells = String.split_on_char ',' line |> List.map String.trim in
-      let values = List.map float_of_string_opt cells in
+      let values = List.map parse_cell cells in
       if List.exists Option.is_none values then
         Error (Printf.sprintf "line %d: not a number in %S" lineno line)
       else Ok (Array.of_list (List.map Option.get values))
@@ -55,7 +62,10 @@ let print matrix =
       Array.iteri
         (fun j v ->
           if j > 0 then Buffer.add_string buf ", ";
-          Buffer.add_string buf (Printf.sprintf "%.6g" v))
+          (* Canonical "nan" (never "-nan"), so printed partial matrices
+             round-trip through [parse_raw] on every platform. *)
+          if Float.is_nan v then Buffer.add_string buf "nan"
+          else Buffer.add_string buf (Printf.sprintf "%.6g" v))
         row;
       Buffer.add_char buf '\n')
     matrix;

@@ -20,7 +20,10 @@ val parse : string -> (float array array, string) result
 
 val print : float array array -> string
 (** Render a matrix back to the CSV form ([%.6g] per entry; round-trips
-    through {!parse} up to that precision). *)
+    through {!parse} up to that precision). Unsampled entries print as a
+    literal ["nan"], which {!parse_raw} reads back (and {!parse}, being
+    strict, rejects) — a partial matrix survives a print/parse_raw
+    round-trip but cannot sneak through the validating path. *)
 
 val load : string -> (float array array, string) result
 (** Read and {!parse} a file. *)
@@ -31,7 +34,8 @@ val parse_raw : string -> (float array array, string) result
     negative. This is the linter's entry point: [cloudia lint] must be
     able to load exactly the malformed matrices {!parse} rejects, so it
     can report every problem at once with codes instead of failing on the
-    first. Only syntax errors (non-numeric cells, no rows) are [Error]. *)
+    first. A case-insensitive ["nan"] cell parses to [nan] explicitly.
+    Only syntax errors (non-numeric cells, no rows) are [Error]. *)
 
 val load_raw : string -> (float array array, string) result
 (** Read and {!parse_raw} a file. *)

@@ -13,8 +13,13 @@ let problem ~graph ~costs =
           if j = j' then begin
             if c <> 0.0 then invalid_arg "Types.problem: nonzero diagonal"
           end
-          else if not (Float.is_finite c) || c < 0.0 then
-            invalid_arg "Types.problem: costs must be finite and non-negative")
+          (* nan off-diagonal means "unsampled" (partial measurement) and
+             is representable so lint can gate it; infinities and negative
+             costs remain malformed. The [c <> c] test is nan. *)
+          else if (not (Float.is_finite c)) && not (c <> c) then
+            invalid_arg "Types.problem: costs must not be infinite"
+          else if c < 0.0 then
+            invalid_arg "Types.problem: costs must be non-negative")
         row)
     costs;
   if Graphs.Digraph.n graph > m then

@@ -11,13 +11,20 @@ type problem = private {
   costs : float array array; (** [costs.(j).(j')] = link cost from instance
                                  j to j' (ms); square, zero diagonal,
                                  possibly asymmetric, no triangle
-                                 inequality assumed *)
+                                 inequality assumed. An off-diagonal [nan]
+                                 marks an {e unsampled} pair (partial
+                                 measurement); {!Cost} evaluation over a
+                                 plan touching one returns [nan], and
+                                 [Lint.Instance.check_partial] gates such
+                                 matrices before they reach a solver. *)
 }
 
 val problem : graph:Graphs.Digraph.t -> costs:float array array -> problem
 (** Validates: the cost matrix is square with zero diagonal and
-    non-negative finite entries, and has at least as many instances as the
-    graph has nodes. *)
+    non-negative entries, and has at least as many instances as the graph
+    has nodes. Off-diagonal [nan] entries are accepted as unsampled
+    markers; infinities and negative costs are rejected, as is a [nan]
+    diagonal. *)
 
 val node_count : problem -> int
 (** Number of application nodes. *)

@@ -3,7 +3,10 @@ type t = {
   hosts : int array;
   means : float array array;
   bandwidths : float array array; (* Gbit/s; infinity on the diagonal *)
+  faults : Faults.plan option;
 }
+
+type probe_outcome = Reply of float | Lost
 
 let base_rtt (p : Provider.t) tier =
   match tier with
@@ -92,7 +95,7 @@ let allocate rng p ~count =
   if count <= 0 then invalid_arg "Env.allocate: count must be positive";
   let hosts = allocate_hosts rng p count in
   let means = build_means rng p hosts in
-  { provider = p; hosts; means; bandwidths = build_bandwidths rng p hosts }
+  { provider = p; hosts; means; bandwidths = build_bandwidths rng p hosts; faults = None }
 
 let count t = Array.length t.hosts
 let provider t = t.provider
@@ -110,6 +113,33 @@ let sample_rtt rng t i j =
      the link mean. *)
   let s = t.provider.Provider.jitter_sigma in
   m *. Prng.lognormal rng ~mu:(-.(s *. s) /. 2.0) ~sigma:s
+
+let with_faults t cfg =
+  Faults.validate cfg;
+  { t with faults = Some (Faults.realize cfg ~n:(Array.length t.hosts)) }
+
+let fault_config t =
+  match t.faults with None -> Faults.none | Some p -> Faults.config p
+
+let alive t ~at_ms i =
+  match t.faults with None -> true | Some p -> not (Faults.crashed p ~at_ms i)
+
+(* The fault-free path must stay bit-identical to [sample_rtt]: no extra
+   PRNG draws, no comparisons against fault state. *)
+let probe rng t ~at_ms i j =
+  match t.faults with
+  | None -> Reply (sample_rtt rng t i j)
+  | Some p ->
+      if Faults.crashed p ~at_ms i || Faults.crashed p ~at_ms j then Lost
+      else if Faults.lose_probe p i j then Lost
+      else
+        let rtt = sample_rtt rng t i j in
+        let factor =
+          if Faults.straggling p ~at_ms i || Faults.straggling p ~at_ms j then
+            (Faults.config p).Faults.straggler_factor
+          else 1.0
+        in
+        Reply (rtt *. factor)
 
 let hop_count t i j =
   Topology.hop_count t.provider.Provider.topology t.hosts.(i) t.hosts.(j)
@@ -143,6 +173,9 @@ let sub_env t instances =
     means = Array.map (fun i -> Array.map (fun j -> t.means.(i).(j)) instances) instances;
     bandwidths =
       Array.map (fun i -> Array.map (fun j -> t.bandwidths.(i).(j)) instances) instances;
+    (* A fault plan indexes the original allocation; re-apply
+       [with_faults] to the restriction if faults are wanted there. *)
+    faults = None;
   }
 
 let perturb rng t ~fraction ~magnitude =

@@ -41,7 +41,39 @@ val bandwidth : t -> int -> int -> float
 
 val sample_rtt : Prng.t -> t -> int -> int -> float
 (** One observed RTT: the pair's mean scaled by multiplicative lognormal
-    jitter. *)
+    jitter. Never fails — use {!probe} for the fault-aware view. *)
+
+val with_faults : t -> Faults.t -> t
+(** Attach a realized fault plan ({!Faults.realize}) to the environment.
+    Returns a new environment; [t] keeps its own plan (or none). Calling
+    it again with the same configuration resets the per-probe loss
+    stream, so two measurement runs over fresh [with_faults] results are
+    identical. Raises [Invalid_argument] on an invalid configuration. *)
+
+val fault_config : t -> Faults.t
+(** The attached fault configuration; {!Faults.none} when the
+    environment has no plan. *)
+
+type probe_outcome =
+  | Reply of float  (** observed RTT (ms), straggler-inflated if spiking *)
+  | Lost  (** dropped in flight, or the destination has crashed — the
+              sender cannot tell the difference and waits out its timeout *)
+
+val probe : Prng.t -> t -> at_ms:float -> int -> int -> probe_outcome
+(** One probe from [i] to [j] at simulated time [at_ms]. Without a fault
+    plan this is exactly [Reply (sample_rtt rng t i j)] — same PRNG
+    draws, bit-identical values — so fault-aware measurement code costs
+    nothing when faults are off. With a plan: probes to or from a
+    crashed instance are [Lost] (no RTT draw), otherwise the link's loss
+    rate may drop the probe (fault-stream draw, no RTT draw), otherwise
+    the sampled RTT is inflated by the straggler factor when either
+    endpoint is inside a spike window. *)
+
+val alive : t -> at_ms:float -> int -> bool
+(** Whether instance [i] has not crashed by [at_ms]. Always [true]
+    without a fault plan. A measurement scheme uses this for the {e
+    sender} side (a crashed sender stops probing); a crashed {e
+    destination} is deliberately not observable except as {!Lost}. *)
 
 val hop_count : t -> int -> int -> int
 (** Router hops between two instances' hosts. *)
@@ -67,4 +99,5 @@ val sub_env : t -> int array -> t
 (** [sub_env t instances] restricts the environment to the given distinct
     instance indices (re-indexed 0..k-1 in the given order): the paper's
     scalability experiment draws random subsets of a 100-instance
-    allocation (Fig. 8). *)
+    allocation (Fig. 8). Any fault plan is dropped (its indices refer to
+    the full allocation); re-attach one with {!with_faults} if needed. *)

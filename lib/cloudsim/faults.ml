@@ -1,0 +1,128 @@
+type t = {
+  seed : int;
+  loss : float;
+  loss_sigma : float;
+  straggler_fraction : float;
+  straggler_factor : float;
+  straggler_period_ms : float;
+  straggler_duration_ms : float;
+  crash_fraction : float;
+  crash_after_ms : float;
+}
+
+let none =
+  {
+    seed = 0;
+    loss = 0.0;
+    loss_sigma = 0.0;
+    straggler_fraction = 0.0;
+    straggler_factor = 1.0;
+    straggler_period_ms = 1000.0;
+    straggler_duration_ms = 100.0;
+    crash_fraction = 0.0;
+    crash_after_ms = 1000.0;
+  }
+
+let is_none t =
+  t.loss = 0.0
+  && (t.straggler_fraction = 0.0 || t.straggler_factor = 1.0)
+  && t.crash_fraction = 0.0
+
+let validate t =
+  let in_unit name v =
+    if not (Float.is_finite v) || v < 0.0 || v > 1.0 then
+      invalid_arg (Printf.sprintf "Faults: %s = %g must be in [0, 1]" name v)
+  in
+  in_unit "loss" t.loss;
+  in_unit "straggler_fraction" t.straggler_fraction;
+  in_unit "crash_fraction" t.crash_fraction;
+  if not (Float.is_finite t.loss_sigma) || t.loss_sigma < 0.0 then
+    invalid_arg "Faults: loss_sigma must be non-negative";
+  if not (Float.is_finite t.straggler_factor) || t.straggler_factor < 1.0 then
+    invalid_arg "Faults: straggler_factor must be >= 1";
+  if not (t.straggler_period_ms > 0.0) then
+    invalid_arg "Faults: straggler_period_ms must be positive";
+  if not (Float.is_finite t.straggler_duration_ms) || t.straggler_duration_ms < 0.0
+  then invalid_arg "Faults: straggler_duration_ms must be non-negative";
+  if not (Float.is_finite t.crash_after_ms) || t.crash_after_ms < 0.0 then
+    invalid_arg "Faults: crash_after_ms must be non-negative"
+
+type plan = {
+  cfg : t;
+  (* Per-probe loss stream: mutable, reset by every [realize]. *)
+  stream : Prng.t;
+  link_loss : float array array; (* [||] when cfg.loss = 0 *)
+  straggler : bool array;
+  crash_at_ms : float array; (* [infinity] = never crashes *)
+}
+
+(* Spike windows must be queryable at an arbitrary simulated time without
+   replaying a stream, so window jitter is a pure function of
+   (seed, host, window index) rather than a draw from [stream]. *)
+let window_jitter seed host k =
+  let mix = (seed * 0x9e3779b1) lxor (host * 0x85ebca77) lxor (k * 0xc2b2ae35) in
+  Prng.uniform (Prng.create mix)
+
+let realize cfg ~n =
+  validate cfg;
+  if n < 0 then invalid_arg "Faults.realize: negative instance count";
+  let rng = Prng.create cfg.seed in
+  (* Realization order is part of the determinism contract: stragglers,
+     then crashes, then per-link loss, then the probe stream. *)
+  let straggler =
+    Array.init n (fun _ ->
+        cfg.straggler_fraction > 0.0 && Prng.uniform rng < cfg.straggler_fraction)
+  in
+  let crash_at_ms =
+    Array.init n (fun _ ->
+        if cfg.crash_fraction > 0.0 && Prng.uniform rng < cfg.crash_fraction then
+          cfg.crash_after_ms *. (0.5 +. Prng.uniform rng)
+        else infinity)
+  in
+  let link_loss =
+    if cfg.loss = 0.0 then [||]
+    else
+      Array.init n (fun _ ->
+          Array.init n (fun _ ->
+              let factor =
+                if cfg.loss_sigma = 0.0 then 1.0
+                else Prng.lognormal rng ~mu:0.0 ~sigma:cfg.loss_sigma
+              in
+              Float.min 1.0 (cfg.loss *. factor)))
+  in
+  { cfg; stream = Prng.split rng; link_loss; straggler; crash_at_ms }
+
+let config p = p.cfg
+
+let lose_probe p i j =
+  p.cfg.loss > 0.0 && Prng.uniform p.stream < p.link_loss.(i).(j)
+
+let straggling p ~at_ms i =
+  p.straggler.(i)
+  && p.cfg.straggler_duration_ms > 0.0
+  && p.cfg.straggler_factor > 1.0
+  &&
+  let period = p.cfg.straggler_period_ms in
+  let k = int_of_float (Float.floor (at_ms /. period)) in
+  (* A window anchored in slot [k] may spill into slot [k+1]; check both
+     candidates that could cover [at_ms]. *)
+  let covers k =
+    k >= 0
+    &&
+    let start = (float_of_int k +. window_jitter p.cfg.seed i k) *. period in
+    at_ms >= start && at_ms < start +. p.cfg.straggler_duration_ms
+  in
+  covers k || covers (k - 1)
+
+let crashed p ~at_ms i = at_ms >= p.crash_at_ms.(i)
+
+let crash_time_ms p i =
+  let t = p.crash_at_ms.(i) in
+  if Float.is_finite t then Some t else None
+
+let stragglers p =
+  let out = ref [] in
+  for i = Array.length p.straggler - 1 downto 0 do
+    if p.straggler.(i) then out := i :: !out
+  done;
+  !out

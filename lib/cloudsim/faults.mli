@@ -1,0 +1,71 @@
+(** Seeded, deterministic fault injection for the measurement phase.
+
+    Real clouds do not answer every probe: packets drop, a few hosts
+    straggle with transiently spiking RTTs (heavy-tailed inter-instance
+    latencies), and instances crash mid-measurement. A fault
+    configuration describes those behaviours; {!realize} freezes it into
+    a concrete, reproducible {!plan} for one allocation — which hosts
+    straggle, when each crash happens, how lossy each link is — driven
+    entirely by [seed], never by the measurement PRNG. With
+    {!none} the plan is inert: probing through it is bit-identical to
+    probing the fault-free environment. *)
+
+type t = {
+  seed : int;  (** fault-stream seed, independent of the measurement PRNG *)
+  loss : float;  (** base per-probe loss probability in [0, 1] *)
+  loss_sigma : float;
+      (** lognormal σ of the per-link loss factor: links are persistently
+          more or less lossy than the base rate (0 = uniform loss) *)
+  straggler_fraction : float;  (** fraction of instances that straggle *)
+  straggler_factor : float;
+      (** RTT multiplier while a straggler is spiking (≥ 1) *)
+  straggler_period_ms : float;
+      (** mean spacing of spike windows on a straggling host *)
+  straggler_duration_ms : float;
+      (** length of each spike window (≤ period for disjoint windows) *)
+  crash_fraction : float;  (** fraction of instances that crash mid-run *)
+  crash_after_ms : float;
+      (** crash times are uniform in [0.5, 1.5] × this value; [0.] makes
+          the chosen instances dead from the start *)
+}
+
+val none : t
+(** No faults: zero loss, no stragglers, no crashes. Probing through
+    [none] is bit-identical to probing without a fault plan. *)
+
+val is_none : t -> bool
+(** [true] iff the configuration can never produce a fault. *)
+
+val validate : t -> unit
+(** Raise [Invalid_argument] on out-of-range parameters (loss outside
+    [0, 1], fractions outside [0, 1], factor < 1, non-positive periods). *)
+
+type plan
+(** A realized fault schedule for one allocation: per-link loss rates,
+    the straggler set with its spike windows, and per-instance crash
+    times. Holds the mutable per-probe loss stream, so re-realizing from
+    the same configuration resets it. *)
+
+val realize : t -> n:int -> plan
+(** Freeze a configuration for [n] instances. Deterministic: equal
+    [(t, n)] yield plans with identical behaviour. *)
+
+val config : plan -> t
+
+val lose_probe : plan -> int -> int -> bool
+(** [lose_probe p i j] draws one loss decision for a probe on link
+    (i, j) from the plan's fault stream, advancing it. Always [false]
+    under a {!none} configuration (and draws nothing). *)
+
+val straggling : plan -> at_ms:float -> int -> bool
+(** Whether instance [i] is inside a spike window at simulated time
+    [at_ms]. Pure: derived from the seed, not the fault stream. *)
+
+val crashed : plan -> at_ms:float -> int -> bool
+(** Whether instance [i] has crashed by simulated time [at_ms]. *)
+
+val crash_time_ms : plan -> int -> float option
+(** When instance [i] crashes, if ever. *)
+
+val stragglers : plan -> int list
+(** The realized straggler set, ascending. *)

@@ -78,3 +78,42 @@ let to_string = function
   | Ec2 -> "ec2"
   | Gce -> "gce"
   | Rackspace -> "rackspace"
+
+(* Baseline fault rates for a "bad day" on each provider: shared-tenancy
+   EC2 is the noisiest (CloudCast-style stragglers and visible probe
+   loss); GCE and Rackspace lose fewer probes and straggle less. *)
+let typical_faults name ~seed =
+  match name with
+  | Ec2 ->
+      {
+        Faults.none with
+        Faults.seed;
+        loss = 0.02;
+        loss_sigma = 0.5;
+        straggler_fraction = 0.08;
+        straggler_factor = 12.0;
+        straggler_period_ms = 400.0;
+        straggler_duration_ms = 60.0;
+      }
+  | Gce ->
+      {
+        Faults.none with
+        Faults.seed;
+        loss = 0.01;
+        loss_sigma = 0.4;
+        straggler_fraction = 0.04;
+        straggler_factor = 8.0;
+        straggler_period_ms = 500.0;
+        straggler_duration_ms = 40.0;
+      }
+  | Rackspace ->
+      {
+        Faults.none with
+        Faults.seed;
+        loss = 0.008;
+        loss_sigma = 0.4;
+        straggler_fraction = 0.03;
+        straggler_factor = 6.0;
+        straggler_period_ms = 500.0;
+        straggler_duration_ms = 40.0;
+      }

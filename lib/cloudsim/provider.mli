@@ -33,3 +33,8 @@ val get : name -> t
 (** Preset parameters for the given provider. *)
 
 val to_string : name -> string
+
+val typical_faults : name -> seed:int -> Faults.t
+(** A degraded-mode preset per provider: modest per-link probe loss and a
+    few straggler hosts, no crashes. EC2 is noisiest. Use as a starting
+    point for {!Env.with_faults}; override fields for harsher sweeps. *)

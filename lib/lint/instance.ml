@@ -207,6 +207,32 @@ let check_config ?time_limit ?domains ?pool ?over_allocation ?samples_per_pair (
   | _ -> ());
   List.rev !acc
 
+let check_partial ?(context = "costs") ~total ~missing ~imputed ~dropped () =
+  let acc = ref [] in
+  let add d = acc := d :: !acc in
+  let pct part =
+    if total <= 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int total
+  in
+  if missing > 0 then
+    add
+      (make Error ~code:"LAT007" ~context
+         (Printf.sprintf
+            "%d of %d ordered pairs (%.1f%%) have no measured latency; a partial matrix must not reach a solver — rerun the measurement, impute (--on-missing impute) or drop instances (--on-missing drop)"
+            missing total (pct missing)));
+  if imputed > 0 then
+    add
+      (make Warning ~code:"LAT008" ~context
+         (Printf.sprintf
+            "%d of %d ordered pairs (%.1f%%) carry imputed (not measured) latencies; deployment costs on those links are conservative estimates"
+            imputed total (pct imputed)));
+  if dropped > 0 then
+    add
+      (make Warning ~code:"LAT009" ~context
+         (Printf.sprintf
+            "%d instance(s) dropped for lack of measurement coverage; the advisor optimizes over the remaining pool"
+            dropped));
+  List.rev !acc
+
 let check_problem ?asymmetry_tolerance ?requires_dag ~graph ~costs () =
   check_matrix ?asymmetry_tolerance costs
   @ check_graph ~pool:(Array.length costs) ?requires_dag graph

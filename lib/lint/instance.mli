@@ -17,6 +17,10 @@
     - [LAT004] (error) non-zero diagonal entry
     - [LAT005] (warning) asymmetry beyond tolerance
     - [LAT006] (info) triangle-inequality violations (data-quality signal)
+    - [LAT007] (error) unsampled pairs in a measured matrix (partial
+      coverage must not reach a solver unannounced)
+    - [LAT008] (warning) imputed (estimated, not measured) pairs in use
+    - [LAT009] (warning) instances dropped for lack of coverage
     - [GRF001] (error) self-loop edge
     - [GRF002] (error) edge endpoint out of range
     - [GRF003] (warning) duplicate edge
@@ -63,6 +67,16 @@ val check_config :
   -> ?samples_per_pair:int -> unit -> Diagnostic.t list
 (** Solver/pipeline configuration sanity. Only the supplied fields are
     checked, so callers pass exactly what their strategy uses. *)
+
+val check_partial :
+  ?context:string -> total:int -> missing:int -> imputed:int -> dropped:int
+  -> unit -> Diagnostic.t list
+(** Partial-measurement gate for matrices produced under faults. [total]
+    is the number of ordered pairs the matrix should cover, [missing] the
+    pairs with neither a measurement nor an estimate ([LAT007] error),
+    [imputed] the pairs filled by [Netmeasure.Completion] ([LAT008]
+    warning), [dropped] the instances discarded to restore full coverage
+    ([LAT009] warning). All-zero counts yield no diagnostics. *)
 
 val check_problem :
   ?asymmetry_tolerance:float -> ?requires_dag:bool -> graph:Graphs.Digraph.t

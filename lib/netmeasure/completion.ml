@@ -1,0 +1,111 @@
+type provenance = Measured | Reflected | Row_col_max | Missing
+
+type completed = {
+  means : float array array;
+  provenance : provenance array array;
+  imputed : int;
+  unresolved : int;
+}
+
+let complete (m : Schemes.t) =
+  let n = Array.length m.Schemes.means in
+  let measured i j = i <> j && m.Schemes.samples.(i).(j) > 0 in
+  let means = Array.map Array.copy m.Schemes.means in
+  let provenance = Array.make_matrix n n Measured in
+  let imputed = ref 0 and unresolved = ref 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && not (measured i j) then
+        if measured j i then begin
+          (* Asymmetry is small (σ ≈ 0.02 in the simulator, and the paper
+             treats links as near-symmetric): the opposite direction is
+             the best available estimate. *)
+          means.(i).(j) <- m.Schemes.means.(j).(i);
+          provenance.(i).(j) <- Reflected;
+          incr imputed
+        end
+        else begin
+          (* Conservative fallback: the worst measured latency touching
+             either endpoint. Overestimates, never underestimates, so a
+             longest-link objective stays an upper bound. *)
+          let worst = ref nan in
+          let consider a b =
+            if measured a b then
+              let v = m.Schemes.means.(a).(b) in
+              if Float.is_nan !worst || v > !worst then worst := v
+          in
+          for k = 0 to n - 1 do
+            consider i k;
+            consider k j
+          done;
+          if Float.is_nan !worst then begin
+            means.(i).(j) <- nan;
+            provenance.(i).(j) <- Missing;
+            incr unresolved
+          end
+          else begin
+            means.(i).(j) <- !worst;
+            provenance.(i).(j) <- Row_col_max;
+            incr imputed
+          end
+        end
+    done
+  done;
+  { means; provenance; imputed = !imputed; unresolved = !unresolved }
+
+let unreachable (m : Schemes.t) =
+  let n = Array.length m.Schemes.samples in
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    let touched = ref false in
+    for k = 0 to n - 1 do
+      if k <> i && (m.Schemes.samples.(i).(k) > 0 || m.Schemes.samples.(k).(i) > 0)
+      then touched := true
+    done;
+    if not !touched then out := i :: !out
+  done;
+  !out
+
+let drop_uncovered (m : Schemes.t) =
+  let n = Array.length m.Schemes.samples in
+  let kept = Array.make n true in
+  let missing_of i =
+    (* Unsampled ordered pairs touching instance [i], restricted to the
+       currently-kept set. *)
+    let c = ref 0 in
+    for k = 0 to n - 1 do
+      if k <> i && kept.(k) then begin
+        if m.Schemes.samples.(i).(k) = 0 then incr c;
+        if m.Schemes.samples.(k).(i) = 0 then incr c
+      end
+    done;
+    !c
+  in
+  let rec prune () =
+    let worst = ref (-1) and worst_missing = ref 0 in
+    for i = 0 to n - 1 do
+      if kept.(i) then begin
+        let miss = missing_of i in
+        if miss > !worst_missing then begin
+          worst := i;
+          worst_missing := miss
+        end
+      end
+    done;
+    if !worst >= 0 then begin
+      kept.(!worst) <- false;
+      prune ()
+    end
+  in
+  prune ();
+  let idx = ref [] in
+  for i = n - 1 downto 0 do
+    if kept.(i) then idx := i :: !idx
+  done;
+  let idx = Array.of_list !idx in
+  let sub =
+    Array.map
+      (fun i -> Array.map (fun j -> if i = j then 0.0 else m.Schemes.means.(i).(j)) idx)
+      idx
+  in
+  (idx, sub)

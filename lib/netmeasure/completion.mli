@@ -1,0 +1,51 @@
+(** Partial-matrix degradation: complete a measured latency matrix whose
+    probe run lost some ordered pairs (Sect. 5 under faults).
+
+    Downstream solvers need a full matrix; under probe loss or crashes a
+    scheme returns [nan] where no sample survived. This module offers two
+    repairs, both conservative — they can only overestimate a link, never
+    make a deployment look better than measured:
+
+    - {b Imputation} ({!complete}): a missing (i, j) first borrows the
+      measured reverse direction (j, i) — latency asymmetry in these
+      networks is small — and otherwise takes the maximum over measured
+      entries in row i and column j, a pessimistic proxy that keeps the
+      longest-link objective sound. Every entry carries provenance so
+      lint and reports can say exactly what was invented.
+    - {b Dropping} ({!drop_uncovered}): discard instances until the
+      remaining submatrix is fully measured — the right call when an
+      instance crashed and its whole row is fiction anyway. Works well
+      with over-allocation: the advisor terminates unmeasurable
+      instances just as it terminates unused ones. *)
+
+type provenance =
+  | Measured     (** at least one sample survived for this ordered pair *)
+  | Reflected    (** copied from the measured opposite direction *)
+  | Row_col_max  (** conservative max over measured row/column entries *)
+  | Missing      (** no basis for an estimate; entry left [nan] *)
+
+type completed = {
+  means : float array array;         (** completed matrix; [nan] only where
+                                         provenance is [Missing] *)
+  provenance : provenance array array;  (** per ordered pair; diagonal is
+                                            [Measured] by convention *)
+  imputed : int;                     (** ordered pairs filled in *)
+  unresolved : int;                  (** ordered pairs still [Missing] *)
+}
+
+val complete : Schemes.t -> completed
+(** Impute every unsampled ordered pair as described above. [unresolved]
+    is nonzero only when some instance has no measured entry in an entire
+    row {e and} column intersection — e.g. an instance that crashed
+    before answering anything. *)
+
+val unreachable : Schemes.t -> int list
+(** Instances with no measured samples in their row nor their column —
+    nothing, not even imputation, can place them. Ascending order. *)
+
+val drop_uncovered : Schemes.t -> int array * float array array
+(** Greedily drop the instance with the most unsampled ordered pairs
+    (lowest index on ties) until the remaining submatrix is fully
+    measured. Returns the kept instance indices (ascending, into the
+    original numbering) and the fully-measured submatrix. The kept set
+    may be empty if nothing was measured at all. *)

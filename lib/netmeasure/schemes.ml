@@ -4,6 +4,18 @@ type t = {
   sim_seconds : float;
 }
 
+type robustness = {
+  timeout_ms : float;
+  retries : int;
+  backoff_ms : float;
+}
+
+(* The timeout must clear any honest RTT (core-tier mean ≈ 0.7 ms times
+   the lognormal jitter tail) so that a fault-free run never discards a
+   probe — that is what keeps the zero-fault path bit-identical — while
+   still catching straggler-inflated spikes an order of magnitude out. *)
+let default_robustness = { timeout_ms = 10.0; retries = 3; backoff_ms = 0.5 }
+
 (* Interference delays in milliseconds (see the interface comment): each
    extra probe converging on the destination adds a queueing delay, and a
    destination that is itself mid-probe replies late. These are additive
@@ -18,24 +30,42 @@ type accumulator = {
   sums : float array array;
   counts : int array array;
   mutable clock_ms : float;
+  mutable lost : int;
+  mutable retried : int;
+  mutable timed_out : int;
 }
 
 let make_acc n =
-  { sums = Array.make_matrix n n 0.0; counts = Array.make_matrix n n 0; clock_ms = 0.0 }
+  {
+    sums = Array.make_matrix n n 0.0;
+    counts = Array.make_matrix n n 0;
+    clock_ms = 0.0;
+    lost = 0;
+    retried = 0;
+    timed_out = 0;
+  }
 
 let record acc i j rtt =
   acc.sums.(i).(j) <- acc.sums.(i).(j) +. rtt;
   acc.counts.(i).(j) <- acc.counts.(i).(j) + 1
 
 (* Total probes sent by a scheme run; flushed once when its accumulator is
-   finalized, so the per-probe loop stays free of atomic traffic. *)
+   finalized, so the per-probe loop stays free of atomic traffic. The
+   fault counters follow the same pattern: tallied in plain mutable fields
+   and flushed in [finish]. *)
 let c_probes = Obs.Counter.make "netmeasure.probes"
+let c_lost = Obs.Counter.make "netmeasure.probes_lost"
+let c_retries = Obs.Counter.make "netmeasure.retries"
+let c_timeouts = Obs.Counter.make "netmeasure.timeouts"
 
 let finish acc =
   Obs.Counter.add c_probes
     (Array.fold_left
        (fun a row -> Array.fold_left ( + ) a row)
        0 acc.counts);
+  if acc.lost > 0 then Obs.Counter.add c_lost acc.lost;
+  if acc.retried > 0 then Obs.Counter.add c_retries acc.retried;
+  if acc.timed_out > 0 then Obs.Counter.add c_timeouts acc.timed_out;
   let n = Array.length acc.sums in
   let means =
     Array.init n (fun i ->
@@ -46,8 +76,44 @@ let finish acc =
   in
   { means; samples = Array.map Array.copy acc.counts; sim_seconds = acc.clock_ms /. 1000.0 }
 
-let token_passing rng env ~samples_per_pair =
+(* One measurement with bounded retries. Returns the observed RTT (after
+   [inflate], which models receiver-side interference) and the sender's
+   elapsed wall-clock: a reply costs its RTT; a lost probe, a crashed
+   destination or a reply slower than the timeout all cost the full
+   timeout, plus exponential backoff between attempts. On the fault-free
+   path [Env.probe] is exactly [sample_rtt], every reply beats the
+   timeout, and the accounting collapses to [elapsed = rtt] with zero
+   extra PRNG draws — bit-identical to the pre-fault implementation. *)
+let probe_with_retries ?(inflate = fun rtt -> rtt) acc rob rng env ~at_ms i j =
+  let rec attempt k ~elapsed =
+    match Cloudsim.Env.probe rng env ~at_ms:(at_ms +. elapsed) i j with
+    | Cloudsim.Env.Reply rtt when inflate rtt <= rob.timeout_ms ->
+        let rtt = inflate rtt in
+        (Some rtt, elapsed +. rtt)
+    | outcome ->
+        (match outcome with
+        | Cloudsim.Env.Lost -> acc.lost <- acc.lost + 1
+        | Cloudsim.Env.Reply _ -> () (* late reply: discarded, not lost *));
+        acc.timed_out <- acc.timed_out + 1;
+        let elapsed = elapsed +. rob.timeout_ms in
+        if k > rob.retries then (None, elapsed)
+        else begin
+          acc.retried <- acc.retried + 1;
+          let backoff = rob.backoff_ms *. float_of_int (1 lsl (k - 1)) in
+          attempt (k + 1) ~elapsed:(elapsed +. backoff)
+        end
+  in
+  attempt 1 ~elapsed:0.0
+
+let check_robustness rob =
+  if not (rob.timeout_ms > 0.0) then
+    invalid_arg "Schemes: probe timeout must be positive";
+  if rob.retries < 0 then invalid_arg "Schemes: retry budget must be non-negative";
+  if rob.backoff_ms < 0.0 then invalid_arg "Schemes: backoff must be non-negative"
+
+let token_passing ?(robustness = default_robustness) rng env ~samples_per_pair =
   if samples_per_pair <= 0 then invalid_arg "Schemes.token_passing: need positive sample count";
+  check_robustness robustness;
   Obs.Span.with_ "netmeasure.token_passing" @@ fun () ->
   let n = Cloudsim.Env.count env in
   let acc = make_acc n in
@@ -57,18 +123,25 @@ let token_passing rng env ~samples_per_pair =
   for _ = 1 to samples_per_pair do
     for i = 0 to n - 1 do
       for j = 0 to n - 1 do
-        if i <> j then begin
-          let rtt = Cloudsim.Env.sample_rtt rng env i j in
-          record acc i j rtt;
-          acc.clock_ms <- acc.clock_ms +. rtt +. token_cost
-        end
+        if i <> j then
+          if not (Cloudsim.Env.alive env ~at_ms:acc.clock_ms i) then
+            (* A dead token holder is skipped; forwarding still costs. *)
+            acc.clock_ms <- acc.clock_ms +. token_cost
+          else begin
+            let result, elapsed =
+              probe_with_retries acc robustness rng env ~at_ms:acc.clock_ms i j
+            in
+            (match result with Some rtt -> record acc i j rtt | None -> ());
+            acc.clock_ms <- acc.clock_ms +. elapsed +. token_cost
+          end
       done
     done
   done;
   finish acc
 
-let uncoordinated rng env ~rounds =
+let uncoordinated ?(robustness = default_robustness) rng env ~rounds =
   if rounds <= 0 then invalid_arg "Schemes.uncoordinated: need positive rounds";
+  check_robustness robustness;
   Obs.Span.with_ "netmeasure.uncoordinated" @@ fun () ->
   let n = Cloudsim.Env.count env in
   if n < 2 then invalid_arg "Schemes.uncoordinated: need at least two instances";
@@ -78,32 +151,52 @@ let uncoordinated rng env ~rounds =
   for _ = 1 to rounds do
     Array.fill indegree 0 n 0;
     for i = 0 to n - 1 do
-      (* Uniform destination other than self. *)
+      (* Uniform destination other than self. Crashed senders still draw
+         (keeping the stream layout fixed) but send nothing, so they add
+         no interference. *)
       let d = Prng.int rng (n - 1) in
       let d = if d >= i then d + 1 else d in
       dest.(i) <- d;
-      indegree.(d) <- indegree.(d) + 1
+      if Cloudsim.Env.alive env ~at_ms:acc.clock_ms i then
+        indegree.(d) <- indegree.(d) + 1
     done;
     let round_max = ref 0.0 in
     for i = 0 to n - 1 do
-      let d = dest.(i) in
-      let base = Cloudsim.Env.sample_rtt rng env i d in
-      (* Destination overload: other probes converging on d; plus d is
-         itself sending this round (always true in this scheme). *)
-      let collisions = float_of_int (indegree.(d) - 1) in
-      let inflated =
-        base +. (collision_delay_ms *. collisions) +. busy_sender_delay_ms
-      in
-      record acc i d inflated;
-      if inflated > !round_max then round_max := inflated
+      if Cloudsim.Env.alive env ~at_ms:acc.clock_ms i then begin
+        let d = dest.(i) in
+        (* Destination overload: other probes converging on d; plus d is
+           itself sending this round (always true in this scheme). The
+           inflation is what the sender observes, so the timeout applies
+           to the inflated value. *)
+        let collisions = float_of_int (indegree.(d) - 1) in
+        let inflate base =
+          base +. (collision_delay_ms *. collisions) +. busy_sender_delay_ms
+        in
+        let result, elapsed =
+          probe_with_retries ~inflate acc robustness rng env ~at_ms:acc.clock_ms i d
+        in
+        (match result with Some inflated -> record acc i d inflated | None -> ());
+        if elapsed > !round_max then round_max := elapsed
+      end
     done;
-    (* All probes of a round fly in parallel: the round costs its slowest. *)
+    (* All probes of a round fly in parallel: the round costs its slowest
+       sender — including the timeouts and backoffs of unlucky ones. *)
     acc.clock_ms <- acc.clock_ms +. !round_max
   done;
   finish acc
 
-let staged rng env ~ks ~stages =
+(* The reverse measurement of an exchange rides the same packets as the
+   forward probe, so it sees the same queueing realization: scale the
+   observed RTT by the ratio of the two directions' means. No PRNG draw,
+   no extra wall-clock — which is also what keeps the forward stream
+   bit-identical to the single-direction implementation. *)
+let reverse_of env i j rtt =
+  let fwd = Cloudsim.Env.mean_latency env i j in
+  if fwd > 0.0 then rtt /. fwd *. Cloudsim.Env.mean_latency env j i else rtt
+
+let staged ?(robustness = default_robustness) rng env ~ks ~stages =
   if ks <= 0 || stages <= 0 then invalid_arg "Schemes.staged: need positive ks and stages";
+  check_robustness robustness;
   Obs.Span.with_ "netmeasure.staged" @@ fun () ->
   let n = Cloudsim.Env.count env in
   if n < 2 then invalid_arg "Schemes.staged: need at least two instances";
@@ -116,14 +209,35 @@ let staged rng env ~ks ~stages =
     let stage_max = ref 0.0 in
     let p = ref 0 in
     while (2 * !p) + 1 < n do
-      let i = order.(2 * !p) and j = order.((2 * !p) + 1) in
-      let pair_total = ref 0.0 in
-      for _ = 1 to ks do
-        let rtt = Cloudsim.Env.sample_rtt rng env i j in
-        record acc i j rtt;
-        pair_total := !pair_total +. rtt
-      done;
-      if !pair_total > !stage_max then stage_max := !pair_total;
+      let a = order.(2 * !p) and b = order.((2 * !p) + 1) in
+      (* The first live endpoint initiates the exchange; if both have
+         crashed the pair sits the stage out. A live initiator probing a
+         dead partner pays its timeouts like any other loss. *)
+      let at = acc.clock_ms in
+      let exchange =
+        if Cloudsim.Env.alive env ~at_ms:at a then Some (a, b)
+        else if Cloudsim.Env.alive env ~at_ms:at b then Some (b, a)
+        else None
+      in
+      (match exchange with
+      | None -> ()
+      | Some (i, j) ->
+          let pair_total = ref 0.0 in
+          for _ = 1 to ks do
+            let result, elapsed =
+              probe_with_retries acc robustness rng env ~at_ms:(at +. !pair_total) i j
+            in
+            (match result with
+            | Some rtt ->
+                (* Pairs exchange probes: the same packet exchange yields
+                   the reverse direction's sample too, so ordered pairs
+                   are never systematically left unsampled. *)
+                record acc i j rtt;
+                record acc j i (reverse_of env i j rtt)
+            | None -> ());
+            pair_total := !pair_total +. elapsed
+          done;
+          if !pair_total > !stage_max then stage_max := !pair_total);
       incr p
     done;
     acc.clock_ms <- acc.clock_ms +. !stage_max +. coordination_cost
@@ -131,6 +245,19 @@ let staged rng env ~ks ~stages =
   finish acc
 
 let staged_time_for ~n ~reference_minutes = reference_minutes *. float_of_int n /. 100.0
+
+let coverage t =
+  let n = Array.length t.samples in
+  if n <= 1 then 1.0
+  else begin
+    let covered = ref 0 in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j && t.samples.(i).(j) > 0 then incr covered
+      done
+    done;
+    float_of_int !covered /. float_of_int (n * (n - 1))
+  end
 
 let link_vector t =
   let n = Array.length t.means in

@@ -11,9 +11,12 @@
       sources may pick one destination, and a replying instance may also be
       sending — inflating observed RTTs unevenly across links.
     - {b Staged}: a coordinator partitions instances into disjoint pairs
-      each stage and each pair exchanges [ks] consecutive probes. Parallel
-      (n/2 probes in flight) yet interference-free, because no instance is
-      ever in more than one conversation.
+      each stage and each pair {e exchanges} [ks] consecutive probes.
+      Parallel (n/2 probes in flight) yet interference-free, because no
+      instance is ever in more than one conversation. Each successful
+      exchange yields a sample for {e both} ordered directions — the reply
+      leg of the same packet exchange measures j→i — so a pair matched in
+      only one order is still covered in both.
 
     The interference model: a probe's observed RTT is the pair's jittered
     RTT plus an additive queueing delay of 0.30 ms per extra probe
@@ -21,31 +24,74 @@
     itself mid-probe. Token passing and staged never trigger either term,
     matching the paper's design goal of measuring links "without
     interference"; uncoordinated accumulates a per-link bias that does not
-    average out (the Fig. 4 effect). *)
+    average out (the Fig. 4 effect).
+
+    {b Robustness.} Every scheme probes through {!Cloudsim.Env.probe}, so
+    an environment carrying a fault plan ({!Cloudsim.Env.with_faults})
+    loses probes, inflates straggler RTTs past the timeout, and silences
+    crashed instances. Probes are retried up to [retries] times with
+    exponential backoff; a lost or late probe charges the full timeout to
+    the sender's clock, so [sim_seconds] stays honest under faults. With
+    no fault plan the schemes are bit-identical (means, samples,
+    [sim_seconds], PRNG stream) to the fault-oblivious implementation.
+
+    Counters: [netmeasure.probes] (recorded samples),
+    [netmeasure.probes_lost] (probes dropped in flight or answered by no
+    one), [netmeasure.timeouts] (attempts that charged a timeout — losses
+    plus late replies), [netmeasure.retries] (re-attempts after a
+    timeout). All are flushed once per scheme run. *)
 
 type t = {
   means : float array array;   (** measured mean RTT per ordered pair (ms);
                                    [nan] where a pair was never sampled *)
   samples : int array array;   (** per-pair sample counts *)
-  sim_seconds : float;         (** simulated wall-clock cost of measuring *)
+  sim_seconds : float;         (** simulated wall-clock cost of measuring,
+                                   including timeouts and backoff waits *)
 }
 
-val token_passing : Prng.t -> Cloudsim.Env.t -> samples_per_pair:int -> t
-(** Visit every ordered pair round-robin, [samples_per_pair] times. *)
+type robustness = {
+  timeout_ms : float;  (** per-probe reply deadline; a slower reply is
+                           discarded and charged as a timeout *)
+  retries : int;       (** extra attempts after the first timeout *)
+  backoff_ms : float;  (** wait before retry [k] is [backoff_ms · 2^(k-1)] *)
+}
 
-val uncoordinated : Prng.t -> Cloudsim.Env.t -> rounds:int -> t
+val default_robustness : robustness
+(** 10 ms timeout, 3 retries, 0.5 ms initial backoff. The timeout clears
+    every fault-free RTT this simulator produces, so enabling robustness
+    without a fault plan changes nothing. *)
+
+val token_passing :
+  ?robustness:robustness -> Prng.t -> Cloudsim.Env.t -> samples_per_pair:int -> t
+(** Visit every ordered pair round-robin, [samples_per_pair] times. A
+    crashed sender's turn is skipped (the token still hops past it). *)
+
+val uncoordinated :
+  ?robustness:robustness -> Prng.t -> Cloudsim.Env.t -> rounds:int -> t
 (** [rounds] rounds in which every instance probes one uniformly random
-    other instance. Colliding probes are inflated per the model above. *)
+    other instance. Colliding probes are inflated per the model above;
+    the timeout applies to the inflated RTT. Crashed instances stop
+    sending (and stop colliding) but still consume their destination
+    draw, keeping the stream layout seed-stable. *)
 
-val staged : Prng.t -> Cloudsim.Env.t -> ks:int -> stages:int -> t
-(** [stages] coordinator-chosen random perfect matchings; each matched pair
-    exchanges [ks] back-to-back probes per stage. *)
+val staged :
+  ?robustness:robustness -> Prng.t -> Cloudsim.Env.t -> ks:int -> stages:int -> t
+(** [stages] coordinator-chosen random perfect matchings; each matched
+    pair exchanges [ks] back-to-back probes per stage, recording both
+    directions per successful exchange. The first live endpoint
+    initiates; a pair of two crashed instances sits the stage out. *)
 
 val staged_time_for : n:int -> reference_minutes:float -> float
 (** Measurement-time budget scaling rule from Sect. 6.2: the staged
     approach probes ⌊n/2⌋ pairs in parallel out of O(n²), so the paper
     adjusts the 5-minute budget for 100 instances linearly:
     [5 · n / 100] minutes. Returned in minutes. *)
+
+val coverage : t -> float
+(** Fraction of ordered pairs (i ≠ j) with at least one recorded sample.
+    [1.0] when n ≤ 1. The paper's staged scheme aims for full coverage;
+    under probe loss this is the statistic the Fig. 4-style comparison
+    gates on. *)
 
 val link_vector : t -> float array
 (** Flatten the measured means over ordered pairs (i ≠ j), row-major —

@@ -19,4 +19,5 @@ let () =
       ("more", Test_more.suite);
       ("failure-injection", Test_failure.suite);
       ("consistency", Test_consistency.suite);
+      ("faults", Test_faults.suite);
     ]

@@ -100,6 +100,26 @@ let test_staged_parallel_faster_than_token () =
   Alcotest.(check bool) "staged faster" true
     (st.Netmeasure.Schemes.sim_seconds < tp.Netmeasure.Schemes.sim_seconds)
 
+let test_staged_exchange_records_both_directions () =
+  (* Each staged exchange yields a sample in both directions, so the
+     sample-count matrix is symmetric even when the matchings happened to
+     pick a pair in one order only. *)
+  let env = make_env ~count:10 () in
+  let m = Netmeasure.Schemes.staged (Prng.create 12) env ~ks:4 ~stages:9 in
+  let n = Cloudsim.Env.count env in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      Alcotest.(check int)
+        (Printf.sprintf "samples symmetric (%d,%d)" i j)
+        m.Netmeasure.Schemes.samples.(j).(i)
+        m.Netmeasure.Schemes.samples.(i).(j);
+      if i <> j && m.Netmeasure.Schemes.samples.(i).(j) > 0 then
+        Alcotest.(check bool) "both means present" true
+          (Float.is_finite m.Netmeasure.Schemes.means.(i).(j)
+          && Float.is_finite m.Netmeasure.Schemes.means.(j).(i))
+    done
+  done
+
 let test_staged_time_budget_rule () =
   Alcotest.(check (float 1e-9)) "100 instances" 5.0
     (Netmeasure.Schemes.staged_time_for ~n:100 ~reference_minutes:5.0);
@@ -184,6 +204,8 @@ let suite =
     Alcotest.test_case "staged beats uncoordinated" `Quick
       test_staged_more_accurate_than_uncoordinated;
     Alcotest.test_case "staged faster than token" `Quick test_staged_parallel_faster_than_token;
+    Alcotest.test_case "staged records both directions" `Quick
+      test_staged_exchange_records_both_directions;
     Alcotest.test_case "staged time budget rule" `Quick test_staged_time_budget_rule;
     Alcotest.test_case "link vector shape" `Quick test_link_vector_shape;
     Alcotest.test_case "ip distance properties" `Quick test_ip_distance_properties;
