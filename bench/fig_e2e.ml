@@ -78,16 +78,7 @@ let fig10 () =
     Cloudia.Metrics.estimate_all (Prng.create 82) env
       ~samples_per_pair:(Util.trials ~floor:20 200)
   in
-  let flatten m =
-    let n = Array.length m in
-    let out = ref [] in
-    for i = n - 1 downto 0 do
-      for j = n - 1 downto 0 do
-        if i <> j then out := m.(i).(j) :: !out
-      done
-    done;
-    Array.of_list !out
-  in
+  let flatten = Lat_matrix.off_diagonal in
   let mean = flatten (derive Cloudia.Metrics.Mean) in
   let msd = flatten (derive Cloudia.Metrics.Mean_plus_sd) in
   let p99 = flatten (derive Cloudia.Metrics.P99) in
@@ -116,7 +107,7 @@ let fig11 () =
           ~samples_per_pair:(Util.trials ~floor:10 100)
       in
       let perf metric =
-        let problem = Cloudia.Types.problem ~graph:w.graph ~costs:(derive metric) in
+        let problem = Cloudia.Types.of_matrix ~graph:w.graph (derive metric) in
         let plan = w.solve (Prng.create 93) problem in
         w.simulate (Prng.create 94) env plan
       in

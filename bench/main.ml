@@ -93,6 +93,7 @@ let () =
         (Obs.Counter.delta ~before ~after:(Obs.Counter.snapshot ())))
     selected;
   Printf.printf "\nAll sections completed in %.1f s.\n" (Unix.gettimeofday () -. started);
+  Util.flush_metrics ();
   match !trace_file with
   | None -> ()
   | Some file ->

@@ -65,14 +65,54 @@ let kmeans_test =
   Test.make ~name:"kmeans1d-500-values-k20"
     (Staged.stage (fun () -> ignore (Stats.Kmeans1d.cluster ~k:20 values)))
 
+(* Matrix-representation kernels: a full row-major sweep of a 64x64
+   latency matrix, read either through boxed float array array rows or the
+   flat Bigarray-backed Lat_matrix. Both land in bench JSON so the CI perf
+   gate can pin each against its committed baseline. *)
+let matrix_n = 64
+
+let boxed_matrix =
+  let rng = Prng.create 5 in
+  Array.init matrix_n (fun j ->
+      Array.init matrix_n (fun j' -> if j = j' then 0.0 else 0.1 +. Prng.float rng 1.0))
+
+let flat_matrix = Lat_matrix.of_arrays boxed_matrix
+
+let matrix_read_boxed_test =
+  let m = boxed_matrix in
+  Test.make ~name:"matrix-read-boxed-64"
+    (Staged.stage (fun () ->
+         let acc = ref 0.0 in
+         for i = 0 to matrix_n - 1 do
+           let row = m.(i) in
+           for j = 0 to matrix_n - 1 do
+             acc := !acc +. Array.unsafe_get row j
+           done
+         done;
+         ignore (Sys.opaque_identity !acc)))
+
+let matrix_read_flat_test =
+  (* The hot-path idiom: hoist the buffer once, then read through the
+     bigarray primitive (specializes at the call site, -opaque or not). *)
+  let m = Lat_matrix.data flat_matrix in
+  Test.make ~name:"matrix-read-flat-64"
+    (Staged.stage (fun () ->
+         let acc = ref 0.0 in
+         for i = 0 to matrix_n - 1 do
+           for j = 0 to matrix_n - 1 do
+             acc := !acc +. Bigarray.Array2.unsafe_get m i j
+           done
+         done;
+         ignore (Sys.opaque_identity !acc)))
+
 let run () =
   Util.section "Microbenchmarks" "solver kernels (Bechamel, ns/run)";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
   let instances = Instance.[ monotonic_clock ] in
-  (* Smoke mode trims the sampling quota: the point is that every kernel
-     still runs, not that the estimate is tight. *)
-  let quota = if !Util.smoke then 0.02 else 0.5 in
-  let limit = if !Util.smoke then 100 else 2000 in
+  (* Smoke mode trims the sampling quota — but not below what the CI
+     regression band needs for a stable per-kernel estimate. *)
+  let quota = if !Util.smoke then 0.1 else 0.5 in
+  let limit = if !Util.smoke then 500 else 2000 in
   let cfg = Benchmark.cfg ~limit ~quota:(Time.second quota) ~kde:(Some 1000) () in
   let tests =
     Test.make_grouped ~name:"kernels"
@@ -83,6 +123,8 @@ let run () =
         longest_path_test;
         greedy_test;
         kmeans_test;
+        matrix_read_boxed_test;
+        matrix_read_flat_test;
       ]
   in
   let raw = Benchmark.all cfg instances tests in
@@ -92,6 +134,13 @@ let run () =
     (fun (name, r) ->
       match Analyze.OLS.estimates r with
       | Some [ t ] ->
+          (* "kernels/matrix-read-flat-64" -> micro.matrix-read-flat-64.ns_per_run *)
+          let leaf =
+            match String.rindex_opt name '/' with
+            | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+            | None -> name
+          in
+          Util.metric (Printf.sprintf "micro.%s.ns_per_run" leaf) t;
           if t > 1_000_000.0 then Printf.printf "  %-32s %10.2f ms/run\n" name (t /. 1e6)
           else if t > 1_000.0 then Printf.printf "  %-32s %10.2f us/run\n" name (t /. 1e3)
           else Printf.printf "  %-32s %10.1f ns/run\n" name t

@@ -34,6 +34,36 @@ let write_csv name headers rows =
             rows);
       Printf.printf "  [csv: %s]\n" path
 
+(* Machine-readable metrics: sections record named scalars (moves/sec,
+   allocation rates, kernel timings) and the driver flushes them as one
+   flat JSON object to the path in CLOUDIA_BENCH_JSON — the input of the
+   CI perf-regression gate (tools/check_bench.py). *)
+let metrics : (string, float) Hashtbl.t = Hashtbl.create 32
+
+let metric name value = Hashtbl.replace metrics name value
+
+let flush_metrics () =
+  match Sys.getenv_opt "CLOUDIA_BENCH_JSON" with
+  | None -> ()
+  | Some path ->
+      let entries =
+        List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) metrics [])
+      in
+      let field (k, v) =
+        (* %.17g keeps every float exact; JSON has no NaN/inf literals, so
+           encode those as null (check_bench treats null as missing). *)
+        let value =
+          if Float.is_nan v || Float.abs v = Float.infinity then "null"
+          else Printf.sprintf "%.17g" v
+        in
+        Printf.sprintf "  %S: %s" k value
+      in
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc "{\n";
+          output_string oc (String.concat ",\n" (List.map field entries));
+          output_string oc "\n}\n");
+      Printf.printf "Bench metrics written to %s (%d entries).\n" path (List.length entries)
+
 let section id title =
   Printf.printf "\n================================================================\n";
   Printf.printf "%s — %s\n" id title;
@@ -99,7 +129,7 @@ let problem_of ?(samples = 30) ~seed env graph =
   let costs = Cloudia.Metrics.estimate (Prng.create seed) env Cloudia.Metrics.Mean
       ~samples_per_pair:samples
   in
-  Cloudia.Types.problem ~graph ~costs
+  Cloudia.Types.of_matrix ~graph costs
 
 (* Budgets below run through [budget] so smoke mode caps every solver call
    in one place. *)

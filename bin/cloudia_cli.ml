@@ -5,6 +5,7 @@
      plan      - solve a deployment from a user-supplied cost matrix
      lint      - validate an instance (matrix/graph/config) without solving
      measure   - compare the three measurement schemes on one allocation
+     convert   - convert a cost matrix between CSV and the binary format
      survey    - print latency heterogeneity and stability for a provider
      redeploy  - simulate iterative re-deployment under changing conditions
      bandwidth - optimize the bottleneck-bandwidth criterion *)
@@ -549,7 +550,8 @@ let survey_cmd =
 
 (* ---- plan: bring-your-own measurements ---- *)
 
-let plan_cmd_run seed costs_file graph_spec objective_name strategy_name time_limit domains =
+let plan_cmd_run seed costs_file graph_spec objective_name strategy_name time_limit domains
+    json =
   let objective =
     match String.lowercase_ascii objective_name with
     | "ll" | "longest-link" -> Ok Cloudia.Cost.Longest_link
@@ -557,11 +559,12 @@ let plan_cmd_run seed costs_file graph_spec objective_name strategy_name time_li
     | _ -> Error "objective must be ll or lp"
   in
   match
-    match (objective, Cloudia.Matrix_io.load costs_file, Graphs.Graph_io.parse_spec graph_spec)
+    match
+      (objective, Cloudia.Matrix_io.load_auto costs_file, Graphs.Graph_io.parse_spec graph_spec)
     with
     | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
     | Ok objective, Ok costs, Ok graph -> (
-        match Cloudia.Types.problem ~graph ~costs with
+        match Cloudia.Types.of_matrix ~graph costs with
         | exception Invalid_argument e -> Error e
         | problem -> Ok (objective, problem))
   with
@@ -586,25 +589,53 @@ let plan_cmd_run seed costs_file graph_spec objective_name strategy_name time_li
               let default = Cloudia.Types.identity_plan problem in
               let cost = Cloudia.Cost.eval objective problem plan in
               let default_cost = Cloudia.Cost.eval objective problem default in
-              Printf.printf "instances      : %d\n" (Cloudia.Types.instance_count problem);
-              Printf.printf "nodes          : %d\n" (Cloudia.Types.node_count problem);
-              Printf.printf "objective      : %s\n" (Cloudia.Cost.objective_to_string objective);
-              Printf.printf "default cost   : %.3f ms\n" default_cost;
-              Printf.printf "optimized cost : %.3f ms (%.1f%% better)\n" cost
-                (Cloudia.Cost.improvement ~default:default_cost ~optimized:cost);
-              Printf.printf "plan           : %s\n"
-                (Format.asprintf "%a" Cloudia.Types.pp_plan plan);
-              (match Cloudia.Types.unused_instances problem plan with
-              | [] -> ()
-              | unused ->
-                  Printf.printf "terminate      : instances %s\n"
-                    (String.concat ", " (List.map string_of_int unused)));
+              let unused = Cloudia.Types.unused_instances problem plan in
+              if json then begin
+                (* Full %.17g precision: two runs producing bit-identical
+                   float64 costs produce byte-identical reports, which is
+                   what the CI equivalence gate diffs. *)
+                let exact f =
+                  if Float.is_nan f then json_str "nan" else Printf.sprintf "%.17g" f
+                in
+                print_endline
+                  (json_obj
+                     [
+                       ("instances", json_int (Cloudia.Types.instance_count problem));
+                       ("nodes", json_int (Cloudia.Types.node_count problem));
+                       ("objective", json_str (Cloudia.Cost.objective_to_string objective));
+                       ("seed", json_int seed);
+                       ("default_cost_ms", exact default_cost);
+                       ("optimized_cost_ms", exact cost);
+                       ( "improvement_pct",
+                         exact (Cloudia.Cost.improvement ~default:default_cost ~optimized:cost)
+                       );
+                       ("plan", json_list (Array.to_list plan |> List.map json_int));
+                       ("terminate", json_list (List.map json_int unused));
+                     ])
+              end
+              else begin
+                Printf.printf "instances      : %d\n" (Cloudia.Types.instance_count problem);
+                Printf.printf "nodes          : %d\n" (Cloudia.Types.node_count problem);
+                Printf.printf "objective      : %s\n"
+                  (Cloudia.Cost.objective_to_string objective);
+                Printf.printf "default cost   : %.3f ms\n" default_cost;
+                Printf.printf "optimized cost : %.3f ms (%.1f%% better)\n" cost
+                  (Cloudia.Cost.improvement ~default:default_cost ~optimized:cost);
+                Printf.printf "plan           : %s\n"
+                  (Format.asprintf "%a" Cloudia.Types.pp_plan plan);
+                match unused with
+                | [] -> ()
+                | unused ->
+                    Printf.printf "terminate      : instances %s\n"
+                      (String.concat ", " (List.map string_of_int unused))
+              end;
               0))
 
 let plan_cmd =
   let costs_arg =
     Arg.(required & opt (some string) None & info [ "costs-file" ]
-           ~doc:"CSV cost matrix measured on your own allocation (ms, zero diagonal).")
+           ~doc:"Cost matrix measured on your own allocation (ms, zero diagonal); CSV or \
+                 the CLDALAT1 binary format, sniffed by magic.")
   in
   let graph_arg =
     Arg.(value & opt string "mesh2d 3 3" & info [ "graph-spec" ]
@@ -624,11 +655,15 @@ let plan_cmd =
     Arg.(value & opt int 4 & info [ "domains" ]
            ~doc:"Parallel workers for --strategy portfolio (one OCaml domain each).")
   in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the report as one JSON object on stdout (full float precision).")
+  in
   Cmd.v
     (Cmd.info "plan" ~doc:"Solve a deployment from your own measured cost matrix")
     Term.(
       const plan_cmd_run $ seed_arg $ costs_arg $ graph_arg $ objective_arg $ strategy_arg
-      $ time_arg $ domains_arg)
+      $ time_arg $ domains_arg $ json_arg)
 
 (* ---- lint: validate an instance without solving ---- *)
 
@@ -644,6 +679,10 @@ let lint_run costs_file graph_spec graph_file objective_name time_limit domains 
   let matrix_result =
     match costs_file with
     | None -> Ok None
+    | Some file when Lat_matrix.looks_binary file -> (
+        match Cloudia.Matrix_io.load_auto_raw file with
+        | Ok m -> Ok (Some (Lat_matrix.to_arrays m))
+        | Error e -> Error ("costs: " ^ e))
     | Some file -> (
         match Cloudia.Matrix_io.load_raw file with
         | Ok m -> Ok (Some m)
@@ -753,6 +792,63 @@ let lint_cmd =
       const lint_run $ costs_arg $ graph_spec_arg $ graph_file_arg $ objective_arg
       $ time_arg $ domains_arg $ strict_arg $ json_arg)
 
+(* ---- convert: CSV <-> binary cost matrices ---- *)
+
+let convert_run input output storage_name =
+  match Lat_matrix.storage_of_string (String.lowercase_ascii storage_name) with
+  | None ->
+      prerr_endline "storage must be float64 (f64) or float32 (f32)";
+      2
+  | Some storage -> (
+      (* The raw loader keeps NaN unsampled markers: binary is the
+         lossless carrier for partial matrices, and converting one back
+         to CSV prints the canonical "nan" cells. *)
+      match Cloudia.Matrix_io.load_auto_raw input with
+      | Error e ->
+          prerr_endline ("convert: " ^ e);
+          2
+      | Ok lat -> (
+          let to_binary =
+            Filename.check_suffix output ".lat" || Filename.check_suffix output ".bin"
+          in
+          match
+            if to_binary then
+              Cloudia.Matrix_io.save_binary output (Lat_matrix.with_storage storage lat)
+            else
+              Out_channel.with_open_text output (fun oc ->
+                  Out_channel.output_string oc
+                    (Cloudia.Matrix_io.print (Lat_matrix.to_arrays lat)))
+          with
+          | exception Sys_error e ->
+              prerr_endline ("convert: " ^ e);
+              2
+          | () ->
+              Printf.printf "%s: %dx%d matrix -> %s (%s)\n" input (Lat_matrix.dim lat)
+                (Lat_matrix.dim lat) output
+                (if to_binary then "binary " ^ Lat_matrix.storage_to_string storage
+                 else "csv");
+              0))
+
+let convert_cmd =
+  let input_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"INPUT"
+           ~doc:"Source matrix: CSV or CLDALAT1 binary, sniffed by magic.")
+  in
+  let output_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUTPUT"
+           ~doc:"Destination file. A .lat or .bin suffix writes the binary format; \
+                 anything else writes CSV.")
+  in
+  let storage_arg =
+    Arg.(value & opt string "float64" & info [ "storage" ]
+           ~doc:"Binary element width: float64 (exact) or float32 (half the bytes, \
+                 values quantized to single precision).")
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:"Convert a cost matrix between CSV and the mmap-able binary format")
+    Term.(const convert_run $ input_arg $ output_arg $ storage_arg)
+
 (* ---- redeploy ---- *)
 
 let redeploy provider seed epochs change_prob migration_cost =
@@ -838,4 +934,13 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ advise_cmd; plan_cmd; lint_cmd; measure_cmd; survey_cmd; redeploy_cmd; bandwidth_cmd ]))
+          [
+            advise_cmd;
+            plan_cmd;
+            lint_cmd;
+            convert_cmd;
+            measure_cmd;
+            survey_cmd;
+            redeploy_cmd;
+            bandwidth_cmd;
+          ]))

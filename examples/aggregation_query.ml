@@ -16,7 +16,7 @@ let () =
   let rng = Prng.create 4242 in
   let env = Cloudsim.Env.allocate rng provider ~count:(n + 2) in
   let costs = Cloudia.Metrics.estimate rng env Cloudia.Metrics.Mean ~samples_per_pair:30 in
-  let problem = Cloudia.Types.problem ~graph ~costs in
+  let problem = Cloudia.Types.of_matrix ~graph costs in
   Printf.printf "Aggregation query: %d-ary tree of depth %d (%d nodes), %d queries\n\n" fanout
     depth n queries;
   Printf.printf "%-10s %14s %15s\n" "strategy" "longest path" "mean response";

@@ -36,7 +36,7 @@ let () =
   let rng = Prng.create 99 in
   let env = Cloudsim.Env.allocate rng provider ~count:(rows * cols * 11 / 10) in
   let costs = Cloudia.Metrics.estimate rng env Cloudia.Metrics.Mean ~samples_per_pair:30 in
-  let problem = Cloudia.Types.problem ~graph ~costs in
+  let problem = Cloudia.Types.of_matrix ~graph costs in
   let default_plan = Cloudia.Types.identity_plan problem in
   let default_time = ref 0.0 in
   List.iter

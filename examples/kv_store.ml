@@ -17,7 +17,7 @@ let () =
   let rng = Prng.create 31337 in
   let env = Cloudsim.Env.allocate rng provider ~count:(n * 11 / 10) in
   let costs = Cloudia.Metrics.estimate rng env Cloudia.Metrics.Mean ~samples_per_pair:30 in
-  let problem = Cloudia.Types.problem ~graph ~costs in
+  let problem = Cloudia.Types.of_matrix ~graph costs in
   Printf.printf "Key-value store: %d front-ends x %d storage nodes, queries touch %d nodes\n\n"
     front_ends storage touch;
   Printf.printf "%-10s %14s %15s\n" "strategy" "longest link" "mean response";

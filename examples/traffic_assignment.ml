@@ -23,7 +23,7 @@ let () =
     (Graphs.Digraph.edge_count graph);
   let env = Cloudsim.Env.allocate rng provider ~count:11 in
   let costs = Cloudia.Metrics.estimate rng env Cloudia.Metrics.Mean ~samples_per_pair:30 in
-  let problem = Cloudia.Types.problem ~graph ~costs in
+  let problem = Cloudia.Types.of_matrix ~graph costs in
   let optimized =
     (Cloudia.Cp_solver.solve
        ~options:

@@ -15,7 +15,7 @@ let () =
   let graph = Graphs.Templates.mesh2d ~rows ~cols in
   let env = Cloudsim.Env.allocate rng provider ~count:(rows * cols * 12 / 10) in
   let costs = Cloudia.Metrics.estimate rng env Cloudia.Metrics.Mean ~samples_per_pair:30 in
-  let problem = Cloudia.Types.problem ~graph ~costs in
+  let problem = Cloudia.Types.of_matrix ~graph costs in
   (* Interior-interior links carry 4x the traffic of boundary links. *)
   let interior node =
     let r = node / cols and c = node mod cols in

@@ -106,11 +106,10 @@ let lint ?pool config =
       ~samples_per_pair:config.samples_per_pair ()
 
 (* Unsampled (nan) off-diagonal entries in a problem's cost matrix. *)
-let count_unsampled (costs : float array array) =
+let count_unsampled (costs : Lat_matrix.t) =
   let missing = ref 0 in
-  Array.iteri
-    (fun j row ->
-      Array.iteri (fun j' c -> if j <> j' && Float.is_nan c then incr missing) row)
+  Lat_matrix.iter
+    (fun j j' c -> if j <> j' && Float.is_nan c then incr missing)
     costs;
   !missing
 
@@ -130,7 +129,7 @@ let search_with_telemetry rng strategy objective problem =
            ~pool ()
        @ Lint.Instance.check_partial
            ~total:(pool * (pool - 1))
-           ~missing:(count_unsampled problem.Types.costs)
+           ~missing:(count_unsampled problem.Types.lat)
            ~imputed:0 ~dropped:0 ()));
   let before = Obs.Counter.snapshot () in
   let finish ?(solver = No_solver_stats) ?(proven = false) ?(trace = []) ?winner
@@ -297,7 +296,7 @@ let run ?(strict_lint = false) ?(faults = Cloudsim.Faults.none)
           let diags =
             Lint.Instance.check_partial ~total ~missing:!missing ~imputed:0 ~dropped:0 ()
           in
-          (m.Netmeasure.Schemes.means, minutes, cov, identity, [], diags)
+          (Lat_matrix.of_arrays m.Netmeasure.Schemes.means, minutes, cov, identity, [], diags)
       | Impute ->
           let c = Netmeasure.Completion.complete m in
           let diags =
@@ -305,7 +304,7 @@ let run ?(strict_lint = false) ?(faults = Cloudsim.Faults.none)
               ~missing:c.Netmeasure.Completion.unresolved
               ~imputed:c.Netmeasure.Completion.imputed ~dropped:0 ()
           in
-          (c.Netmeasure.Completion.means, minutes, cov, identity, [], diags)
+          (Lat_matrix.of_arrays c.Netmeasure.Completion.means, minutes, cov, identity, [], diags)
       | Drop_instance ->
           let kept, sub = Netmeasure.Completion.drop_uncovered m in
           let dropped =
@@ -321,7 +320,7 @@ let run ?(strict_lint = false) ?(faults = Cloudsim.Faults.none)
             Lint.Instance.check_partial ~total ~missing:0 ~imputed:0
               ~dropped:(List.length dropped) ()
           in
-          (sub, minutes, cov, kept, dropped, diags)
+          (Lat_matrix.of_arrays sub, minutes, cov, kept, dropped, diags)
     end
   in
   let pool = Array.length kept in
@@ -331,7 +330,7 @@ let run ?(strict_lint = false) ?(faults = Cloudsim.Faults.none)
      checks the first gate could not run. *)
   let diagnostics =
     pre_diagnostics @ partial_diags
-    @ Lint.Instance.check_matrix costs
+    @ Lint.Instance.check_matrix (Lat_matrix.to_arrays costs)
     (* Dropping instances shrinks the pool; re-run only the error-grade
        graph checks against it (the warnings are already in the pre gate)
        so a pool now smaller than the node set fails as GRF006. *)
@@ -342,7 +341,7 @@ let run ?(strict_lint = false) ?(faults = Cloudsim.Faults.none)
         ~pool ()
   in
   Lint.Diagnostic.check ~strict:strict_lint diagnostics;
-  let problem = Types.problem ~graph:config.graph ~costs in
+  let problem = Types.of_matrix ~graph:config.graph costs in
   (* Step 3: search. *)
   let started = Obs.Clock.now_s () in
   let plan, telemetry =

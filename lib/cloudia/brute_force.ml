@@ -16,9 +16,9 @@ let solve ?(max_instances = 10) objective (t : Types.problem) =
       (fun w ->
         if plan.(w) <> -1 then begin
           if Graphs.Digraph.mem_edge t.Types.graph node w then
-            worst := Float.max !worst t.Types.costs.(inst).(plan.(w));
+            worst := Float.max !worst (Types.unsafe_cost t inst plan.(w));
           if Graphs.Digraph.mem_edge t.Types.graph w node then
-            worst := Float.max !worst t.Types.costs.(plan.(w)).(inst)
+            worst := Float.max !worst (Types.unsafe_cost t plan.(w) inst)
         end)
       (Graphs.Digraph.undirected_neighbors t.Types.graph node);
     !worst

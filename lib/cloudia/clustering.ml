@@ -1,36 +1,25 @@
 type t = {
-  rounded : float array array;
+  rounded : Lat_matrix.t;
   levels : float array;
 }
 
-let off_diagonal costs =
-  let m = Array.length costs in
-  let out = ref [] in
-  for j = 0 to m - 1 do
-    for j' = 0 to m - 1 do
-      if j <> j' then out := costs.(j).(j') :: !out
-    done
-  done;
-  Array.of_list !out
+let copy lat = Lat_matrix.init (Lat_matrix.dim lat) (fun j j' -> Lat_matrix.unsafe_get lat j j')
 
-let cluster ~k costs =
-  let values = off_diagonal costs in
-  if Array.length values = 0 then { rounded = Array.map Array.copy costs; levels = [||] }
+let cluster ~k lat =
+  let values = Lat_matrix.off_diagonal lat in
+  if Array.length values = 0 then { rounded = copy lat; levels = [||] }
   else begin
     let result = Stats.Kmeans1d.cluster ~k values in
     let rounded =
-      Array.mapi
-        (fun j row ->
-          Array.mapi
-            (fun j' c -> if j = j' then 0.0 else Stats.Kmeans1d.assign result c)
-            row)
-        costs
+      Lat_matrix.init (Lat_matrix.dim lat) (fun j j' ->
+          if j = j' then 0.0
+          else Stats.Kmeans1d.assign result (Lat_matrix.unsafe_get lat j j'))
     in
     { rounded; levels = Array.copy result.Stats.Kmeans1d.centers }
   end
 
-let none costs =
-  let values = off_diagonal costs in
+let none lat =
+  let values = Lat_matrix.off_diagonal lat in
   let distinct =
     let sorted = Array.copy values in
     Array.sort compare sorted;
@@ -40,7 +29,7 @@ let none costs =
       sorted;
     Array.of_list (List.rev !out)
   in
-  { rounded = Array.map Array.copy costs; levels = distinct }
+  { rounded = copy lat; levels = distinct }
 
 let thresholds_below t cost =
   Array.fold_left (fun acc level -> if level < cost then level :: acc else acc) [] t.levels

@@ -6,15 +6,16 @@
     (Sect. 4.2) at the price of approximating the objective. *)
 
 type t = {
-  rounded : float array array; (** costs with every entry snapped to its
-                                   cluster mean; diagonal preserved at 0 *)
-  levels : float array;        (** distinct cluster means, ascending *)
+  rounded : Lat_matrix.t;  (** costs with every entry snapped to its
+                               cluster mean; diagonal preserved at 0 *)
+  levels : float array;  (** distinct cluster means, ascending *)
 }
 
-val cluster : k:int -> float array array -> t
-(** Optimal 1-D k-means over the off-diagonal entries. [k <= 0] raises. *)
+val cluster : k:int -> Lat_matrix.t -> t
+(** Optimal 1-D k-means over the off-diagonal entries, read straight off
+    the flat buffer. [k <= 0] raises. *)
 
-val none : float array array -> t
+val none : Lat_matrix.t -> t
 (** No clustering: [rounded] is the input (copied); [levels] are its
     distinct off-diagonal values ascending. This is the "no clustering"
     configuration of Figs. 6 and 9. *)

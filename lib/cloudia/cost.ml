@@ -8,11 +8,12 @@ let longest_link_witness (t : Types.problem) plan =
   (* Initialize below any real edge cost: with [0.0] and strict [>], an
      all-zero (or, defensively, negative) cost matrix reported no witness
      and cost 0.0 even when edges exist. *)
+  let lat = Lat_matrix.data t.Types.lat in
   let best = ref neg_infinity and witness = ref None in
   let poisoned = ref None in
   Array.iter
     (fun (i, i') ->
-      let c = t.Types.costs.(plan.(i)).(plan.(i')) in
+      let c = Bigarray.Array2.unsafe_get lat plan.(i) plan.(i') in
       (* An unsampled link under the plan poisons the whole evaluation:
          [c > !best] is false for nan, so without this the edge would be
          silently skipped and a partial matrix would look cheap. *)
@@ -34,15 +35,16 @@ let longest_link t plan = fst (longest_link_witness t plan)
 let longest_path (t : Types.problem) plan =
   (* Same poisoning rule: any nan edge used by the plan makes the cost
      nan, rather than vanishing inside max-comparisons. *)
+  let lat = Lat_matrix.data t.Types.lat in
   let edges = Graphs.Digraph.edges t.Types.graph in
   if
     Array.exists
-      (fun (i, i') -> Float.is_nan t.Types.costs.(plan.(i)).(plan.(i')))
+      (fun (i, i') -> Float.is_nan (Bigarray.Array2.unsafe_get lat plan.(i) plan.(i')))
       edges
   then nan
   else
     Graphs.Digraph.longest_path t.Types.graph ~weight:(fun i i' ->
-        t.Types.costs.(plan.(i)).(plan.(i')))
+        Bigarray.Array2.unsafe_get lat plan.(i) plan.(i'))
 
 let eval = function
   | Longest_link -> longest_link

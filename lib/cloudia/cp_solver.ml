@@ -32,11 +32,11 @@ let c_iterations = Obs.Counter.make "cp_solver.threshold_iterations"
 (* The threshold graph Gc as a Digraph over instances (uniform-weight
    case, for compatibility labeling). *)
 let threshold_graph rounded c =
-  let m = Array.length rounded in
+  let m = Lat_matrix.dim rounded in
   let edges = ref [] in
   for j = 0 to m - 1 do
     for j' = 0 to m - 1 do
-      if j <> j' && rounded.(j).(j') <= c then edges := (j, j') :: !edges
+      if j <> j' && Lat_matrix.unsafe_get rounded j j' <= c then edges := (j, j') :: !edges
     done
   done;
   Graphs.Digraph.create ~n:m !edges
@@ -44,18 +44,19 @@ let threshold_graph rounded c =
 (* Forbidden-value matrix at link-cost threshold: bad.(j) = values j' such
    that the rounded cost j -> j' exceeds the threshold. *)
 let forbidden_matrix rounded threshold =
-  let m = Array.length rounded in
+  let m = Lat_matrix.dim rounded in
   Array.init m (fun j ->
       let row = Cp.Domain.empty m in
       for j' = 0 to m - 1 do
-        if j <> j' && rounded.(j).(j') > threshold then Cp.Domain.add row j'
+        if j <> j' && Lat_matrix.unsafe_get rounded j j' > threshold then Cp.Domain.add row j'
       done;
       row)
 
 (* Weighted longest link over an arbitrary cost matrix. *)
 let weighted_ll edges weight costs plan =
   Array.fold_left
-    (fun acc (i, i') -> Float.max acc (weight i i' *. costs.(plan.(i)).(plan.(i'))))
+    (fun acc (i, i') ->
+      Float.max acc (weight i i' *. Lat_matrix.unsafe_get costs plan.(i) plan.(i')))
     0.0 edges
 
 (* Static value-ordering heuristic: try instances with cheap average
@@ -63,11 +64,13 @@ let weighted_ll edges weight costs plan =
    incident rounded costs steers the first descents toward deployments
    that survive lower thresholds, without affecting completeness. *)
 let connectivity_badness rounded =
-  let m = Array.length rounded in
+  let m = Lat_matrix.dim rounded in
   Array.init m (fun j ->
       let acc = ref 0.0 in
       for j' = 0 to m - 1 do
-        if j <> j' then acc := !acc +. rounded.(j).(j') +. rounded.(j').(j)
+        if j <> j' then
+          acc :=
+            !acc +. Lat_matrix.unsafe_get rounded j j' +. Lat_matrix.unsafe_get rounded j' j
       done;
       !acc /. float_of_int (2 * (m - 1)))
 
@@ -89,8 +92,8 @@ let solve ?(options = default_options) ?edge_weight ?(order_values = true) ?max_
   in
   let clustering =
     match options.clusters with
-    | Some k -> Clustering.cluster ~k t.Types.costs
-    | None -> Clustering.none t.Types.costs
+    | Some k -> Clustering.cluster ~k t.Types.lat
+    | None -> Clustering.none t.Types.lat
   in
   let rounded = clustering.Clustering.rounded in
   (* Candidate objective values: every (edge weight × cost level). With
@@ -108,7 +111,7 @@ let solve ?(options = default_options) ?edge_weight ?(order_values = true) ?max_
   in
   let thresholds_below cost = List.filter (fun v -> v < cost) objective_levels |> List.rev in
   let rounded_eval plan = weighted_ll edges weight rounded plan in
-  let true_eval plan = weighted_ll edges weight t.Types.costs plan in
+  let true_eval plan = weighted_ll edges weight t.Types.lat plan in
   let publish plan =
     let cost = true_eval plan in
     ignore (Obs.Incumbent.observe obs_stream cost : bool);

@@ -19,11 +19,13 @@ let c_proposals = Obs.Counter.make "delta.proposals"
 let c_fallbacks = Obs.Counter.make "delta.fallback_evals"
 
 type link_state = {
+  lat : Lat_matrix.buffer; (* hoisted flat cost buffer: direct loads *)
   edge_src : int array;
   edge_dst : int array;
   incident : int array array; (* node -> edge indices (in + out) *)
   values : float array; (* rank -> distinct cost value, ascending *)
-  rank_mat : int array array; (* ordered instance pair -> rank of its cost *)
+  m : int; (* instance count: the row stride of [rank_mat] *)
+  rank_mat : int array; (* flat [j * m + j'] -> rank of that pair's cost *)
   count : int array; (* rank -> edges currently at this cost *)
   mutable max_rank : int; (* >= highest non-empty rank; exact after queries *)
   edge_cost : float array;
@@ -38,6 +40,7 @@ type link_state = {
 }
 
 type path_state = {
+  lat : Lat_matrix.buffer; (* hoisted flat cost buffer: direct loads *)
   order : int array; (* topological order of the communication DAG *)
   pos : int array; (* node -> its position in [order] *)
   dist : float array; (* committed relaxation *)
@@ -81,35 +84,34 @@ let make_link (problem : Types.problem) =
     edges;
   (* Distinct off-diagonal matrix values: every edge cost under every
      injective plan is one of them, so rank lookup never misses. *)
-  let m = Array.length problem.Types.costs in
+  let lat = problem.Types.lat in
+  let m = Lat_matrix.dim lat in
   let seen = Hashtbl.create (m * m) in
   let distinct = ref [] in
-  Array.iteri
-    (fun j row ->
-      Array.iteri
-        (fun j' c ->
-          if j <> j' && not (Hashtbl.mem seen c) then begin
-            Hashtbl.add seen c ();
-            distinct := c :: !distinct
-          end)
-        row)
-    problem.Types.costs;
+  Lat_matrix.iter
+    (fun j j' c ->
+      if j <> j' && not (Hashtbl.mem seen c) then begin
+        Hashtbl.add seen c ();
+        distinct := c :: !distinct
+      end)
+    lat;
   let values = Array.of_list !distinct in
   Array.sort compare values;
   let rank_of = Hashtbl.create (Array.length values) in
   Array.iteri (fun r v -> Hashtbl.add rank_of v r) values;
   let rank_mat =
-    Array.init m (fun j ->
-        Array.init m (fun j' ->
-            if j = j' then 0
-            else Hashtbl.find rank_of problem.Types.costs.(j).(j')))
+    Array.init (m * m) (fun k ->
+        let j = k / m and j' = k mod m in
+        if j = j' then 0 else Hashtbl.find rank_of (Lat_matrix.unsafe_get lat j j'))
   in
   let ne = Array.length edges in
   {
+    lat = Lat_matrix.data lat;
     edge_src = Array.map fst edges;
     edge_dst = Array.map snd edges;
     incident = Array.map (fun l -> Array.of_list l) incident_lists;
     values;
+    m;
     rank_mat;
     count = Array.make (max 1 (Array.length values)) 0;
     max_rank = -1;
@@ -129,8 +131,8 @@ let sync_link (t : t) ls =
   ls.u_len <- 0;
   for e = 0 to Array.length ls.edge_src - 1 do
     let j = t.plan.(ls.edge_src.(e)) and j' = t.plan.(ls.edge_dst.(e)) in
-    let c = t.problem.Types.costs.(j).(j') in
-    let r = ls.rank_mat.(j).(j') in
+    let c = Bigarray.Array2.unsafe_get ls.lat j j' in
+    let r = ls.rank_mat.((j * ls.m) + j') in
     ls.edge_cost.(e) <- c;
     ls.edge_rank.(e) <- r;
     ls.count.(r) <- ls.count.(r) + 1;
@@ -146,18 +148,18 @@ let link_top ls =
     ls.values.(ls.max_rank)
   end
 
-let relax_at (t : t) ~read v =
+let relax_at (t : t) ~lat ~read v =
   let best = ref 0.0 in
   Array.iter
     (fun u ->
-      let c = read u +. t.problem.Types.costs.(t.plan.(u)).(t.plan.(v)) in
+      let c = read u +. Bigarray.Array2.unsafe_get lat t.plan.(u) t.plan.(v) in
       if c > !best then best := c)
     (Graphs.Digraph.in_neighbors t.problem.Types.graph v);
   !best
 
 let sync_path (t : t) ps =
   let read u = ps.dist.(u) in
-  Array.iter (fun v -> ps.dist.(v) <- relax_at t ~read v) ps.order;
+  Array.iter (fun v -> ps.dist.(v) <- relax_at t ~lat:ps.lat ~read v) ps.order;
   Array.fold_left Float.max 0.0 ps.dist
 
 let sync t =
@@ -207,7 +209,14 @@ let create objective problem plan0 =
             let n = Array.length order in
             let pos = Array.make n 0 in
             Array.iteri (fun k v -> pos.(v) <- k) order;
-            Path { order; pos; dist = Array.make n 0.0; scratch = Array.make n 0.0 })
+            Path
+              {
+                lat = Lat_matrix.data problem.Types.lat;
+                order;
+                pos;
+                dist = Array.make n 0.0;
+                scratch = Array.make n 0.0;
+              })
   in
   of_repr problem repr plan0
 
@@ -253,10 +262,10 @@ let touch_incident t ls moved =
     if ls.touched.(e) <> ls.stamp then begin
       ls.touched.(e) <- ls.stamp;
       let j = t.plan.(ls.edge_src.(e)) and j' = t.plan.(ls.edge_dst.(e)) in
-      let c = t.problem.Types.costs.(j).(j') in
+      let c = Bigarray.Array2.unsafe_get ls.lat j j' in
       if c <> ls.edge_cost.(e) then begin
         let r_old = ls.edge_rank.(e) in
-        let r_new = ls.rank_mat.(j).(j') in
+        let r_new = ls.rank_mat.((j * ls.m) + j') in
         let u = ls.u_len in
         ls.u_edge.(u) <- e;
         ls.u_cost.(u) <- ls.edge_cost.(e);
@@ -305,7 +314,7 @@ let propose_move t ~node ~target =
         let read u = if ps.pos.(u) >= prefix then ps.scratch.(u) else ps.dist.(u) in
         for k = prefix to Array.length ps.order - 1 do
           let v = ps.order.(k) in
-          ps.scratch.(v) <- relax_at t ~read v
+          ps.scratch.(v) <- relax_at t ~lat:ps.lat ~read v
         done;
         let best = ref 0.0 in
         for v = 0 to Array.length ps.order - 1 do

@@ -38,8 +38,8 @@ let cheapest_pair (t : Types.problem) =
   let best = ref infinity and bu = ref 0 and bv = ref 1 in
   for u = 0 to m - 1 do
     for v = 0 to m - 1 do
-      if u <> v && t.Types.costs.(u).(v) < !best then begin
-        best := t.Types.costs.(u).(v);
+      if u <> v && Types.unsafe_cost t u v < !best then begin
+        best := Types.unsafe_cost t u v;
         bu := u;
         bv := v
       end
@@ -79,8 +79,8 @@ let seed_component st =
     for u = 0 to m - 1 do
       if st.node_of.(u) = -1 then
         for v = 0 to m - 1 do
-          if v <> u && st.node_of.(v) = -1 && t.Types.costs.(u).(v) < !best then begin
-            best := t.Types.costs.(u).(v);
+          if v <> u && st.node_of.(v) = -1 && Types.unsafe_cost t u v < !best then begin
+            best := Types.unsafe_cost t u v;
             bu := u;
             bv := v
           end
@@ -118,8 +118,8 @@ let g1 (t : Types.problem) =
         let node = st.node_of.(u) in
         if node <> -1 && has_unmapped_neighbor st node then
           for v = 0 to m - 1 do
-            if st.node_of.(v) = -1 && v <> u && t.Types.costs.(u).(v) < !cmin then begin
-              cmin := t.Types.costs.(u).(v);
+            if st.node_of.(v) = -1 && v <> u && Types.unsafe_cost t u v < !cmin then begin
+              cmin := Types.unsafe_cost t u v;
               umin := u;
               vmin := v
             end
@@ -154,15 +154,15 @@ let g2 (t : Types.problem) =
        explicit link (u, v) and every link between v and the instances of
        w's already-mapped neighbors, in both edge directions. *)
     let extension_cost u v w =
-      let cost = ref t.Types.costs.(u).(v) in
+      let cost = ref (Types.unsafe_cost t u v) in
       Array.iter
         (fun x ->
           let inst = st.inst_of.(x) in
           if inst <> -1 then begin
             if Graphs.Digraph.mem_edge t.Types.graph w x then
-              cost := Float.max !cost t.Types.costs.(v).(inst);
+              cost := Float.max !cost (Types.unsafe_cost t v inst);
             if Graphs.Digraph.mem_edge t.Types.graph x w then
-              cost := Float.max !cost t.Types.costs.(inst).(v)
+              cost := Float.max !cost (Types.unsafe_cost t inst v)
           end)
         (neighbors st w);
       !cost

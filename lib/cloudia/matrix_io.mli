@@ -39,3 +39,33 @@ val parse_raw : string -> (float array array, string) result
 
 val load_raw : string -> (float array array, string) result
 (** Read and {!parse_raw} a file. *)
+
+(** {2 Binary matrices}
+
+    The on-disk binary format of {!Lat_matrix}: a 64-byte little-endian
+    header (magic ["CLDALAT1"], version, storage tag, dims) followed by
+    the raw row-major payload, float64 or float32 per the tag. Unlike
+    CSV, the binary round trip is exact — every float64 bit pattern,
+    NaN included, survives — and a float64 file can be mmapped. *)
+
+val save_binary : string -> Lat_matrix.t -> unit
+(** Write a matrix in the binary format ({!Lat_matrix.write_binary});
+    the matrix's storage tag picks the element width. Raises [Sys_error]
+    on I/O failure. *)
+
+val load_binary : ?mmap:bool -> string -> (Lat_matrix.t, string) result
+(** Read a binary matrix file and validate the {!Types.problem}
+    invariants: zero diagonal, no negative or infinite entries.
+    Off-diagonal NaN (unsampled pairs) is preserved — binary is the
+    lossless carrier for partial matrices. [~mmap:true] maps float64
+    payloads copy-on-write instead of copying. *)
+
+val load_auto : ?mmap:bool -> string -> (Lat_matrix.t, string) result
+(** Sniff the format by magic: binary files go through {!load_binary},
+    anything else through the strict CSV {!load}. *)
+
+val load_auto_raw : ?mmap:bool -> string -> (Lat_matrix.t, string) result
+(** Format-sniffing load without matrix validation (the linter's entry
+    point): binary via {!Lat_matrix.read_binary}, CSV via {!load_raw}.
+    Only syntax/framing errors (and ragged CSV rows, which no square
+    matrix can hold) are [Error]. *)

@@ -38,7 +38,10 @@ let draw_samples rng env ~samples_per_pair =
           else Array.init samples_per_pair (fun _ -> Cloudsim.Env.sample_rtt rng env i j)))
 
 let reduce metric samples =
-  Array.map (Array.map (fun s -> if Array.length s = 0 then 0.0 else of_samples metric s)) samples
+  let n = Array.length samples in
+  Lat_matrix.init n (fun i j ->
+      let s = samples.(i).(j) in
+      if Array.length s = 0 then 0.0 else of_samples metric s)
 
 let estimate rng env metric ~samples_per_pair =
   reduce metric (draw_samples rng env ~samples_per_pair)

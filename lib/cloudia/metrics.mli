@@ -19,15 +19,15 @@ val of_samples : t -> float array -> float
     (a NaN would otherwise propagate into the cost matrix unnoticed). *)
 
 val estimate :
-  Prng.t -> Cloudsim.Env.t -> t -> samples_per_pair:int -> float array array
+  Prng.t -> Cloudsim.Env.t -> t -> samples_per_pair:int -> Lat_matrix.t
 (** Draw [samples_per_pair] interference-free RTT samples per ordered pair
     (what the staged scheme of Sect. 5 delivers) and reduce them with the
-    metric, yielding the cost matrix for {!Types.problem}. The diagonal is
-    zero. *)
+    metric, yielding the flat cost matrix for {!Types.of_matrix}. The
+    diagonal is zero. *)
 
 val estimate_all :
   Prng.t -> Cloudsim.Env.t -> samples_per_pair:int ->
-  (t -> float array array)
+  (t -> Lat_matrix.t)
 (** Single-measurement variant: draw one set of samples per link and
     derive all three metric matrices from the same data, as one real
     measurement phase would. The returned function reduces the cached

@@ -56,13 +56,13 @@ let plan_of_solution ~(x : Lp.Model.var array array) ~m ~n sol =
       !found)
 
 let linearized_max_constraints model x costs graph ~weight ~cap_var =
-  let m = Array.length costs in
+  let m = Lat_matrix.dim costs in
   Array.iter
     (fun (i, i') ->
       let w = weight i i' in
       for j = 0 to m - 1 do
         for j' = 0 to m - 1 do
-          let c = w *. costs.(j).(j') in
+          let c = w *. Lat_matrix.unsafe_get costs j j' in
           if j <> j' && c > 0.0 then
             (* w·CL·x_ij + w·CL·x_i'j' − cap ≤ w·CL *)
             Lp.Model.add_constraint model
@@ -82,17 +82,18 @@ let check_weights graph weight =
 (* Weighted deployment costs over an arbitrary cost matrix. *)
 let weighted_ll graph weight costs plan =
   Array.fold_left
-    (fun acc (i, i') -> Float.max acc (weight i i' *. costs.(plan.(i)).(plan.(i'))))
+    (fun acc (i, i') ->
+      Float.max acc (weight i i' *. Lat_matrix.unsafe_get costs plan.(i) plan.(i')))
     0.0 (Graphs.Digraph.edges graph)
 
 let weighted_lp graph weight costs plan =
   Graphs.Digraph.longest_path graph ~weight:(fun i i' ->
-      weight i i' *. costs.(plan.(i)).(plan.(i')))
+      weight i i' *. Lat_matrix.unsafe_get costs plan.(i) plan.(i'))
 
 let rounded_costs options (t : Types.problem) =
   match options.clusters with
-  | Some k -> (Clustering.cluster ~k t.Types.costs).Clustering.rounded
-  | None -> t.Types.costs
+  | Some k -> (Clustering.cluster ~k t.Types.lat).Clustering.rounded
+  | None -> t.Types.lat
 
 let run_bnb ~options ~stop ~publish ~model ~x ~m ~n ~seed_obj ~seed_sol ~true_eval =
   Obs.Span.with_ "mip_solver.solve" @@ fun () ->
@@ -140,7 +141,7 @@ let solve_longest_link ?(options = default_options) ?edge_weight ?stop
   let c = Lp.Model.add_var model ~obj:1.0 "c" in
   add_assignment_constraints model x m;
   linearized_max_constraints model x costs t.Types.graph ~weight ~cap_var:c;
-  let rounded_problem = Types.problem ~graph:t.Types.graph ~costs in
+  let rounded_problem = Types.of_matrix ~graph:t.Types.graph costs in
   let rounded_eval plan = weighted_ll t.Types.graph weight costs plan in
   let plan0 =
     Random_search.best_of_eval rng ~eval:rounded_eval rounded_problem
@@ -151,7 +152,7 @@ let solve_longest_link ?(options = default_options) ?edge_weight ?stop
   let seed_obj = rounded_eval plan0 in
   seed_sol.((c :> int)) <- seed_obj;
   run_bnb ~options ~stop ~publish:on_incumbent ~model ~x ~m ~n ~seed_obj ~seed_sol
-    ~true_eval:(weighted_ll t.Types.graph weight t.Types.costs)
+    ~true_eval:(weighted_ll t.Types.graph weight t.Types.lat)
 
 let solve_longest_path ?(options = default_options) ?edge_weight ?stop
     ?(on_incumbent = no_publish) rng (t : Types.problem) =
@@ -176,7 +177,7 @@ let solve_longest_path ?(options = default_options) ?edge_weight ?stop
       let w = weight i i' in
       for j = 0 to m - 1 do
         for j' = 0 to m - 1 do
-          let cval = w *. costs.(j).(j') in
+          let cval = w *. Lat_matrix.unsafe_get costs j j' in
           if j <> j' && cval > 0.0 then
             Lp.Model.add_constraint model
               [ (x.(i).(j), cval); (x.(i').(j'), cval); (edge_cost.(e), -1.0) ]
@@ -192,7 +193,7 @@ let solve_longest_path ?(options = default_options) ?edge_weight ?stop
     (fun ti ->
       Lp.Model.add_constraint model [ (ti, 1.0); (t_max, -1.0) ] Lp.Simplex.Le 0.0)
     t_node;
-  let rounded_problem = Types.problem ~graph:t.Types.graph ~costs in
+  let rounded_problem = Types.of_matrix ~graph:t.Types.graph costs in
   let rounded_eval plan = weighted_lp t.Types.graph weight costs plan in
   let plan0 =
     Random_search.best_of_eval rng ~eval:rounded_eval rounded_problem
@@ -204,7 +205,8 @@ let solve_longest_path ?(options = default_options) ?edge_weight ?stop
      longest rounded prefix reaching each node. *)
   Array.iteri
     (fun e (i, i') ->
-      seed_sol.((edge_cost.(e) :> int)) <- weight i i' *. costs.(plan0.(i)).(plan0.(i')))
+      seed_sol.((edge_cost.(e) :> int)) <-
+        weight i i' *. Lat_matrix.unsafe_get costs plan0.(i) plan0.(i'))
     edges;
   let prefix = Array.make n 0.0 in
   (match Graphs.Digraph.topological_order t.Types.graph with
@@ -214,7 +216,9 @@ let solve_longest_path ?(options = default_options) ?edge_weight ?stop
         (fun i ->
           Array.iter
             (fun i' ->
-              let cand = prefix.(i) +. (weight i i' *. costs.(plan0.(i)).(plan0.(i'))) in
+              let cand =
+                prefix.(i) +. (weight i i' *. Lat_matrix.unsafe_get costs plan0.(i) plan0.(i'))
+              in
               if cand > prefix.(i') then prefix.(i') <- cand)
             (Graphs.Digraph.out_neighbors t.Types.graph i))
         order);
@@ -222,4 +226,4 @@ let solve_longest_path ?(options = default_options) ?edge_weight ?stop
   let seed_obj = rounded_eval plan0 in
   seed_sol.((t_max :> int)) <- seed_obj;
   run_bnb ~options ~stop ~publish:on_incumbent ~model ~x ~m ~n ~seed_obj ~seed_sol
-    ~true_eval:(weighted_lp t.Types.graph weight t.Types.costs)
+    ~true_eval:(weighted_lp t.Types.graph weight t.Types.lat)

@@ -42,6 +42,6 @@ let distinct_costs rng (t : Types.problem) =
     Array.init m (fun j ->
         Array.init m (fun j' ->
             if j = j' then 0.0
-            else t.Types.costs.(j).(j') +. Prng.float rng 1e-6))
+            else Types.unsafe_cost t j j' +. Prng.float rng 1e-6))
   in
   Types.problem ~graph:t.Types.graph ~costs

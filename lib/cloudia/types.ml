@@ -1,33 +1,45 @@
 type problem = {
   graph : Graphs.Digraph.t;
-  costs : float array array;
+  lat : Lat_matrix.t;
 }
+
+let validate_matrix lat =
+  let m = Lat_matrix.dim lat in
+  for j = 0 to m - 1 do
+    for j' = 0 to m - 1 do
+      let c = Lat_matrix.unsafe_get lat j j' in
+      if j = j' then begin
+        if c <> 0.0 then invalid_arg "Types.problem: nonzero diagonal"
+      end
+      (* nan off-diagonal means "unsampled" (partial measurement) and
+         is representable so lint can gate it; infinities and negative
+         costs remain malformed. The [c <> c] test is nan. *)
+      else if (not (Float.is_finite c)) && not (c <> c) then
+        invalid_arg "Types.problem: costs must not be infinite"
+      else if c < 0.0 then invalid_arg "Types.problem: costs must be non-negative"
+    done
+  done
+
+let of_matrix ~graph lat =
+  validate_matrix lat;
+  if Graphs.Digraph.n graph > Lat_matrix.dim lat then
+    invalid_arg "Types.problem: more application nodes than instances";
+  { graph; lat }
 
 let problem ~graph ~costs =
   let m = Array.length costs in
-  Array.iteri
-    (fun j row ->
-      if Array.length row <> m then invalid_arg "Types.problem: cost matrix not square";
-      Array.iteri
-        (fun j' c ->
-          if j = j' then begin
-            if c <> 0.0 then invalid_arg "Types.problem: nonzero diagonal"
-          end
-          (* nan off-diagonal means "unsampled" (partial measurement) and
-             is representable so lint can gate it; infinities and negative
-             costs remain malformed. The [c <> c] test is nan. *)
-          else if (not (Float.is_finite c)) && not (c <> c) then
-            invalid_arg "Types.problem: costs must not be infinite"
-          else if c < 0.0 then
-            invalid_arg "Types.problem: costs must be non-negative")
-        row)
+  Array.iter
+    (fun row ->
+      if Array.length row <> m then invalid_arg "Types.problem: cost matrix not square")
     costs;
-  if Graphs.Digraph.n graph > m then
-    invalid_arg "Types.problem: more application nodes than instances";
-  { graph; costs }
+  of_matrix ~graph (Lat_matrix.of_arrays costs)
 
 let node_count t = Graphs.Digraph.n t.graph
-let instance_count t = Array.length t.costs
+let instance_count t = Lat_matrix.dim t.lat
+
+let[@inline] cost t j j' = Lat_matrix.get t.lat j j'
+let[@inline] unsafe_cost t j j' = Lat_matrix.unsafe_get t.lat j j'
+let costs t = Lat_matrix.to_arrays t.lat
 
 type plan = int array
 

@@ -8,29 +8,48 @@
 
 type problem = private {
   graph : Graphs.Digraph.t;  (** communication graph over nodes 0..n-1 *)
-  costs : float array array; (** [costs.(j).(j')] = link cost from instance
-                                 j to j' (ms); square, zero diagonal,
-                                 possibly asymmetric, no triangle
-                                 inequality assumed. An off-diagonal [nan]
-                                 marks an {e unsampled} pair (partial
-                                 measurement); {!Cost} evaluation over a
-                                 plan touching one returns [nan], and
-                                 [Lint.Instance.check_partial] gates such
-                                 matrices before they reach a solver. *)
+  lat : Lat_matrix.t;  (** [lat[j, j']] = link cost from instance j to j'
+                           (ms) in one flat row-major buffer; square, zero
+                           diagonal, possibly asymmetric, no triangle
+                           inequality assumed. An off-diagonal [nan] marks
+                           an {e unsampled} pair (partial measurement);
+                           {!Cost} evaluation over a plan touching one
+                           returns [nan], and [Lint.Instance.check_partial]
+                           gates such matrices before they reach a solver.
+                           Read through {!cost}/{!unsafe_cost} or
+                           [Lat_matrix] accessors — never by materializing
+                           boxed rows on a hot path. *)
 }
 
 val problem : graph:Graphs.Digraph.t -> costs:float array array -> problem
-(** Validates: the cost matrix is square with zero diagonal and
-    non-negative entries, and has at least as many instances as the graph
-    has nodes. Off-diagonal [nan] entries are accepted as unsampled
-    markers; infinities and negative costs are rejected, as is a [nan]
-    diagonal. *)
+(** Build from a boxed matrix (convenient for tests and CSV loads); the
+    rows are copied into flat storage. Validates: the cost matrix is
+    square with zero diagonal and non-negative entries, and has at least
+    as many instances as the graph has nodes. Off-diagonal [nan] entries
+    are accepted as unsampled markers; infinities and negative costs are
+    rejected, as is a [nan] diagonal. *)
+
+val of_matrix : graph:Graphs.Digraph.t -> Lat_matrix.t -> problem
+(** Build directly from a flat matrix (measurement pipelines, binary
+    loads) — same validation as {!problem}, no boxed detour. *)
 
 val node_count : problem -> int
 (** Number of application nodes. *)
 
 val instance_count : problem -> int
 (** Number of allocated instances (≥ node count). *)
+
+val cost : problem -> int -> int -> float
+(** [cost t j j'] is the link cost from instance [j] to [j'],
+    bounds-checked. *)
+
+val unsafe_cost : problem -> int -> int -> float
+(** Unchecked read for kernel loops whose indices are validated by
+    construction (plans are injections into the instance set). *)
+
+val costs : problem -> float array array
+(** Materialize a boxed copy of the matrix — cold paths (lint reports,
+    printing) only; allocates [n] rows per call. *)
 
 type plan = int array
 (** [plan.(i)] is the instance hosting application node [i]. *)

@@ -31,13 +31,13 @@ let weight t i i' = match Hashtbl.find_opt t.table (i, i') with Some w -> w | No
 let longest_link t plan =
   Array.fold_left
     (fun acc (i, i') ->
-      Float.max acc (weight t i i' *. t.problem.Types.costs.(plan.(i)).(plan.(i'))))
+      Float.max acc (weight t i i' *. Types.unsafe_cost t.problem plan.(i) plan.(i')))
     0.0
     (Graphs.Digraph.edges t.problem.Types.graph)
 
 let longest_path t plan =
   Graphs.Digraph.longest_path t.problem.Types.graph ~weight:(fun i i' ->
-      weight t i i' *. t.problem.Types.costs.(plan.(i)).(plan.(i')))
+      weight t i i' *. Types.unsafe_cost t.problem plan.(i) plan.(i'))
 
 let eval objective t plan =
   match objective with
@@ -63,8 +63,8 @@ let g2 t =
     for u = 0 to m - 1 do
       if node_of.(u) = -1 then
         for v = 0 to m - 1 do
-          if v <> u && node_of.(v) = -1 && p.Types.costs.(u).(v) < !best then begin
-            best := p.Types.costs.(u).(v);
+          if v <> u && node_of.(v) = -1 && Types.unsafe_cost p u v < !best then begin
+            best := Types.unsafe_cost p u v;
             bu := u;
             bv := v
           end
@@ -105,15 +105,15 @@ let g2 t =
   else begin
     seed_component ();
     let extension_cost u v w =
-      let cost = ref (weight t node_of.(u) w *. p.Types.costs.(u).(v)) in
+      let cost = ref (weight t node_of.(u) w *. Types.unsafe_cost p u v) in
       Array.iter
         (fun x ->
           let inst = inst_of.(x) in
           if inst <> -1 then begin
             if Graphs.Digraph.mem_edge p.Types.graph w x then
-              cost := Float.max !cost (weight t w x *. p.Types.costs.(v).(inst));
+              cost := Float.max !cost (weight t w x *. Types.unsafe_cost p v inst);
             if Graphs.Digraph.mem_edge p.Types.graph x w then
-              cost := Float.max !cost (weight t x w *. p.Types.costs.(inst).(v))
+              cost := Float.max !cost (weight t x w *. Types.unsafe_cost p inst v)
           end)
         (neighbors w);
       !cost

@@ -17,6 +17,11 @@ let rules =
       description = "console output in library code (libraries return data; binaries print)";
     };
     { id = "R005"; description = "lib/**/*.ml without a matching .mli" };
+    {
+      id = "R006";
+      description =
+        "direct costs.(i).(j) indexing outside lib/lat_matrix/ (use the Lat_matrix API)";
+    };
   ]
 
 type violation = {
@@ -157,6 +162,20 @@ let find_token text token =
   done;
   List.rev !hits
 
+(* Like [find_token], but a preceding '.' is a match: [Field "costs.("]
+   must also catch record projections such as [t.costs.(i)], which
+   [find_token] deliberately skips. *)
+let find_field text token =
+  let n = String.length text and m = String.length token in
+  let hits = ref [] in
+  for i = 0 to n - m do
+    if String.sub text i m = token then begin
+      let before_ok = i = 0 || not (is_ident text.[i - 1]) in
+      if before_ok then hits := i :: !hits
+    end
+  done;
+  List.rev !hits
+
 let line_of text offset =
   let line = ref 1 in
   for i = 0 to offset - 1 do
@@ -192,16 +211,32 @@ let has_prefix prefix path =
 let is_source path =
   Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
 
+type matcher = Token of string | Field of string
+
 let content_rules =
   [
     ( "R001",
-      [ "Unix.gettimeofday" ],
+      [ Token "Unix.gettimeofday" ],
       fun path -> not (has_prefix "lib/obs/" path || has_prefix "bench/" path) );
-    ("R002", [ "Random." ], fun path -> not (has_prefix "lib/prng/" path));
-    ("R003", [ "Obj.magic" ], fun _ -> true);
+    ("R002", [ Token "Random." ], fun path -> not (has_prefix "lib/prng/" path));
+    ("R003", [ Token "Obj.magic" ], fun _ -> true);
     ( "R004",
-      [ "print_string"; "print_endline"; "print_newline"; "Printf.printf"; "Format.printf" ],
+      [
+        Token "print_string";
+        Token "print_endline";
+        Token "print_newline";
+        Token "Printf.printf";
+        Token "Format.printf";
+      ],
       fun path -> has_prefix "lib/" path );
+    (* The latency matrix is a flat Bigarray behind Lat_matrix; boxed
+       [costs.(i).(j)] indexing outside that module (and the I/O layer
+       that parses raw CSV rows) re-introduces the representation the
+       refactor removed. *)
+    ( "R006",
+      [ Field "costs.(" ],
+      fun path ->
+        not (has_prefix "lib/lat_matrix/" path || has_prefix "lib/cloudia/matrix_io" path) );
   ]
 
 let scan_file ~path text =
@@ -210,11 +245,16 @@ let scan_file ~path text =
   else begin
     let clean = sanitize text in
     List.concat_map
-      (fun (rule_id, tokens, applies) ->
+      (fun (rule_id, matchers, applies) ->
         if not (applies path) then []
         else
           List.concat_map
-            (fun token ->
+            (fun matcher ->
+              let offsets =
+                match matcher with
+                | Token token -> find_token clean token
+                | Field token -> find_field clean token
+              in
               List.map
                 (fun offset ->
                   {
@@ -223,8 +263,8 @@ let scan_file ~path text =
                     line = line_of clean offset;
                     excerpt = excerpt_at text offset;
                   })
-                (find_token clean token))
-            tokens)
+                offsets)
+            matchers)
       content_rules
   end
 

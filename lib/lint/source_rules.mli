@@ -15,6 +15,10 @@
       ([lib/**]) — libraries return data; binaries print.
     - [R005] every [lib/**/*.ml] must have a matching [.mli] — sealed
       interfaces are how the invariants above stay local.
+    - [R006] direct [costs.(i).(j)] indexing outside [lib/lat_matrix/]
+      (and the CSV layer in [lib/cloudia/matrix_io]) — the latency matrix
+      is a flat Bigarray; boxed row indexing goes through the [Lat_matrix]
+      API or not at all.
 
     Matching is token-accurate: comments, string literals and char
     literals are blanked before scanning, so documentation may mention a

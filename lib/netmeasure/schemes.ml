@@ -26,9 +26,13 @@ let default_robustness = { timeout_ms = 10.0; retries = 3; backoff_ms = 0.5 }
 let collision_delay_ms = 0.30
 let busy_sender_delay_ms = 0.05
 
+(* Probe sums accumulate in one flat off-heap buffer (the GC never scans
+   it, and a probe's read-modify-write touches a single cache line);
+   counts use a flat int array with the same row-major indexing. *)
 type accumulator = {
-  sums : float array array;
-  counts : int array array;
+  n : int;
+  sums : Lat_matrix.t;
+  counts : int array;
   mutable clock_ms : float;
   mutable lost : int;
   mutable retried : int;
@@ -37,8 +41,9 @@ type accumulator = {
 
 let make_acc n =
   {
-    sums = Array.make_matrix n n 0.0;
-    counts = Array.make_matrix n n 0;
+    n;
+    sums = Lat_matrix.create n;
+    counts = Array.make (max 1 (n * n)) 0;
     clock_ms = 0.0;
     lost = 0;
     retried = 0;
@@ -46,8 +51,9 @@ let make_acc n =
   }
 
 let record acc i j rtt =
-  acc.sums.(i).(j) <- acc.sums.(i).(j) +. rtt;
-  acc.counts.(i).(j) <- acc.counts.(i).(j) + 1
+  Lat_matrix.add acc.sums i j rtt;
+  let k = (i * acc.n) + j in
+  acc.counts.(k) <- acc.counts.(k) + 1
 
 (* Total probes sent by a scheme run; flushed once when its accumulator is
    finalized, so the per-probe loop stays free of atomic traffic. The
@@ -59,22 +65,21 @@ let c_retries = Obs.Counter.make "netmeasure.retries"
 let c_timeouts = Obs.Counter.make "netmeasure.timeouts"
 
 let finish acc =
-  Obs.Counter.add c_probes
-    (Array.fold_left
-       (fun a row -> Array.fold_left ( + ) a row)
-       0 acc.counts);
+  Obs.Counter.add c_probes (Array.fold_left ( + ) 0 acc.counts);
   if acc.lost > 0 then Obs.Counter.add c_lost acc.lost;
   if acc.retried > 0 then Obs.Counter.add c_retries acc.retried;
   if acc.timed_out > 0 then Obs.Counter.add c_timeouts acc.timed_out;
-  let n = Array.length acc.sums in
+  let n = acc.n in
+  let count i j = acc.counts.((i * n) + j) in
   let means =
     Array.init n (fun i ->
         Array.init n (fun j ->
             if i = j then 0.0
-            else if acc.counts.(i).(j) = 0 then nan
-            else acc.sums.(i).(j) /. float_of_int acc.counts.(i).(j)))
+            else if count i j = 0 then nan
+            else Lat_matrix.unsafe_get acc.sums i j /. float_of_int (count i j)))
   in
-  { means; samples = Array.map Array.copy acc.counts; sim_seconds = acc.clock_ms /. 1000.0 }
+  let samples = Array.init n (fun i -> Array.init n (fun j -> count i j)) in
+  { means; samples; sim_seconds = acc.clock_ms /. 1000.0 }
 
 (* One measurement with bounded retries. Returns the observed RTT (after
    [inflate], which models receiver-side interference) and the sender's

@@ -121,11 +121,11 @@ let ec2 = Cloudsim.Provider.get Cloudsim.Provider.Ec2
 let test_metric_estimate_shape () =
   let env = Cloudsim.Env.allocate (Prng.create 1) ec2 ~count:10 in
   let m = Metrics.estimate (Prng.create 2) env Metrics.Mean ~samples_per_pair:30 in
-  Alcotest.(check int) "rows" 10 (Array.length m);
+  Alcotest.(check int) "rows" 10 (Lat_matrix.dim m);
   for i = 0 to 9 do
-    check_float "diag" 0.0 m.(i).(i);
+    check_float "diag" 0.0 (Lat_matrix.get m i i);
     for j = 0 to 9 do
-      if i <> j then Alcotest.(check bool) "positive" true (m.(i).(j) > 0.0)
+      if i <> j then Alcotest.(check bool) "positive" true (Lat_matrix.get m i j > 0.0)
     done
   done
 
@@ -140,8 +140,10 @@ let test_metric_ordering_on_jittery_links () =
   for i = 0 to 5 do
     for j = 0 to 5 do
       if i <> j then begin
-        Alcotest.(check bool) "mean < mean+sd" true (mean.(i).(j) < msd.(i).(j));
-        Alcotest.(check bool) "mean < p99" true (mean.(i).(j) < p99.(i).(j))
+        Alcotest.(check bool) "mean < mean+sd" true
+          (Lat_matrix.get mean i j < Lat_matrix.get msd i j);
+        Alcotest.(check bool) "mean < p99" true
+          (Lat_matrix.get mean i j < Lat_matrix.get p99 i j)
       end
     done
   done
@@ -149,34 +151,32 @@ let test_metric_ordering_on_jittery_links () =
 (* ---------- Clustering ---------- *)
 
 let test_clustering_rounds_to_levels () =
-  let c = Clustering.cluster ~k:2 path_problem.Types.costs in
+  let c = Clustering.cluster ~k:2 path_problem.Types.lat in
   Alcotest.(check int) "two levels" 2 (Array.length c.Clustering.levels);
   let levels = Array.to_list c.Clustering.levels in
-  Array.iteri
-    (fun j row ->
-      Array.iteri
-        (fun j' v ->
-          if j <> j' then
-            Alcotest.(check bool) "entry is a level" true (List.mem v levels))
-        row)
+  Lat_matrix.iter
+    (fun j j' v ->
+      if j <> j' then
+        Alcotest.(check bool) "entry is a level" true (List.mem v levels))
     c.Clustering.rounded
 
 let test_clustering_none_preserves () =
-  let c = Clustering.none path_problem.Types.costs in
-  Alcotest.(check bool) "identical" true (c.Clustering.rounded = path_problem.Types.costs);
+  let c = Clustering.none path_problem.Types.lat in
+  Alcotest.(check bool) "identical" true
+    (Lat_matrix.equal c.Clustering.rounded path_problem.Types.lat);
   (* Distinct off-diagonal values of the path problem: 1..6. *)
   Alcotest.(check int) "distinct levels" 6 (Array.length c.Clustering.levels)
 
 let test_thresholds_below () =
-  let c = Clustering.none path_problem.Types.costs in
+  let c = Clustering.none path_problem.Types.lat in
   Alcotest.(check (list (float 1e-9))) "below 3.5" [ 3.0; 2.0; 1.0 ]
     (Clustering.thresholds_below c 3.5);
   Alcotest.(check (list (float 1e-9))) "below 1" [] (Clustering.thresholds_below c 1.0)
 
 let test_clustering_preserves_diagonal () =
-  let c = Clustering.cluster ~k:3 path_problem.Types.costs in
+  let c = Clustering.cluster ~k:3 path_problem.Types.lat in
   for j = 0 to 3 do
-    check_float "diag" 0.0 c.Clustering.rounded.(j).(j)
+    check_float "diag" 0.0 (Lat_matrix.get c.Clustering.rounded j j)
   done
 
 (* ---------- Greedy ---------- *)
@@ -363,7 +363,7 @@ let qcheck_props =
         let perm = Prng.permutation rng 7 in
         let permuted_costs =
           Array.init 7 (fun j -> Array.init 7 (fun j' ->
-              p.Types.costs.(perm.(j)).(perm.(j'))))
+              Types.cost p perm.(j) perm.(j')))
         in
         let q = Types.problem ~graph:p.Types.graph ~costs:permuted_costs in
         let plan = Types.random_plan rng p in

@@ -170,7 +170,7 @@ let metric_matrices_valid =
       List.for_all
         (fun metric ->
           let costs = derive metric in
-          match Types.problem ~graph:(Graphs.Templates.star ~n:count) ~costs with
+          match Types.of_matrix ~graph:(Graphs.Templates.star ~n:count) costs with
           | exception Invalid_argument _ -> false
           | _ -> true)
         [ Metrics.Mean; Metrics.Mean_plus_sd; Metrics.P99 ])

@@ -293,7 +293,7 @@ let test_witness_agrees_with_longest_link () =
     | None -> Alcotest.fail "expected a witness on a connected graph"
     | Some (i, j) ->
         check_float "witness edge realizes the cost"
-          p.Types.costs.(plan.(i)).(plan.(j))
+          (Types.cost p plan.(i) plan.(j))
           cost
   done
 

@@ -61,7 +61,7 @@ let test_anneal_custom_eval () =
   let p = random_problem ~nodes:6 ~instances:8 29 in
   let eval plan =
     Array.fold_left
-      (fun acc (i, i') -> acc +. p.Types.costs.(plan.(i)).(plan.(i')))
+      (fun acc (i, i') -> acc +. Types.cost p plan.(i) plan.(i'))
       0.0
       (Graphs.Digraph.edges p.Types.graph)
   in

@@ -208,6 +208,22 @@ let test_r005_missing_mli () =
       Alcotest.(check string) "which file" "lib/cp/orphan.ml" v.Lint.Source_rules.path
   | _ -> Alcotest.fail "expected exactly one R005 violation")
 
+let test_r006_boxed_matrix_indexing () =
+  (* The field matcher must see through record projections — the usual
+     offender is [problem.costs.(i).(j)], not a bare [costs]. *)
+  let bad = "let v = problem.costs.(i).(j) in v" in
+  check_bool "flagged in lib/cloudia" true
+    (List.mem "R006" (rule_ids (scan "lib/cloudia/cost.ml" bad)));
+  check_bool "flagged on bare local" true
+    (List.mem "R006" (rule_ids (scan "bin/cloudia_cli.ml" "let x = costs.(0).(1)")));
+  check_bool "allowed in lib/lat_matrix" false
+    (List.mem "R006" (rule_ids (scan "lib/lat_matrix/lat_matrix.ml" bad)));
+  check_bool "allowed in matrix_io" false
+    (List.mem "R006" (rule_ids (scan "lib/cloudia/matrix_io.ml" bad)));
+  (* Other identifiers ending in "costs" are someone else's array. *)
+  check_int "no suffix false positive" 0
+    (List.length (scan "lib/cloudia/cost.ml" "let v = linkcosts.(i) in v"))
+
 let test_sanitizer_ignores_comments_and_strings () =
   let text =
     "(* Unix.gettimeofday is banned; use Obs.Clock *)\n"
@@ -291,6 +307,8 @@ let suite =
     Alcotest.test_case "R003 obj magic" `Quick test_r003_obj_magic;
     Alcotest.test_case "R004 library printing" `Quick test_r004_library_printing;
     Alcotest.test_case "R005 missing mli" `Quick test_r005_missing_mli;
+    Alcotest.test_case "R006 boxed matrix indexing" `Quick
+      test_r006_boxed_matrix_indexing;
     Alcotest.test_case "sanitizer" `Quick test_sanitizer_ignores_comments_and_strings;
     Alcotest.test_case "token boundaries" `Quick test_token_boundaries;
     Alcotest.test_case "allowlist suppression" `Quick test_allowlist_suppression;

@@ -19,5 +19,6 @@ let () =
       ("more", Test_more.suite);
       ("failure-injection", Test_failure.suite);
       ("consistency", Test_consistency.suite);
+      ("lat-matrix", Test_latmat.suite);
       ("faults", Test_faults.suite);
     ]

@@ -211,16 +211,13 @@ let test_distinct_costs_preserves_order () =
   let q = Reduction.distinct_costs (Prng.create 8) p in
   let seen = Hashtbl.create 64 in
   let all_distinct = ref true in
-  Array.iteri
-    (fun j row ->
-      Array.iteri
-        (fun j' v ->
-          if j <> j' then begin
-            if Hashtbl.mem seen v then all_distinct := false;
-            Hashtbl.add seen v ()
-          end)
-        row)
-    q.Types.costs;
+  Lat_matrix.iter
+    (fun j j' v ->
+      if j <> j' then begin
+        if Hashtbl.mem seen v then all_distinct := false;
+        Hashtbl.add seen v ()
+      end)
+    q.Types.lat;
   Alcotest.(check bool) "all distinct" true !all_distinct
 
 (* ---------- Advisor ---------- *)

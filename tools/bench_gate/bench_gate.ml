@@ -1,0 +1,168 @@
+(* CI perf-regression gate over the bench JSON metrics.
+
+   Usage: bench_gate BASELINE.json CURRENT.json
+
+   Both files are the flat {"metric": number} objects the bench harness
+   writes to $CLOUDIA_BENCH_JSON. For every metric in the baseline the
+   gate applies a direction-aware band:
+
+     moves_per_sec_* / *.speedup   fail when current < 70% of baseline
+     alloc_words_per_move_*        fail when current > 110% of baseline
+     *.ns_per_run                  fail when current > 130% of baseline
+
+   The committed baseline is a conservative envelope (the worst of
+   several local runs), so the band absorbs runner jitter while still
+   catching real regressions: a representation change that re-boxes the
+   cost matrix shifts allocation per move by orders of magnitude, not
+   10%.
+
+   On top of the bands, the gate enforces the refactor's acceptance
+   claim on the 64-node mesh: the delta kernel must sustain >= 2x the
+   moves/sec of full evaluation, or allocate <= 1/5 the words per move.
+
+   Exits 1 with a per-metric report when any check fails. *)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("bench_gate: " ^ s); exit 2) fmt
+
+(* Parse the flat JSON object the bench harness emits: string keys,
+   number (or null) values, no nesting. Not a general JSON parser. *)
+let parse_metrics path =
+  let text = In_channel.with_open_text path In_channel.input_all in
+  let n = String.length text in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (match text.[!pos] with ' ' | '\t' | '\n' | '\r' | ',' -> true | _ -> false)
+    do incr pos done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> Some c then fail "%s: expected '%c' at byte %d" path c !pos;
+    incr pos
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 32 in
+    let rec go () =
+      if !pos >= n then fail "%s: unterminated string" path;
+      match text.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+          (* Metric names never need escapes; keep the char as-is. *)
+          if !pos + 1 >= n then fail "%s: dangling escape" path;
+          Buffer.add_char b text.[!pos + 1];
+          pos := !pos + 2;
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_value () =
+    skip_ws ();
+    if !pos + 4 <= n && String.sub text !pos 4 = "null" then begin
+      pos := !pos + 4;
+      None
+    end
+    else begin
+      let start = !pos in
+      while
+        !pos < n
+        && match text.[!pos] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+           | _ -> false
+      do incr pos done;
+      if !pos = start then fail "%s: expected a number at byte %d" path start;
+      match float_of_string_opt (String.sub text start (!pos - start)) with
+      | Some v -> Some v
+      | None -> fail "%s: bad number %S" path (String.sub text start (!pos - start))
+    end
+  in
+  expect '{';
+  let out = Hashtbl.create 32 in
+  let rec entries () =
+    skip_ws ();
+    match peek () with
+    | Some '}' -> incr pos
+    | Some '"' ->
+        let k = parse_string () in
+        expect ':';
+        (match parse_value () with Some v -> Hashtbl.replace out k v | None -> ());
+        entries ()
+    | _ -> fail "%s: expected '\"' or '}' at byte %d" path !pos
+  in
+  entries ();
+  out
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+type direction = Higher_better of float | Lower_better of float
+
+let band key =
+  if contains key "moves_per_sec" || contains key ".speedup" then Some (Higher_better 0.70)
+  else if contains key "alloc_words_per_move" then Some (Lower_better 1.10)
+  else if contains key "ns_per_run" then Some (Lower_better 1.30)
+  else None
+
+let () =
+  let baseline_path, current_path =
+    match Sys.argv with
+    | [| _; b; c |] -> (b, c)
+    | _ ->
+        prerr_endline "usage: bench_gate BASELINE.json CURRENT.json";
+        exit 2
+  in
+  let baseline = parse_metrics baseline_path in
+  let current = parse_metrics current_path in
+  let failures = ref 0 in
+  let check key base =
+    match band key with
+    | None -> ()
+    | Some dir -> (
+        match Hashtbl.find_opt current key with
+        | None ->
+            incr failures;
+            Printf.printf "FAIL %-52s missing from %s\n" key current_path
+        | Some cur ->
+            let ok, verdict =
+              match dir with
+              | Higher_better frac ->
+                  (cur >= frac *. base, Printf.sprintf ">= %.0f%% of baseline" (100. *. frac))
+              | Lower_better frac ->
+                  (cur <= frac *. base, Printf.sprintf "<= %.0f%% of baseline" (100. *. frac))
+            in
+            if not ok then incr failures;
+            Printf.printf "%s %-52s %14.1f vs %14.1f  (%s)\n"
+              (if ok then "ok  " else "FAIL")
+              key cur base verdict)
+  in
+  let keys = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) baseline []) in
+  List.iter (fun k -> check k (Hashtbl.find baseline k)) keys;
+  (* Acceptance claim for the Lat_matrix refactor (64-node mesh): delta
+     evaluation either >= 2x the moves/sec of full evaluation or >= 5x
+     lower allocation per move. *)
+  (match
+     ( Hashtbl.find_opt current "fig_delta.mesh64.speedup",
+       Hashtbl.find_opt current "fig_delta.mesh64.alloc_words_per_move_full",
+       Hashtbl.find_opt current "fig_delta.mesh64.alloc_words_per_move_delta" )
+   with
+  | Some speedup, Some alloc_full, Some alloc_delta ->
+      let ok = speedup >= 2.0 || alloc_full >= 5.0 *. alloc_delta in
+      if not ok then incr failures;
+      Printf.printf "%s mesh64 acceptance: speedup %.1fx, alloc %.1f vs %.1f words/move\n"
+        (if ok then "ok  " else "FAIL")
+        speedup alloc_full alloc_delta
+  | _ ->
+      incr failures;
+      Printf.printf "FAIL mesh64 acceptance metrics missing from %s\n" current_path);
+  if !failures > 0 then begin
+    Printf.printf "bench_gate: %d check(s) failed\n" !failures;
+    exit 1
+  end;
+  Printf.printf "bench_gate: all checks passed\n"
