@@ -99,7 +99,13 @@ let () =
   | Some file ->
       let events = Obs.Sink.drain () in
       let dropped = Obs.Sink.dropped () in
+      let run = { Obs.Export.seed = None; argv = args } in
+      let hists =
+        List.filter (fun (h : Obs.Histogram.snapshot) -> h.hist_count > 0)
+          (Obs.Histogram.snapshot ())
+      in
       Out_channel.with_open_text file (fun oc ->
-          Obs.Export.jsonl ~counters:(Obs.Counter.snapshot ()) oc events);
+          Obs.Export.jsonl ~run ~counters:(Obs.Counter.snapshot ())
+            ~gauges:(Obs.Gauge.snapshot ()) ~hists oc events);
       Printf.printf "Trace written to %s (%d events%s).\n" file (List.length events)
         (if dropped > 0 then Printf.sprintf ", %d dropped" dropped else "")

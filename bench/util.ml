@@ -64,6 +64,50 @@ let flush_metrics () =
           output_string oc "\n}\n");
       Printf.printf "Bench metrics written to %s (%d entries).\n" path (List.length entries)
 
+(* Anytime-profile metrics from an incumbent trace [(elapsed_s, cost)] in
+   time order over a run of [window_s] seconds: the primal integral (mean
+   relative gap between the running-best cost and the final cost) and the
+   fraction of the window spent before the curve is within {10,5,1}% of
+   the final cost. Dimensionless on purpose: the CI smoke run's absolute
+   times are jittery, but how quickly a solver closes its own gap is
+   stable enough to band. *)
+let anytime_metrics ~key ~window_s trace =
+  match trace with
+  | [] -> ()
+  | (t0, _) :: _ ->
+      let curve =
+        List.fold_left
+          (fun acc (t, c) ->
+            match acc with (_, best) :: _ when c >= best -> acc | _ -> (t, c) :: acc)
+          [] trace
+        |> List.rev
+      in
+      let final = snd (List.nth curve (List.length curve - 1)) in
+      let denom = if Float.abs final > 0.0 then Float.abs final else 1.0 in
+      let window = Float.max 1e-9 (window_s -. t0) in
+      let rec integral = function
+        | (t1, c1) :: (((t2, _) :: _) as rest) ->
+            ((c1 -. final) /. denom *. (t2 -. t1)) +. integral rest
+        | _ -> 0.0 (* last segment: gap 0 by definition of final *)
+      in
+      let primal_integral = integral curve /. window in
+      Printf.printf "  anytime profile: primal integral %.4f over %.2f s window\n"
+        primal_integral window;
+      metric (key ^ ".primal_integral") primal_integral;
+      List.iter
+        (fun pct ->
+          let target = final +. (pct /. 100.0 *. denom) +. 1e-12 in
+          let hit =
+            match List.find_opt (fun (_, c) -> c <= target) curve with
+            | Some (t, _) -> t -. t0
+            | None -> window
+          in
+          let frac = Float.min 1.0 (hit /. window) in
+          Printf.printf "    within %4.1f%% of final after %5.1f%% of the window\n" pct
+            (100.0 *. frac);
+          metric (Printf.sprintf "%s.tt_within_%.0fpct_frac" key pct) frac)
+        [ 1.0; 5.0; 10.0 ]
+
 let section id title =
   Printf.printf "\n================================================================\n";
   Printf.printf "%s — %s\n" id title;

@@ -159,19 +159,25 @@ let trace_format_conv =
   Arg.enum [ ("jsonl", Jsonl); ("chrome", Chrome) ]
 
 (* Drain once; feed the same event list to every requested exporter. *)
-let export_observability ~trace_file ~trace_format ~obs_summary =
+let export_observability ?seed ~trace_file ~trace_format ~obs_summary () =
   if trace_file <> None || obs_summary then begin
     let events = Obs.Sink.drain () in
     let counters = Obs.Counter.snapshot () in
+    let gauges = Obs.Gauge.snapshot () in
+    let hists =
+      List.filter (fun (h : Obs.Histogram.snapshot) -> h.hist_count > 0)
+        (Obs.Histogram.snapshot ())
+    in
+    let run = { Obs.Export.seed; argv = List.tl (Array.to_list Sys.argv) } in
     (match trace_file with
     | Some file ->
         Out_channel.with_open_text file (fun oc ->
             match trace_format with
-            | Jsonl -> Obs.Export.jsonl ~counters oc events
-            | Chrome -> Obs.Export.chrome ~counters oc events)
+            | Jsonl -> Obs.Export.jsonl ~run ~counters ~gauges ~hists oc events
+            | Chrome -> Obs.Export.chrome ~run ~counters ~gauges ~hists oc events)
     | None -> ());
     if obs_summary then
-      Obs.Export.summary ~counters ~gauges:(Obs.Gauge.snapshot ()) stderr events
+      Obs.Export.summary ~run ~counters ~gauges ~hists stderr events
   end
 
 (* ---- advise ---- *)
@@ -337,7 +343,7 @@ let advise provider seed workload strategy_name scale over metric time_limit dom
              else "advise: blocked by lint errors");
           2
       | report ->
-          export_observability ~trace_file ~trace_format ~obs_summary;
+          export_observability ~seed ~trace_file ~trace_format ~obs_summary ();
           (* Tolerated findings still deserve eyeballs: render them on
              stderr so stdout stays machine-readable. *)
           if not json then
@@ -928,6 +934,86 @@ let bandwidth_cmd =
     (Cmd.info "bandwidth" ~doc:"Optimize the bottleneck-bandwidth criterion (Sect. 8)")
     Term.(const bandwidth $ provider_arg $ seed_arg $ nodes_arg)
 
+(* ---- obs: trace forensics ---- *)
+
+let obs_report trace_path =
+  match Obs.Trace.load trace_path with
+  | Error msg ->
+      prerr_endline ("obs report: " ^ msg);
+      2
+  | Ok t ->
+      Obs.Trace.report stdout t;
+      0
+
+let obs_compare base_path current_path tolerance force =
+  let load what path =
+    match Obs.Trace.load path with
+    | Ok t -> Ok t
+    | Error msg -> Error (Printf.sprintf "obs compare: %s trace: %s" what msg)
+  in
+  match (load "base" base_path, load "current" current_path) with
+  | Error msg, _ | _, Error msg ->
+      prerr_endline msg;
+      2
+  | Ok base, Ok current -> (
+      match Obs.Trace.header_mismatch base current with
+      | Some why when not force ->
+          Printf.eprintf
+            "obs compare: refusing to compare traces from different runs (%s); pass --force to override\n"
+            why;
+          2
+      | mismatch ->
+          (match mismatch with
+          | Some why -> Printf.eprintf "obs compare: warning: %s (--force)\n" why
+          | None -> ());
+          let checks = Obs.Trace.compare_traces ~tolerance ~base ~current () in
+          Obs.Trace.print_checks stdout checks;
+          let failures = List.length (List.filter (fun c -> not c.Obs.Trace.ok) checks) in
+          if failures > 0 then begin
+            Printf.printf "obs compare: %d regression(s)\n" failures;
+            1
+          end
+          else begin
+            Printf.printf "obs compare: no regressions (%d check(s))\n" (List.length checks);
+            0
+          end)
+
+let obs_cmd =
+  let trace_pos n doc =
+    Arg.(required & pos n (some file) None & info [] ~docv:"TRACE" ~doc)
+  in
+  let report_cmd =
+    Cmd.v
+      (Cmd.info "report"
+         ~doc:
+           "Parse a JSONL trace into a span tree with self/total times and allocation, \
+            histogram percentile tables, and time-to-quality metrics from incumbent streams")
+      Term.(const obs_report $ trace_pos 0 "JSONL trace written by --trace.")
+  in
+  let compare_cmd =
+    let tolerance_arg =
+      Arg.(value & opt float 1.3 & info [ "tolerance" ]
+             ~doc:"Multiplicative regression band for timing metrics (1.3 = +30%).")
+    in
+    let force_arg =
+      Arg.(value & flag & info [ "force" ]
+             ~doc:"Compare even when the trace headers (schema, seed, argv) disagree.")
+    in
+    Cmd.v
+      (Cmd.info "compare"
+         ~doc:
+           "Diff two JSONL traces with direction-aware regression bands; exits 1 when the \
+            current trace regresses, 2 when the traces are not comparable")
+      Term.(
+        const obs_compare
+        $ trace_pos 0 "Baseline trace."
+        $ trace_pos 1 "Current trace."
+        $ tolerance_arg $ force_arg)
+  in
+  Cmd.group
+    (Cmd.info "obs" ~doc:"Trace forensics: report on and compare observability traces")
+    [ report_cmd; compare_cmd ]
+
 let () =
   let doc = "ClouDiA: a deployment advisor for public clouds (simulated)" in
   let info = Cmd.info "cloudia" ~version:"1.0.0" ~doc in
@@ -943,4 +1029,5 @@ let () =
             survey_cmd;
             redeploy_cmd;
             bandwidth_cmd;
+            obs_cmd;
           ]))

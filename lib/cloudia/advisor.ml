@@ -255,13 +255,13 @@ let run ?(strict_lint = false) ?(faults = Cloudsim.Faults.none)
       "Advisor: fault-injected measurement estimates mean latency only (the \
        probe schemes keep running sums, not sample distributions)";
   let nodes = Graphs.Digraph.n config.graph in
-  Obs.Span.with_ "advise" @@ fun () ->
+  Obs.Resource.with_ "advise" @@ fun () ->
   (* Step 1: allocate with over-allocation. *)
   let count =
     int_of_float (Float.ceil (float_of_int nodes *. (1.0 +. config.over_allocation)))
   in
   let env =
-    Obs.Span.with_ "allocate" @@ fun () -> Cloudsim.Env.allocate rng provider ~count
+    Obs.Resource.with_ "allocate" @@ fun () -> Cloudsim.Env.allocate rng provider ~count
   in
   (* Step 2: measure. Without faults the per-pair sampling is what the
      staged scheme of Sect. 5 would collect and we charge its nominal
@@ -269,7 +269,7 @@ let run ?(strict_lint = false) ?(faults = Cloudsim.Faults.none)
      losses, retries and timeouts included — and charge the simulated
      clock it actually consumed. *)
   let costs, measurement_minutes, measurement_coverage, kept, dropped, partial_diags =
-    Obs.Span.with_ "measure" @@ fun () ->
+    Obs.Resource.with_ "measure" @@ fun () ->
     if not faulted then
       let costs =
         Metrics.estimate rng env config.metric ~samples_per_pair:config.samples_per_pair
@@ -345,7 +345,7 @@ let run ?(strict_lint = false) ?(faults = Cloudsim.Faults.none)
   (* Step 3: search. *)
   let started = Obs.Clock.now_s () in
   let plan, telemetry =
-    Obs.Span.with_ "search" @@ fun () ->
+    Obs.Resource.with_ "search" @@ fun () ->
     search_with_telemetry rng config.strategy config.objective problem
   in
   let search_seconds = Obs.Clock.now_s () -. started in

@@ -29,6 +29,11 @@ let c_tried = Obs.Counter.make "anneal.moves_tried"
 let c_accepted = Obs.Counter.make "anneal.moves_accepted"
 let g_acceptance = Obs.Gauge.make "anneal.acceptance_rate"
 
+(* Per-move latency distribution. Recording is gated on the event sink so
+   the untraced hot loop pays nothing (the fig_delta moves/sec gate runs
+   with the sink off); under tracing it costs two clock reads per move. *)
+let h_move = Obs.Histogram.make "anneal.move_ns"
+
 (* One annealing run from a random start, driven through a {!Delta_cost}
    kernel: a proposed move costs O(deg) for the standard objectives (one
    full evaluation only for opaque costs) and is committed or aborted in
@@ -46,6 +51,7 @@ let run rng kernel (t : Types.problem) options ~deadline ~stop ~improved ~tried 
   end;
   let temperature = ref options.initial_temperature in
   let min_temperature = 1e-4 *. options.initial_temperature in
+  let timed = Obs.Sink.enabled () in
   while
     !temperature > min_temperature
     && !budget_left > 0
@@ -62,6 +68,7 @@ let run rng kernel (t : Types.problem) options ~deadline ~stop ~improved ~tried 
       let node = Prng.int rng n in
       let target = Prng.int rng m in
       if target <> Delta_cost.instance_of kernel node then begin
+        let t0 = if timed then Obs.Clock.now_ns () else 0L in
         let candidate = Delta_cost.propose_move kernel ~node ~target in
         let delta = candidate -. !cost in
         let accept =
@@ -77,7 +84,8 @@ let run rng kernel (t : Types.problem) options ~deadline ~stop ~improved ~tried 
             improved (Delta_cost.current kernel) candidate
           end
         end
-        else Delta_cost.abort kernel
+        else Delta_cost.abort kernel;
+        if timed then Obs.Histogram.record_ns h_move (Int64.sub (Obs.Clock.now_ns ()) t0)
       end
     done;
     temperature := !temperature *. options.cooling
@@ -90,7 +98,7 @@ let solve_kernel ?(options = default_options) ?(stop = fun () -> false) ?on_impr
   (match options.max_moves with
   | Some m when m <= 0 -> invalid_arg "Anneal.solve: need a positive move budget"
   | _ -> ());
-  Obs.Span.with_ "anneal.solve" @@ fun () ->
+  Obs.Resource.with_ "anneal.solve" @@ fun () ->
   let obs_stream = Obs.Incumbent.stream "anneal" in
   let improved plan cost =
     ignore (Obs.Incumbent.observe obs_stream cost : bool);

@@ -76,7 +76,7 @@ let connectivity_badness rounded =
 
 let solve ?(options = default_options) ?edge_weight ?(order_values = true) ?max_iterations
     ?(stop = fun () -> false) ?peek ?on_incumbent rng (t : Types.problem) =
-  Obs.Span.with_ "cp_solver.solve" @@ fun () ->
+  Obs.Resource.with_ "cp_solver.solve" @@ fun () ->
   let obs_stream = Obs.Incumbent.stream "cp" in
   let start = Obs.Clock.now_s () in
   let elapsed () = Obs.Clock.now_s () -. start in

@@ -28,6 +28,11 @@ let of_samples metric samples =
 
 let c_samples = Obs.Counter.make "metrics.rtt_samples"
 
+(* The fault-free advise path samples the environment directly (no
+   Netmeasure scheme in between), so it feeds its own always-on RTT
+   histogram. *)
+let h_rtt = Obs.Histogram.make "metrics.rtt_ms"
+
 let draw_samples rng env ~samples_per_pair =
   if samples_per_pair <= 0 then invalid_arg "Metrics: need a positive sample count";
   let n = Cloudsim.Env.count env in
@@ -35,7 +40,11 @@ let draw_samples rng env ~samples_per_pair =
   Array.init n (fun i ->
       Array.init n (fun j ->
           if i = j then [||]
-          else Array.init samples_per_pair (fun _ -> Cloudsim.Env.sample_rtt rng env i j)))
+          else
+            Array.init samples_per_pair (fun _ ->
+                let rtt = Cloudsim.Env.sample_rtt rng env i j in
+                Obs.Histogram.record h_rtt rtt;
+                rtt)))
 
 let reduce metric samples =
   let n = Array.length samples in

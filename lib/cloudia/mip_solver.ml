@@ -96,7 +96,7 @@ let rounded_costs options (t : Types.problem) =
   | None -> t.Types.lat
 
 let run_bnb ~options ~stop ~publish ~model ~x ~m ~n ~seed_obj ~seed_sol ~true_eval =
-  Obs.Span.with_ "mip_solver.solve" @@ fun () ->
+  Obs.Resource.with_ "mip_solver.solve" @@ fun () ->
   let obs_stream = Obs.Incumbent.stream "mip" in
   let trace = ref [] in
   let start = Obs.Clock.now_s () in

@@ -112,7 +112,7 @@ let solve ?(options = default_options) rng objective (t : Types.problem) =
   validate_members options.members objective;
   if options.time_limit <= 0.0 then
     invalid_arg "Portfolio.solve: time_limit must be positive";
-  Obs.Span.with_ "portfolio.solve" @@ fun () ->
+  Obs.Resource.with_ "portfolio.solve" @@ fun () ->
   let obs_stream = Obs.Incumbent.stream "portfolio" in
   let eval = Cost.eval objective t in
   let start = Obs.Clock.now_s () in

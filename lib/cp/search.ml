@@ -19,10 +19,15 @@ let c_nodes = Obs.Counter.make "cp.search.nodes"
 let c_failures = Obs.Counter.make "cp.search.failures"
 let c_propagations = Obs.Counter.make "cp.search.propagations"
 
+(* Per-node propagation latency; recorded only under tracing so the
+   untraced node loop keeps zero clock reads. *)
+let h_node = Obs.Histogram.make "cp.node_ns"
+
 let solve ?time_limit ?node_limit ?should_stop
     ?(value_order = fun ~var:_ values -> values) csp =
   Obs.Span.with_ "cp.search" @@ fun () ->
   let start = Obs.Clock.now_s () in
+  let timed = Obs.Sink.enabled () in
   let nodes = ref 0 and failures = ref 0 and propagations = ref 0 in
   let deadline = Option.map (fun l -> start +. l) time_limit in
   let check_budget () =
@@ -49,7 +54,10 @@ let solve ?time_limit ?node_limit ?should_stop
   let rec search () =
     check_budget ();
     incr propagations;
-    match Csp.propagate csp with
+    let t0 = if timed then Obs.Clock.now_ns () else 0L in
+    let outcome = Csp.propagate csp in
+    if timed then Obs.Histogram.record_ns h_node (Int64.sub (Obs.Clock.now_ns ()) t0);
+    match outcome with
     | Csp.Failure -> incr failures
     | Csp.Progress | Csp.Fixpoint -> (
         match Csp.assignment csp with

@@ -88,6 +88,7 @@ type phase_result = Phase_optimal | Phase_unbounded
    bench numbers. *)
 let c_pivots = Obs.Counter.make "lp.simplex.pivots"
 let c_solves = Obs.Counter.make "lp.simplex.solves"
+let h_pivot = Obs.Histogram.make "lp.pivot_ns"
 
 exception Aborted
 
@@ -104,6 +105,10 @@ let run_phase t ~allowed ~max_iters ~iter_count ~should_stop =
   Fun.protect ~finally:(fun () -> Obs.Counter.add c_pivots (!iter_count - entry)) @@ fun () ->
   let result = ref Phase_optimal in
   let continue = ref true in
+  (* Per-pivot latency, recorded only under tracing: a pivot is O(m·ncols)
+     so two clock reads are noise there, but the untraced path stays
+     clock-free anyway. *)
+  let timed = Obs.Sink.enabled () in
   while !continue do
     if !iter_count > max_iters then failwith "Simplex.solve: iteration limit exceeded";
     (* Poll for cooperative cancellation every 32 pivots: one pivot is
@@ -119,7 +124,9 @@ let run_phase t ~allowed ~max_iters ~iter_count ~should_stop =
         continue := false
       end
       else begin
+        let t0 = if timed then Obs.Clock.now_ns () else 0L in
         pivot t ~row ~col;
+        if timed then Obs.Histogram.record_ns h_pivot (Int64.sub (Obs.Clock.now_ns ()) t0);
         incr iter_count
       end
     end

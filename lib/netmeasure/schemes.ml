@@ -50,8 +50,14 @@ let make_acc n =
     timed_out = 0;
   }
 
+(* Per-probe RTT distribution across every scheme — a value histogram,
+   always on like the counters: the percentile shape (not the mean) is
+   what distinguishes interference-inflated links. *)
+let h_rtt = Obs.Histogram.make "netmeasure.rtt_ms"
+
 let record acc i j rtt =
   Lat_matrix.add acc.sums i j rtt;
+  Obs.Histogram.record h_rtt rtt;
   let k = (i * acc.n) + j in
   acc.counts.(k) <- acc.counts.(k) + 1
 

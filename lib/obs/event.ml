@@ -3,6 +3,14 @@ type payload =
   | Span_end of string
   | Incumbent of { stream : string; cost : float }
   | Mark of string
+  | Gc_delta of {
+      span : string;
+      minor_words : float;
+      major_words : float;
+      promoted_words : float;
+      heap_words : int;
+      compactions : int;
+    }
 
 type t = {
   t_ns : int64;
@@ -14,3 +22,4 @@ let name t =
   match t.payload with
   | Span_begin n | Span_end n | Mark n -> n
   | Incumbent { stream; _ } -> stream
+  | Gc_delta { span; _ } -> span

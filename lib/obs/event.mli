@@ -11,6 +11,16 @@ type payload =
   | Incumbent of { stream : string; cost : float }
       (** a best-cost-so-far stream improved to [cost] *)
   | Mark of string        (** instantaneous annotation *)
+  | Gc_delta of {
+      span : string;
+      minor_words : float;
+      major_words : float;
+      promoted_words : float;
+      heap_words : int;    (** heap growth over the span, in words *)
+      compactions : int;
+    }
+      (** [Gc.quick_stat] delta over the enclosing span of the same name,
+          emitted by {!Resource.with_} just before its [Span_end]. *)
 
 type t = {
   t_ns : int64;   (** {!Clock.now_ns} at emission *)
@@ -19,4 +29,4 @@ type t = {
 }
 
 val name : t -> string
-(** The span/mark name or incumbent stream name. *)
+(** The span/mark name, incumbent stream name, or gc-delta span name. *)

@@ -18,9 +18,37 @@ let escape s =
 (* JSON has no literal for infinities or NaN. *)
 let number f = if Float.is_finite f then Printf.sprintf "%.17g" f else "null"
 
+let schema_version = 2
+
+type run = {
+  seed : int option;
+  argv : string list;
+}
+
 (* ---- JSONL: one self-describing JSON object per line ---- *)
 
-let jsonl ?(counters = []) oc events =
+let hist_json ~common (s : Histogram.snapshot) =
+  let buckets =
+    String.concat "," (List.map (fun (i, c) -> Printf.sprintf "[%d,%d]" i c) s.hist_buckets)
+  in
+  Printf.sprintf
+    "{\"type\":\"hist\",\"name\":\"%s\",\"alpha\":%s,\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"zero\":%d,\"buckets\":[%s],%s}"
+    (escape s.hist_name) (number s.hist_alpha) s.hist_count (number s.hist_sum)
+    (number s.hist_min) (number s.hist_max) s.hist_zero buckets common
+
+let jsonl ?run ?(counters = []) ?(gauges = []) ?(hists = []) oc events =
+  (* Aggregate (counter/gauge/hist) lines are point-in-time snapshots:
+     stamp them all with one export-time timestamp and the exporting
+     domain, so every line in the file carries ts_ns/domain. *)
+  let now = Printf.sprintf "\"ts_ns\":%Ld,\"domain\":%d" (Clock.now_ns ())
+      (Domain.self () :> int)
+  in
+  (let seed, argv = match run with Some r -> (r.seed, r.argv) | None -> (None, []) in
+   Printf.fprintf oc "{\"type\":\"header\",\"schema\":%d,\"seed\":%s,\"argv\":[%s],%s}\n"
+     schema_version
+     (match seed with Some s -> string_of_int s | None -> "null")
+     (String.concat "," (List.map (fun a -> "\"" ^ escape a ^ "\"") argv))
+     now);
   List.iter
     (fun (e : Event.t) ->
       let common = Printf.sprintf "\"ts_ns\":%Ld,\"domain\":%d" e.Event.t_ns e.Event.domain in
@@ -33,18 +61,34 @@ let jsonl ?(counters = []) oc events =
           Printf.fprintf oc "{\"type\":\"incumbent\",\"stream\":\"%s\",\"cost\":%s,%s}"
             (escape stream) (number cost) common
       | Event.Mark n ->
-          Printf.fprintf oc "{\"type\":\"mark\",\"name\":\"%s\",%s}" (escape n) common);
+          Printf.fprintf oc "{\"type\":\"mark\",\"name\":\"%s\",%s}" (escape n) common
+      | Event.Gc_delta g ->
+          Printf.fprintf oc
+            "{\"type\":\"gc\",\"span\":\"%s\",\"minor_words\":%s,\"major_words\":%s,\"promoted_words\":%s,\"heap_words\":%d,\"compactions\":%d,%s}"
+            (escape g.span) (number g.minor_words) (number g.major_words)
+            (number g.promoted_words) g.heap_words g.compactions common);
       output_char oc '\n')
     events;
   List.iter
     (fun (name, total) ->
-      Printf.fprintf oc "{\"type\":\"counter\",\"name\":\"%s\",\"total\":%d}\n" (escape name)
-        total)
-    counters
+      Printf.fprintf oc "{\"type\":\"counter\",\"name\":\"%s\",\"total\":%d,%s}\n" (escape name)
+        total now)
+    counters;
+  List.iter
+    (fun (name, v) ->
+      Printf.fprintf oc "{\"type\":\"gauge\",\"name\":\"%s\",\"value\":%s,%s}\n" (escape name)
+        (number v) now)
+    gauges;
+  List.iter
+    (fun (s : Histogram.snapshot) ->
+      output_string oc (hist_json ~common:now s);
+      output_char oc '\n')
+    hists
 
 (* ---- Chrome trace_event format (chrome://tracing, Perfetto) ---- *)
 
-let chrome ?(counters = []) oc events =
+let chrome ?run ?(counters = []) ?(gauges = []) ?(hists = []) oc events =
+  ignore run;
   let t0 =
     List.fold_left
       (fun acc (e : Event.t) -> if Int64.compare e.Event.t_ns acc < 0 then e.Event.t_ns else acc)
@@ -85,9 +129,15 @@ let chrome ?(counters = []) oc events =
           emit
             (Printf.sprintf
                "{\"name\":\"%s\",\"cat\":\"cloudia\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":1,\"tid\":%d,\"s\":\"t\"}"
-               (escape n) ts e.Event.domain))
+               (escape n) ts e.Event.domain)
+      | Event.Gc_delta g ->
+          emit
+            (Printf.sprintf
+               "{\"name\":\"gc:%s\",\"cat\":\"cloudia\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{\"minor_words\":%s,\"major_words\":%s}}"
+               (escape g.span) ts e.Event.domain (number g.minor_words)
+               (number g.major_words)))
     events;
-  (* Final counter totals as counter samples at the trace's end. *)
+  (* Final counter/gauge totals as counter samples at the trace's end. *)
   List.iter
     (fun (name, total) ->
       emit
@@ -95,6 +145,25 @@ let chrome ?(counters = []) oc events =
            "{\"name\":\"%s\",\"cat\":\"cloudia\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,\"tid\":0,\"args\":{\"value\":%d}}"
            (escape name) !last total))
     counters;
+  List.iter
+    (fun (name, v) ->
+      emit
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"cloudia\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,\"tid\":0,\"args\":{\"value\":%s}}"
+           (escape name) !last (number v)))
+    gauges;
+  (* Histograms as end-of-trace instants carrying their quantile table. *)
+  List.iter
+    (fun (s : Histogram.snapshot) ->
+      emit
+        (Printf.sprintf
+           "{\"name\":\"hist:%s\",\"cat\":\"cloudia\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":1,\"tid\":0,\"s\":\"g\",\"args\":{\"count\":%d,\"p50\":%s,\"p90\":%s,\"p99\":%s,\"max\":%s}}"
+           (escape s.hist_name) !last s.hist_count
+           (number (Histogram.quantile_of s 0.50))
+           (number (Histogram.quantile_of s 0.90))
+           (number (Histogram.quantile_of s 0.99))
+           (number s.hist_max)))
+    hists;
   output_string oc "\n]}\n"
 
 (* ---- plain-text summary tree ---- *)
@@ -138,7 +207,7 @@ let domain_tree events =
               n.total_ns <- Int64.add n.total_ns (Int64.sub e.Event.t_ns t_begin);
               stack := rest
           | _ -> ())
-      | Event.Incumbent _ | Event.Mark _ -> ())
+      | Event.Incumbent _ | Event.Mark _ | Event.Gc_delta _ -> ())
     events;
   List.iter
     (fun (_, t_begin, n) ->
@@ -147,7 +216,13 @@ let domain_tree events =
     !stack;
   root
 
-let summary ?(counters = []) ?(gauges = []) oc events =
+let summary ?run ?(counters = []) ?(gauges = []) ?(hists = []) oc events =
+  (match run with
+  | Some { seed; argv } when argv <> [] || seed <> None ->
+      Printf.fprintf oc "run: %s%s\n"
+        (String.concat " " argv)
+        (match seed with Some s -> Printf.sprintf " (seed %d)" s | None -> "")
+  | _ -> ());
   let domains =
     List.sort_uniq compare (List.map (fun (e : Event.t) -> e.Event.domain) events)
   in
@@ -174,6 +249,28 @@ let summary ?(counters = []) ?(gauges = []) oc events =
         print "  " root
       end)
     domains;
+  (* Allocation footprint per Resource.with_ span, aggregated by name. *)
+  let gc_totals = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Event.t) ->
+      match e.Event.payload with
+      | Event.Gc_delta g ->
+          let minor, major, n =
+            match Hashtbl.find_opt gc_totals g.span with
+            | Some x -> x
+            | None -> (0.0, 0.0, 0)
+          in
+          Hashtbl.replace gc_totals g.span
+            (minor +. g.minor_words, major +. g.major_words, n + 1)
+      | _ -> ())
+    events;
+  if Hashtbl.length gc_totals > 0 then begin
+    Printf.fprintf oc "  gc (per span)%26s %14s %14s\n" "samples" "minor words" "major words";
+    Hashtbl.fold (fun s v acc -> (s, v) :: acc) gc_totals []
+    |> List.sort compare
+    |> List.iter (fun (span, (minor, major, n)) ->
+           Printf.fprintf oc "    %-36s %6d %14.0f %14.0f\n" span n minor major)
+  end;
   let incumbent_counts = Hashtbl.create 8 in
   List.iter
     (fun (e : Event.t) ->
@@ -193,6 +290,19 @@ let summary ?(counters = []) ?(gauges = []) oc events =
            Printf.fprintf oc "    %-32s %6d update%s final %.3f\n" stream updates
              (if updates = 1 then " " else "s")
              final)
+  end;
+  if hists <> [] then begin
+    Printf.fprintf oc "  histograms%32s %10s %10s %10s %10s %10s\n" "count" "mean" "p50" "p90"
+      "p99" "max";
+    List.iter
+      (fun (s : Histogram.snapshot) ->
+        Printf.fprintf oc "    %-36s %6d %10.3g %10.3g %10.3g %10.3g %10.3g\n" s.hist_name
+          s.hist_count (Histogram.mean_of s)
+          (Histogram.quantile_of s 0.50)
+          (Histogram.quantile_of s 0.90)
+          (Histogram.quantile_of s 0.99)
+          s.hist_max)
+      hists
   end;
   if counters <> [] then begin
     Printf.fprintf oc "  counters\n";

@@ -1,0 +1,13 @@
+(** Spans that also sample resource usage.
+
+    [with_ name f] is {!Span.with_} plus a per-span [Gc.quick_stat]
+    delta: just before the span closes it emits an {!Event.Gc_delta}
+    carrying the minor/major/promoted words allocated, heap growth, and
+    compactions that happened inside the span (on this domain). Use it
+    for solver phases where the allocation footprint matters; keep plain
+    {!Span.with_} for fine-grained regions, where two extra
+    [Gc.quick_stat] calls per iteration would distort the measurement.
+
+    When the sink is disabled this is just [f ()]. *)
+
+val with_ : string -> (unit -> 'a) -> 'a

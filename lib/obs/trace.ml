@@ -1,0 +1,734 @@
+(* Read side of the JSONL exporter: parse, reconstruct, summarize,
+   compare. See trace.mli for the contract. *)
+
+(* ---- minimal JSON value parser (no external dependency) ----
+
+   Numbers are kept as raw strings: ts_ns values are int64 nanoseconds
+   that can exceed the 2^53 float-exact range, so each consumer converts
+   with the right type. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of string
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse_json (s : string) =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        incr pos;
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> incr pos
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> incr pos
+      | Some '\\' -> (
+          incr pos;
+          match peek () with
+          | Some '"' -> Buffer.add_char b '"'; incr pos; go ()
+          | Some '\\' -> Buffer.add_char b '\\'; incr pos; go ()
+          | Some '/' -> Buffer.add_char b '/'; incr pos; go ()
+          | Some 'b' -> Buffer.add_char b '\b'; incr pos; go ()
+          | Some 'f' -> Buffer.add_char b '\012'; incr pos; go ()
+          | Some 'n' -> Buffer.add_char b '\n'; incr pos; go ()
+          | Some 'r' -> Buffer.add_char b '\r'; incr pos; go ()
+          | Some 't' -> Buffer.add_char b '\t'; incr pos; go ()
+          | Some 'u' ->
+              incr pos;
+              if !pos + 4 > n then fail "bad \\u escape";
+              let hex = String.sub s !pos 4 in
+              (match int_of_string_opt ("0x" ^ hex) with
+              | Some code when code < 0x80 -> Buffer.add_char b (Char.chr code)
+              | Some _ ->
+                  (* Exporter only escapes control chars; anything else is
+                     preserved approximately. *)
+                  Buffer.add_char b '?'
+              | None -> fail "bad \\u escape");
+              pos := !pos + 4;
+              go ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      incr pos
+    done;
+    if !pos = start then fail "expected a number";
+    let raw = String.sub s start (!pos - start) in
+    match float_of_string_opt raw with
+    | Some _ -> Num raw
+    | None -> fail (Printf.sprintf "malformed number %S" raw)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let continue = ref true in
+          while !continue do
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr pos
+            | Some '}' ->
+                incr pos;
+                continue := false
+            | _ -> fail "expected ',' or '}'"
+          done;
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          Arr []
+        end
+        else begin
+          let items = ref [] in
+          let continue = ref true in
+          while !continue do
+            items := parse_value () :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr pos
+            | Some ']' ->
+                incr pos;
+                continue := false
+            | _ -> fail "expected ',' or ']'"
+          done;
+          Arr (List.rev !items)
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* ---- field accessors ---- *)
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+
+let str_field k obj =
+  match member k obj with Some (Str s) -> s | _ -> raise (Bad ("missing string field " ^ k))
+
+let float_field ?default k obj =
+  match (member k obj, default) with
+  | Some (Num raw), _ -> float_of_string raw
+  | Some Null, Some d | None, Some d -> d
+  | _ -> raise (Bad ("missing number field " ^ k))
+
+let int_field ?default k obj =
+  match (member k obj, default) with
+  | Some (Num raw), _ -> (
+      match int_of_string_opt raw with
+      | Some i -> i
+      | None -> int_of_float (float_of_string raw))
+  | Some Null, Some d | None, Some d -> d
+  | _ -> raise (Bad ("missing integer field " ^ k))
+
+let int64_field ?(default = 0L) k obj =
+  match member k obj with
+  | Some (Num raw) -> (
+      match Int64.of_string_opt raw with
+      | Some v -> v
+      | None -> Int64.of_float (float_of_string raw))
+  | _ -> default
+
+(* ---- trace records ---- *)
+
+type header = {
+  schema : int;
+  seed : int option;
+  argv : string list;
+}
+
+type t = {
+  header : header option;
+  events : Event.t list;
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  hists : Histogram.snapshot list;
+}
+
+type record =
+  | R_header of header
+  | R_event of Event.t
+  | R_counter of string * int
+  | R_gauge of string * float
+  | R_hist of Histogram.snapshot
+  | R_skip
+
+let parse_record obj =
+  let typ = match member "type" obj with Some (Str t) -> t | _ -> "" in
+  let event payload =
+    R_event
+      {
+        Event.t_ns = int64_field "ts_ns" obj;
+        domain = int_field ~default:0 "domain" obj;
+        payload;
+      }
+  in
+  match typ with
+  | "header" ->
+      let seed = match member "seed" obj with Some (Num raw) -> int_of_string_opt raw | _ -> None in
+      let argv =
+        match member "argv" obj with
+        | Some (Arr items) ->
+            List.filter_map (function Str s -> Some s | _ -> None) items
+        | _ -> []
+      in
+      R_header { schema = int_field ~default:1 "schema" obj; seed; argv }
+  | "span_begin" -> event (Event.Span_begin (str_field "name" obj))
+  | "span_end" -> event (Event.Span_end (str_field "name" obj))
+  | "mark" -> event (Event.Mark (str_field "name" obj))
+  | "incumbent" ->
+      event
+        (Event.Incumbent
+           { stream = str_field "stream" obj; cost = float_field ~default:nan "cost" obj })
+  | "gc" ->
+      event
+        (Event.Gc_delta
+           {
+             span = str_field "span" obj;
+             minor_words = float_field ~default:0.0 "minor_words" obj;
+             major_words = float_field ~default:0.0 "major_words" obj;
+             promoted_words = float_field ~default:0.0 "promoted_words" obj;
+             heap_words = int_field ~default:0 "heap_words" obj;
+             compactions = int_field ~default:0 "compactions" obj;
+           })
+  | "counter" -> R_counter (str_field "name" obj, int_field "total" obj)
+  | "gauge" -> R_gauge (str_field "name" obj, float_field ~default:nan "value" obj)
+  | "hist" ->
+      let buckets =
+        match member "buckets" obj with
+        | Some (Arr items) ->
+            List.filter_map
+              (function
+                | Arr [ Num i; Num c ] -> (
+                    match (int_of_string_opt i, int_of_string_opt c) with
+                    | Some i, Some c -> Some (i, c)
+                    | _ -> None)
+                | _ -> None)
+              items
+        | _ -> []
+      in
+      R_hist
+        {
+          Histogram.hist_name = str_field "name" obj;
+          hist_alpha = float_field ~default:Histogram.default_alpha "alpha" obj;
+          hist_count = int_field ~default:0 "count" obj;
+          hist_sum = float_field ~default:0.0 "sum" obj;
+          hist_min = float_field ~default:infinity "min" obj;
+          hist_max = float_field ~default:neg_infinity "max" obj;
+          hist_zero = int_field ~default:0 "zero" obj;
+          hist_buckets = buckets;
+        }
+  | _ -> R_skip
+
+let of_lines lines =
+  let header = ref None in
+  let events = ref [] in
+  let counters = ref [] in
+  let gauges = ref [] in
+  let hists = ref [] in
+  let err = ref None in
+  List.iteri
+    (fun lineno line ->
+      if !err = None && String.trim line <> "" then
+        match parse_record (parse_json line) with
+        | R_header h ->
+            if h.schema > Export.schema_version then
+              err :=
+                Some
+                  (Printf.sprintf "line %d: trace schema %d is newer than this build's %d"
+                     (lineno + 1) h.schema Export.schema_version)
+            else if !header = None then header := Some h
+        | R_event e -> events := e :: !events
+        | R_counter (name, total) -> counters := (name, total) :: !counters
+        | R_gauge (name, v) -> gauges := (name, v) :: !gauges
+        | R_hist s -> hists := s :: !hists
+        | R_skip -> ()
+        | exception Bad msg -> err := Some (Printf.sprintf "line %d: %s" (lineno + 1) msg))
+    lines;
+  match !err with
+  | Some msg -> Error msg
+  | None ->
+      Ok
+        {
+          header = !header;
+          events = List.rev !events;
+          counters = List.rev !counters;
+          gauges = List.rev !gauges;
+          hists = List.rev !hists;
+        }
+
+let of_string text = of_lines (String.split_on_char '\n' text)
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> (
+      match of_string text with
+      | Ok t -> Ok t
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+  | exception Sys_error msg -> Error msg
+
+(* ---- span tree with self times and gc attribution ---- *)
+
+type node = {
+  span : string;
+  calls : int;
+  total_ns : int64;
+  self_ns : int64;
+  minor_words : float;
+  major_words : float;
+  children : node list;
+}
+
+type mnode = {
+  mutable m_calls : int;
+  mutable m_total : int64;
+  mutable m_minor : float;
+  mutable m_major : float;
+  m_children : (string, mnode) Hashtbl.t;
+  m_order : string Queue.t;
+}
+
+let make_mnode () =
+  {
+    m_calls = 0;
+    m_total = 0L;
+    m_minor = 0.0;
+    m_major = 0.0;
+    m_children = Hashtbl.create 4;
+    m_order = Queue.create ();
+  }
+
+let mchild node name =
+  match Hashtbl.find_opt node.m_children name with
+  | Some c -> c
+  | None ->
+      let c = make_mnode () in
+      Hashtbl.add node.m_children name c;
+      Queue.add name node.m_order;
+      c
+
+let build_domain_tree events =
+  let root = make_mnode () in
+  let stack = ref [] in
+  let last_ts = List.fold_left (fun _ (e : Event.t) -> e.Event.t_ns) 0L events in
+  let parent () = match !stack with [] -> root | (_, _, n) :: _ -> n in
+  List.iter
+    (fun (e : Event.t) ->
+      match e.Event.payload with
+      | Event.Span_begin name ->
+          let n = mchild (parent ()) name in
+          stack := (name, e.Event.t_ns, n) :: !stack
+      | Event.Span_end name -> (
+          match !stack with
+          | (top, t_begin, n) :: rest when top = name ->
+              n.m_calls <- n.m_calls + 1;
+              n.m_total <- Int64.add n.m_total (Int64.sub e.Event.t_ns t_begin);
+              stack := rest
+          | _ -> ())
+      | Event.Gc_delta g -> (
+          (* A Resource.with_ gc sample lands just before its span's end:
+             attribute it to the innermost open span of that name. *)
+          match List.find_opt (fun (top, _, _) -> top = g.span) !stack with
+          | Some (_, _, n) ->
+              n.m_minor <- n.m_minor +. g.minor_words;
+              n.m_major <- n.m_major +. g.major_words
+          | None -> ())
+      | Event.Incumbent _ | Event.Mark _ -> ())
+    events;
+  List.iter
+    (fun (_, t_begin, n) ->
+      n.m_calls <- n.m_calls + 1;
+      n.m_total <- Int64.add n.m_total (Int64.sub last_ts t_begin))
+    !stack;
+  root
+
+let rec freeze name (m : mnode) =
+  let children =
+    Queue.fold (fun acc cn -> freeze cn (Hashtbl.find m.m_children cn) :: acc) [] m.m_order
+    |> List.rev
+  in
+  let child_total =
+    List.fold_left (fun acc c -> Int64.add acc c.total_ns) 0L children
+  in
+  let self = Int64.sub m.m_total child_total in
+  {
+    span = name;
+    calls = m.m_calls;
+    total_ns = m.m_total;
+    self_ns = (if Int64.compare self 0L < 0 then 0L else self);
+    minor_words = m.m_minor;
+    major_words = m.m_major;
+    children;
+  }
+
+let span_tree t =
+  let domains =
+    List.sort_uniq compare (List.map (fun (e : Event.t) -> e.Event.domain) t.events)
+  in
+  List.filter_map
+    (fun dom ->
+      let evs = List.filter (fun (e : Event.t) -> e.Event.domain = dom) t.events in
+      let root = build_domain_tree evs in
+      let forest = (freeze "" root).children in
+      if forest = [] then None else Some (dom, forest))
+    domains
+
+let span_totals t =
+  let totals = Hashtbl.create 16 in
+  (* Nested same-name occurrences count once (the outermost), so a
+     recursive span cannot exceed wall time. *)
+  let rec walk ancestors n =
+    if not (List.mem n.span ancestors) then begin
+      let prior = match Hashtbl.find_opt totals n.span with Some v -> v | None -> 0L in
+      Hashtbl.replace totals n.span (Int64.add prior n.total_ns)
+    end;
+    List.iter (walk (n.span :: ancestors)) n.children
+  in
+  List.iter (fun (_, forest) -> List.iter (walk []) forest) (span_tree t);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) totals [] |> List.sort compare
+
+(* ---- time-to-quality from incumbent streams ---- *)
+
+type quality = {
+  stream : string;
+  updates : int;
+  first_cost : float;
+  final_cost : float;
+  window_s : float;
+  primal_integral : float;
+  tt_within : (float * float) list;
+}
+
+let quality ?(thresholds = [ 1.0; 5.0; 10.0 ]) t =
+  let last_ts =
+    List.fold_left (fun acc (e : Event.t) -> Int64.max acc e.Event.t_ns) Int64.min_int
+      t.events
+  in
+  let streams = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Event.t) ->
+      match e.Event.payload with
+      | Event.Incumbent { stream; cost } when Float.is_finite cost ->
+          let obs = match Hashtbl.find_opt streams stream with Some o -> o | None -> [] in
+          Hashtbl.replace streams stream ((e.Event.t_ns, cost) :: obs)
+      | _ -> ())
+    t.events;
+  Hashtbl.fold (fun s obs acc -> (s, List.rev obs) :: acc) streams []
+  |> List.sort compare
+  |> List.map (fun (stream, obs) ->
+         (* The same stream name can be reused across solves (fresh
+            Incumbent.stream per solve): the running minimum makes the
+            merged series a proper anytime curve. *)
+         let curve =
+           List.fold_left
+             (fun acc (ts, c) ->
+               match acc with
+               | (_, best) :: _ when c >= best -> acc
+               | _ -> (ts, c) :: acc)
+             [] obs
+           |> List.rev
+         in
+         let t0 = fst (List.hd curve) in
+         let final = snd (List.nth curve (List.length curve - 1)) in
+         let t_end = Int64.max last_ts t0 in
+         let window_ns = Int64.to_float (Int64.sub t_end t0) in
+         let denom = if Float.abs final > 0.0 then Float.abs final else 1.0 in
+         let integral = ref 0.0 in
+         let rec segments = function
+           | (t1, c1) :: (((t2, _) :: _) as rest) ->
+               integral :=
+                 !integral
+                 +. (c1 -. final) /. denom *. Int64.to_float (Int64.sub t2 t1);
+               segments rest
+           | [ (_, _) ] | [] -> ()
+           (* last segment runs to t_end at gap 0 (c = final) *)
+         in
+         segments curve;
+         let primal_integral = if window_ns > 0.0 then !integral /. window_ns else 0.0 in
+         let tt_within =
+           List.map
+             (fun pct ->
+               let target = final +. (pct /. 100.0 *. denom) +. 1e-12 in
+               let hit =
+                 List.find_opt (fun (_, c) -> c <= target) curve
+                 |> Option.map (fun (ts, _) -> Int64.to_float (Int64.sub ts t0) /. 1e9)
+               in
+               (pct, Option.value hit ~default:(window_ns /. 1e9)))
+             (List.sort compare thresholds)
+         in
+         {
+           stream;
+           updates = List.length obs;
+           first_cost = snd (List.hd obs);
+           final_cost = final;
+           window_s = window_ns /. 1e9;
+           primal_integral;
+           tt_within;
+         })
+
+(* ---- text report ---- *)
+
+let report oc t =
+  let n_records =
+    List.length t.events + List.length t.counters + List.length t.gauges
+    + List.length t.hists
+    + match t.header with Some _ -> 1 | None -> 0
+  in
+  let domains =
+    List.sort_uniq compare (List.map (fun (e : Event.t) -> e.Event.domain) t.events)
+  in
+  Printf.fprintf oc "trace: %d records, %d event(s), %d domain(s)\n" n_records
+    (List.length t.events) (List.length domains);
+  (match t.header with
+  | Some h ->
+      Printf.fprintf oc "run: %s(schema %d%s)\n"
+        (match h.argv with [] -> "" | argv -> String.concat " " argv ^ " ")
+        h.schema
+        (match h.seed with Some s -> Printf.sprintf ", seed %d" s | None -> "")
+  | None -> Printf.fprintf oc "run: (no header — pre-v2 trace)\n");
+  List.iter
+    (fun (dom, forest) ->
+      Printf.fprintf oc "spans (domain %d)%19s %12s %12s %14s\n" dom "calls" "total ms"
+        "self ms" "minor words";
+      let rec print indent n =
+        Printf.fprintf oc "  %s%-*s %6d %12.3f %12.3f" indent
+          (max 1 (33 - String.length indent))
+          n.span n.calls
+          (Clock.ns_to_ms n.total_ns)
+          (Clock.ns_to_ms n.self_ns);
+        if n.minor_words > 0.0 || n.major_words > 0.0 then
+          Printf.fprintf oc " %14.0f" n.minor_words;
+        output_char oc '\n';
+        List.iter (print (indent ^ "  ")) n.children
+      in
+      List.iter (print "") forest)
+    (span_tree t);
+  if t.hists <> [] then begin
+    Printf.fprintf oc "histograms%29s %10s %10s %10s %10s %10s\n" "count" "mean" "p50" "p90"
+      "p99" "max";
+    List.iter
+      (fun (s : Histogram.snapshot) ->
+        Printf.fprintf oc "  %-36s %6d %10.4g %10.4g %10.4g %10.4g %10.4g\n" s.hist_name
+          s.hist_count (Histogram.mean_of s)
+          (Histogram.quantile_of s 0.50)
+          (Histogram.quantile_of s 0.90)
+          (Histogram.quantile_of s 0.99)
+          s.hist_max)
+      (List.sort (fun (a : Histogram.snapshot) b -> compare a.hist_name b.hist_name) t.hists)
+  end;
+  (match quality t with
+  | [] -> ()
+  | qs ->
+      Printf.fprintf oc "time-to-quality\n";
+      List.iter
+        (fun q ->
+          Printf.fprintf oc
+            "  %-24s %4d update%s first %.6g final %.6g window %.3f s\n" q.stream q.updates
+            (if q.updates = 1 then " " else "s")
+            q.first_cost q.final_cost q.window_s;
+          Printf.fprintf oc "    primal integral (mean rel. gap) %.4f\n" q.primal_integral;
+          List.iter
+            (fun (pct, secs) ->
+              Printf.fprintf oc "    within %4.1f%% of final %33.3f s\n" pct secs)
+            q.tt_within)
+        qs);
+  if t.counters <> [] then begin
+    Printf.fprintf oc "counters\n";
+    List.iter
+      (fun (name, v) -> Printf.fprintf oc "  %-40s %12d\n" name v)
+      (List.sort compare t.counters)
+  end;
+  if t.gauges <> [] then begin
+    Printf.fprintf oc "gauges\n";
+    List.iter
+      (fun (name, v) -> Printf.fprintf oc "  %-40s %12.4f\n" name v)
+      (List.sort compare t.gauges)
+  end
+
+(* ---- regression comparison ---- *)
+
+type direction = Lower_better | Higher_better
+
+type check = {
+  metric : string;
+  base : float;
+  current : float;
+  limit : float;
+  slack : float;
+  direction : direction;
+  ok : bool;
+}
+
+let header_mismatch a b =
+  match (a.header, b.header) with
+  | Some ha, Some hb ->
+      if ha.schema <> hb.schema then
+        Some (Printf.sprintf "schema mismatch: %d vs %d" ha.schema hb.schema)
+      else if ha.seed <> hb.seed then
+        Some
+          (Printf.sprintf "seed mismatch: %s vs %s"
+             (match ha.seed with Some s -> string_of_int s | None -> "none")
+             (match hb.seed with Some s -> string_of_int s | None -> "none"))
+      else if ha.argv <> hb.argv then
+        Some
+          (Printf.sprintf "argv mismatch: %S vs %S" (String.concat " " ha.argv)
+             (String.concat " " hb.argv))
+      else None
+  | _ -> None
+
+let mk_check ~metric ~direction ~limit ?(slack = 0.0) ~base ~current () =
+  let ok =
+    match direction with
+    | Lower_better -> current <= (limit *. base) +. slack
+    | Higher_better -> current >= (base /. limit) -. slack
+  in
+  { metric; base; current; limit; slack; direction; ok }
+
+let compare_traces ?(tolerance = 1.3) ~base ~current () =
+  let checks = ref [] in
+  let push c = checks := c :: !checks in
+  (* Span wall time per name; sub-millisecond spans are timing noise. *)
+  let cur_spans = span_totals current in
+  List.iter
+    (fun (name, base_ns) ->
+      if Int64.compare base_ns 1_000_000L >= 0 then
+        let cur_ns =
+          match List.assoc_opt name cur_spans with Some v -> v | None -> 0L
+        in
+        push
+          (mk_check
+             ~metric:(Printf.sprintf "span:%s.total_ms" name)
+             ~direction:Lower_better ~limit:tolerance
+             ~base:(Clock.ns_to_ms base_ns) ~current:(Clock.ns_to_ms cur_ns) ()))
+    (span_totals base);
+  (* Histogram tails, matched by name. *)
+  List.iter
+    (fun (b : Histogram.snapshot) ->
+      if b.hist_count > 0 then
+        match
+          List.find_opt
+            (fun (c : Histogram.snapshot) -> c.hist_name = b.hist_name)
+            current.hists
+        with
+        | Some c when c.hist_count > 0 ->
+            List.iter
+              (fun (tag, q) ->
+                push
+                  (mk_check
+                     ~metric:(Printf.sprintf "hist:%s.%s" b.hist_name tag)
+                     ~direction:Lower_better ~limit:tolerance
+                     ~base:(Histogram.quantile_of b q)
+                     ~current:(Histogram.quantile_of c q) ()))
+              [ ("p50", 0.50); ("p99", 0.99) ]
+        | _ -> ())
+    base.hists;
+  (* Solution quality: final cost has a tight band — a solver that ends
+     5% worse on the same seed is a real regression, not jitter. *)
+  let cur_quality = quality current in
+  List.iter
+    (fun qb ->
+      match List.find_opt (fun qc -> qc.stream = qb.stream) cur_quality with
+      | Some qc ->
+          push
+            (mk_check
+               ~metric:(Printf.sprintf "quality:%s.final_cost" qb.stream)
+               ~direction:Lower_better ~limit:1.05 ~base:qb.final_cost
+               ~current:qc.final_cost ());
+          push
+            (mk_check
+               ~metric:(Printf.sprintf "quality:%s.primal_integral" qb.stream)
+               ~direction:Lower_better ~limit:tolerance ~slack:0.01
+               ~base:qb.primal_integral ~current:qc.primal_integral ())
+      | None -> ())
+    (quality base);
+  let severity c =
+    let eps = 1e-12 in
+    match c.direction with
+    | Lower_better -> c.current /. Float.max (Float.abs c.base) eps
+    | Higher_better -> c.base /. Float.max (Float.abs c.current) eps
+  in
+  List.stable_sort
+    (fun a b ->
+      match Bool.compare a.ok b.ok with
+      | 0 -> (
+          match compare (severity b) (severity a) with
+          | 0 -> compare a.metric b.metric
+          | c -> c)
+      | c -> c)
+    !checks
+
+let print_checks oc checks =
+  List.iter
+    (fun c ->
+      let band =
+        match c.direction with
+        | Lower_better ->
+            Printf.sprintf "<= %.0f%% of base%s" (100.0 *. c.limit)
+              (if c.slack > 0.0 then Printf.sprintf " + %.3g" c.slack else "")
+        | Higher_better ->
+            Printf.sprintf ">= %.0f%% of base%s"
+              (100.0 /. c.limit)
+              (if c.slack > 0.0 then Printf.sprintf " - %.3g" c.slack else "")
+      in
+      Printf.fprintf oc "%s %-44s %14.6g vs %14.6g  (%s)\n"
+        (if c.ok then "ok  " else "FAIL")
+        c.metric c.current c.base band)
+    checks

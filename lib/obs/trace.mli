@@ -1,0 +1,114 @@
+(** Trace forensics: load a JSONL trace back into memory and turn it into
+    answers — span trees with self times and allocation, histogram
+    percentile tables, time-to-quality metrics from incumbent streams,
+    and a direction-aware regression comparison between two traces.
+
+    This is the read side of {!Export.jsonl}: everything that exporter
+    writes, [load] parses; [report] renders the forensics as text and
+    [compare] diffs two traces the way [tools/bench_gate] diffs bench
+    JSON. All rendering takes an explicit [out_channel] — the library
+    never prints on its own. *)
+
+(** Provenance parsed from the trace's header line. *)
+type header = {
+  schema : int;
+  seed : int option;
+  argv : string list;
+}
+
+type t = {
+  header : header option;  (** [None] for pre-v2 traces *)
+  events : Event.t list;   (** in file order *)
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  hists : Histogram.snapshot list;
+}
+
+val load : string -> (t, string) result
+(** Parse a JSONL trace file. Unknown record types are skipped (forward
+    compatibility within a schema); malformed JSON or a header with a
+    schema newer than {!Export.schema_version} is an [Error] naming the
+    offending line. *)
+
+val of_string : string -> (t, string) result
+
+(** One node of the reconstructed span tree. [self_ns] is [total_ns]
+    minus the children's totals; [minor_words]/[major_words] accumulate
+    {!Event.Gc_delta} samples attached to this span. *)
+type node = {
+  span : string;
+  calls : int;
+  total_ns : int64;
+  self_ns : int64;
+  minor_words : float;
+  major_words : float;
+  children : node list;  (** in first-seen order *)
+}
+
+val span_tree : t -> (int * node list) list
+(** Per-domain forest, domains ascending; children in first-seen order.
+    Unmatched ends are ignored; spans still open at the trace's last
+    event are closed there. *)
+
+val span_totals : t -> (string * int64) list
+(** Total nanoseconds per span name, summed over every occurrence in
+    every domain (nested occurrences of the same name count once — the
+    outermost), sorted by name. The flat view {!compare} bands. *)
+
+(** Anytime profile of one incumbent stream. The running minimum of the
+    observed costs is the anytime curve; [primal_integral] is the mean
+    relative optimality gap to the final cost over the stream's window —
+    0 when the final cost is found instantly, large when the search
+    dwells far from it. [tt_within] gives, per percentage threshold, the
+    seconds from the stream's first update until the curve is within
+    that percentage of the final cost. *)
+type quality = {
+  stream : string;
+  updates : int;
+  first_cost : float;
+  final_cost : float;
+  window_s : float;   (** first update to last event in the trace *)
+  primal_integral : float;
+  tt_within : (float * float) list;  (** (percent, seconds) *)
+}
+
+val quality : ?thresholds:float list -> t -> quality list
+(** Per-stream anytime profiles, streams sorted by name; [thresholds]
+    default to [[1.; 5.; 10.]] percent. Streams with no updates are
+    omitted. *)
+
+val report : out_channel -> t -> unit
+(** The full forensics: header provenance, per-domain span tree
+    (calls/total/self/allocation), histogram percentile table
+    (p50/p90/p99), time-to-quality per incumbent stream, counters and
+    gauges. *)
+
+type direction = Lower_better | Higher_better
+
+(** One regression check of {!compare}: [current] vs
+    [limit *. base +. slack] under [direction]. *)
+type check = {
+  metric : string;
+  base : float;
+  current : float;
+  limit : float;
+  slack : float;
+  direction : direction;
+  ok : bool;
+}
+
+val header_mismatch : t -> t -> string option
+(** Why two traces should not be compared (schema, seed, or argv
+    differs), or [None] when they match. Traces without headers never
+    mismatch (nothing to check). *)
+
+val compare_traces : ?tolerance:float -> base:t -> current:t -> unit -> check list
+(** Direction-aware regression checks, most-regressed first: span totals
+    (per name, only spans with base total >= 1 ms; band [tolerance],
+    default 1.3), histogram p50/p99 (band [tolerance]), and per-stream
+    final cost (band 1.05) and primal integral (band [tolerance] plus an
+    absolute slack of 0.01 gap — tiny integrals are noise). Timing and
+    allocation metrics are [Lower_better]. *)
+
+val print_checks : out_channel -> check list -> unit
+(** One line per check ("ok"/"FAIL", metric, current vs base, band). *)

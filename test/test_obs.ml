@@ -171,7 +171,8 @@ let test_span_nesting_single_domain () =
             | Obs.Event.Span_begin n -> "B:" ^ n
             | Obs.Event.Span_end n -> "E:" ^ n
             | Obs.Event.Mark n -> "M:" ^ n
-            | Obs.Event.Incumbent { stream; _ } -> "I:" ^ stream)
+            | Obs.Event.Incumbent { stream; _ } -> "I:" ^ stream
+            | Obs.Event.Gc_delta { span; _ } -> "G:" ^ span)
           events
       in
       Alcotest.(check (list string)) "well-nested order"
@@ -350,8 +351,13 @@ let test_jsonl_lines_parse () =
   let events = sample_events () in
   let out = export_to_string (Obs.Export.jsonl ~counters:[ ("k", 3) ]) events in
   let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
-  Alcotest.(check int) "spans + incumbents + mark + counter"
-    (List.length events + 1) (List.length lines);
+  Alcotest.(check int) "header + spans + incumbents + mark + counter"
+    (List.length events + 2) (List.length lines);
+  (match lines with
+  | first :: _ ->
+      Alcotest.(check bool) "first line is the header" true
+        (String.length first >= 16 && String.sub first 0 16 = "{\"type\":\"header\"")
+  | [] -> Alcotest.fail "no lines");
   List.iter
     (fun line ->
       match parse_json line with
@@ -404,6 +410,206 @@ let test_ring_drop_newest () =
         (List.map Obs.Event.name events);
       Alcotest.(check int) "drops counted" 12 dropped_in_domain)
 
+(* ---- histograms ---- *)
+
+let snap_of_values ?(alpha = Obs.Histogram.default_alpha) name values =
+  let h = Obs.Histogram.create ~alpha name in
+  List.iter (Obs.Histogram.record h) values;
+  Obs.Histogram.snapshot_of h
+
+(* The same rank convention quantile_of uses: the ceil(q*n)-th smallest
+   value (1-based), clamped to [1, n]. *)
+let exact_quantile sorted q =
+  let n = Array.length sorted in
+  let r = int_of_float (Float.ceil (q *. float_of_int n)) in
+  let r = if r < 1 then 1 else if r > n then n else r in
+  sorted.(r - 1)
+
+(* Log-uniform positive values spanning the trackable range, so the
+   property exercises buckets 18 decades apart, not just one decade. *)
+let log_uniform_value = QCheck.(map (fun e -> 10.0 ** e) (float_range (-6.0) 12.0))
+
+let qcheck_quantile_relative_error =
+  QCheck.Test.make ~name:"histogram quantile within alpha relative error" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 300) log_uniform_value)
+    (fun values ->
+      let s = snap_of_values "qcheck.quantile" values in
+      let sorted = Array.of_list values in
+      Array.sort compare sorted;
+      List.for_all
+        (fun q ->
+          let est = Obs.Histogram.quantile_of s q in
+          let exact = exact_quantile sorted q in
+          (* alpha with a sliver of slack for the float log/pow round
+             trips in bucket indexing. *)
+          Float.abs (est -. exact) <= (Obs.Histogram.default_alpha *. 1.05 *. exact) +. 1e-12)
+        [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ])
+
+(* Exact equality on everything merge promises exactly; hist_sum is float
+   addition in merge order, so it only gets a relative tolerance. *)
+let snapshot_equivalent (a : Obs.Histogram.snapshot) (b : Obs.Histogram.snapshot) =
+  a.Obs.Histogram.hist_alpha = b.Obs.Histogram.hist_alpha
+  && a.hist_count = b.hist_count
+  && a.hist_zero = b.hist_zero
+  && a.hist_buckets = b.hist_buckets
+  && a.hist_min = b.hist_min
+  && a.hist_max = b.hist_max
+  && Float.abs (a.hist_sum -. b.hist_sum)
+     <= 1e-9 *. (1.0 +. Float.abs a.hist_sum +. Float.abs b.hist_sum)
+
+(* Mixed-sign values so the zero/underflow bucket is merged too. *)
+let mixed_values = QCheck.(small_list (float_range (-5.0) 1e6))
+
+let qcheck_merge_commutative =
+  QCheck.Test.make ~name:"histogram merge is commutative" ~count:200
+    QCheck.(pair mixed_values mixed_values)
+    (fun (xs, ys) ->
+      let a = snap_of_values "qcheck.merge.a" xs and b = snap_of_values "qcheck.merge.b" ys in
+      snapshot_equivalent (Obs.Histogram.merge a b) (Obs.Histogram.merge b a))
+
+let qcheck_merge_associative =
+  QCheck.Test.make ~name:"histogram merge is associative" ~count:200
+    QCheck.(triple mixed_values mixed_values mixed_values)
+    (fun (xs, ys, zs) ->
+      let a = snap_of_values "qcheck.merge.a" xs
+      and b = snap_of_values "qcheck.merge.b" ys
+      and c = snap_of_values "qcheck.merge.c" zs in
+      snapshot_equivalent
+        (Obs.Histogram.merge (Obs.Histogram.merge a b) c)
+        (Obs.Histogram.merge a (Obs.Histogram.merge b c)))
+
+let qcheck_merge_equals_single_stream =
+  QCheck.Test.make ~name:"merge of split streams equals one stream" ~count:200
+    QCheck.(pair mixed_values mixed_values)
+    (fun (xs, ys) ->
+      let a = snap_of_values "qcheck.split.a" xs and b = snap_of_values "qcheck.split.b" ys in
+      snapshot_equivalent (Obs.Histogram.merge a b) (snap_of_values "qcheck.whole" (xs @ ys)))
+
+let test_histogram_edge_values () =
+  let h = Obs.Histogram.create "test.obs.hist.edges" in
+  List.iter (Obs.Histogram.record h) [ 0.0; -3.0; nan; 42.0 ];
+  let s = Obs.Histogram.snapshot_of h in
+  Alcotest.(check int) "NaN ignored" 3 s.Obs.Histogram.hist_count;
+  Alcotest.(check int) "zero and negative underflow" 2 s.hist_zero;
+  Alcotest.(check (float 1e-9)) "min exact" (-3.0) s.hist_min;
+  Alcotest.(check (float 1e-9)) "max exact" 42.0 s.hist_max;
+  Alcotest.(check (float 1e-9)) "low quantile hits underflow" (-3.0)
+    (Obs.Histogram.quantile_of s 0.1);
+  Alcotest.(check bool) "p99 near 42" true
+    (Float.abs (Obs.Histogram.quantile_of s 0.99 -. 42.0) <= 0.5)
+
+let test_histogram_concurrent_recording () =
+  let h = Obs.Histogram.create "test.obs.hist.concurrent" in
+  let per_domain = 25_000 in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Obs.Histogram.record h (float_of_int ((d * per_domain) + i))
+            done))
+  in
+  List.iter Domain.join domains;
+  let s = Obs.Histogram.snapshot_of h in
+  let n = 4 * per_domain in
+  Alcotest.(check int) "count conserved" n s.Obs.Histogram.hist_count;
+  Alcotest.(check int) "bucket tally conserved" n
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 s.hist_buckets);
+  Alcotest.(check (float 1e-9)) "min survives the race" 1.0 s.hist_min;
+  Alcotest.(check (float 1e-9)) "max survives the race" (float_of_int n) s.hist_max;
+  (* Every recorded value is an integer and the total stays below 2^53,
+     so each CAS addition is exact float arithmetic in any order. *)
+  Alcotest.(check (float 1e-3)) "sum conserved"
+    (float_of_int n *. float_of_int (n + 1) /. 2.0)
+    s.hist_sum
+
+(* ---- trace forensics (obs report / obs compare) ---- *)
+
+(* `dune runtest` runs this binary from _build/default/test; `dune exec
+   test/test_main.exe` (the TSan CI job) runs it from the project root.
+   Probe both so the fixture resolves either way. *)
+let fixture name =
+  let candidates =
+    [ Filename.concat "../bench/fixtures" name; Filename.concat "bench/fixtures" name ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> path
+  | None -> List.hd candidates
+
+let load_fixture name =
+  match Obs.Trace.load (fixture name) with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "load %s: %s" name e
+
+let test_obs_report_matches_golden () =
+  let t = load_fixture "trace_small.jsonl" in
+  let got = export_to_string (fun oc () -> Obs.Trace.report oc t) () in
+  let want = In_channel.with_open_text (fixture "trace_small.report.txt") In_channel.input_all in
+  Alcotest.(check string) "report matches committed golden output" want got
+
+let test_obs_compare_self_is_clean () =
+  let t = load_fixture "trace_small.jsonl" in
+  Alcotest.(check (option string)) "no header mismatch with itself" None
+    (Obs.Trace.header_mismatch t t);
+  let checks = Obs.Trace.compare_traces ~base:t ~current:t () in
+  Alcotest.(check bool) "has checks" true (checks <> []);
+  List.iter
+    (fun (c : Obs.Trace.check) ->
+      if not c.Obs.Trace.ok then Alcotest.failf "self-compare flagged %s" c.Obs.Trace.metric)
+    checks
+
+let test_obs_compare_flags_regression () =
+  let base = load_fixture "trace_small.jsonl" in
+  let regressed = load_fixture "trace_small_regressed.jsonl" in
+  Alcotest.(check (option string)) "same provenance, comparable" None
+    (Obs.Trace.header_mismatch base regressed);
+  let checks = Obs.Trace.compare_traces ~base ~current:regressed () in
+  let failed =
+    List.filter_map
+      (fun (c : Obs.Trace.check) -> if c.Obs.Trace.ok then None else Some c.Obs.Trace.metric)
+      checks
+  in
+  let has needle = List.mem needle failed in
+  Alcotest.(check bool) "span regression flagged" true (has "span:anneal.solve.total_ms");
+  Alcotest.(check bool) "histogram p99 regression flagged" true
+    (has "hist:anneal.move_ns.p99");
+  Alcotest.(check bool) "final-cost regression flagged" true (has "quality:anneal.final_cost");
+  (* Most-regressed first: the head of the list must be a failure. *)
+  match checks with
+  | c :: _ -> Alcotest.(check bool) "failures sorted first" false c.Obs.Trace.ok
+  | [] -> Alcotest.fail "no checks"
+
+(* Replace the first occurrence of [needle] in [hay]. *)
+let replace_once hay needle replacement =
+  let nh = String.length hay and nn = String.length needle in
+  let rec find i = if i + nn > nh then None else if String.sub hay i nn = needle then Some i else find (i + 1) in
+  match find 0 with
+  | None -> Alcotest.failf "fixture lacks %S" needle
+  | Some i ->
+      String.sub hay 0 i ^ replacement ^ String.sub hay (i + nn) (nh - i - nn)
+
+let test_obs_compare_refuses_mismatched_header () =
+  let base = load_fixture "trace_small.jsonl" in
+  let text = In_channel.with_open_text (fixture "trace_small.jsonl") In_channel.input_all in
+  let reseed s =
+    match Obs.Trace.of_string (replace_once text "\"seed\":7" (Printf.sprintf "\"seed\":%d" s)) with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "reseeded trace: %s" e
+  in
+  (match Obs.Trace.header_mismatch base (reseed 8) with
+  | Some reason ->
+      Alcotest.(check bool) "mismatch names the seed" true
+        (let nl = String.length "seed" and ol = String.length reason in
+         let rec go i = i + nl <= ol && (String.sub reason i nl = "seed" || go (i + 1)) in
+         go 0)
+  | None -> Alcotest.fail "seed mismatch not detected");
+  Alcotest.(check (option string)) "identical header still matches" None
+    (Obs.Trace.header_mismatch base (reseed 7));
+  (* A trace from a newer schema than this binary understands must refuse
+     to load at all. *)
+  match Obs.Trace.of_string (replace_once text "\"schema\":2" "\"schema\":99") with
+  | Ok _ -> Alcotest.fail "newer schema accepted"
+  | Error _ -> ()
+
 let suite =
   [
     Alcotest.test_case "disabled sink records nothing" `Quick
@@ -420,4 +626,22 @@ let suite =
     Alcotest.test_case "jsonl lines parse" `Quick test_jsonl_lines_parse;
     Alcotest.test_case "summary renders" `Quick test_summary_renders;
     Alcotest.test_case "ring drops newest" `Quick test_ring_drop_newest;
+    Alcotest.test_case "histogram edge values" `Quick test_histogram_edge_values;
+    Alcotest.test_case "histogram concurrent recording" `Quick
+      test_histogram_concurrent_recording;
+    Alcotest.test_case "obs report matches golden fixture" `Quick
+      test_obs_report_matches_golden;
+    Alcotest.test_case "obs compare self is clean" `Quick test_obs_compare_self_is_clean;
+    Alcotest.test_case "obs compare flags regression" `Quick
+      test_obs_compare_flags_regression;
+    Alcotest.test_case "obs compare refuses mismatched header" `Quick
+      test_obs_compare_refuses_mismatched_header;
   ]
+  @ List.map
+      (QCheck_alcotest.to_alcotest ~long:false)
+      [
+        qcheck_quantile_relative_error;
+        qcheck_merge_commutative;
+        qcheck_merge_associative;
+        qcheck_merge_equals_single_stream;
+      ]

@@ -102,12 +102,18 @@ let contains hay needle =
   let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
   nn = 0 || go 0
 
-type direction = Higher_better of float | Lower_better of float
+(* Lower_better carries an additive slack on top of the multiplicative
+   band: the anytime metrics are dimensionless gaps/fractions whose
+   baseline can be arbitrarily close to zero, where a pure ratio band
+   would flag noise (0.001 -> 0.004 is not a regression). *)
+type direction = Higher_better of float | Lower_better of float * float
 
 let band key =
   if contains key "moves_per_sec" || contains key ".speedup" then Some (Higher_better 0.70)
-  else if contains key "alloc_words_per_move" then Some (Lower_better 1.10)
-  else if contains key "ns_per_run" then Some (Lower_better 1.30)
+  else if contains key "alloc_words_per_move" then Some (Lower_better (1.10, 0.0))
+  else if contains key "ns_per_run" then Some (Lower_better (1.30, 0.0))
+  else if contains key "primal_integral" then Some (Lower_better (3.0, 0.02))
+  else if contains key "tt_within" then Some (Lower_better (5.0, 0.10))
   else None
 
 let () =
@@ -134,8 +140,11 @@ let () =
               match dir with
               | Higher_better frac ->
                   (cur >= frac *. base, Printf.sprintf ">= %.0f%% of baseline" (100. *. frac))
-              | Lower_better frac ->
-                  (cur <= frac *. base, Printf.sprintf "<= %.0f%% of baseline" (100. *. frac))
+              | Lower_better (frac, slack) ->
+                  ( cur <= (frac *. base) +. slack,
+                    if slack > 0.0 then
+                      Printf.sprintf "<= %.0f%% of baseline + %.3g" (100. *. frac) slack
+                    else Printf.sprintf "<= %.0f%% of baseline" (100. *. frac) )
             in
             if not ok then incr failures;
             Printf.printf "%s %-52s %14.1f vs %14.1f  (%s)\n"
