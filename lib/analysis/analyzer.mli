@@ -1,0 +1,53 @@
+(** Analyzer front end: parse with the compiler's parser
+    ([compiler-libs.common]), run the registered passes, subtract inline
+    suppressions, the allowlist and the committed baseline. The library
+    returns data; [tools/analyzer] prints and sets the exit code.
+
+    Files that fail to parse yield a single [A000] finding (the build
+    would reject them too); the token-scanner rules that need no parse
+    (R003–R005) stay in {!Lint.Source_rules}. *)
+
+val builtin_passes : unit -> Registry.pass list
+(** All built-in passes (A001 domain-safety, A002 determinism, A003
+    hot-path allocation, A004 matrix representation), forcing their
+    registration. *)
+
+val parse_implementation :
+  path:string -> string -> (Parsetree.structure, int) result
+(** [Error line] points at the lexer position of the syntax error. *)
+
+val check_source :
+  ?passes:Registry.pass list -> path:string -> string -> Finding.t list
+(** Raw findings for one source file, before any suppression. *)
+
+val analyze_source :
+  ?passes:Registry.pass list ->
+  path:string ->
+  string ->
+  Finding.t list * Finding.t list
+(** [(kept, inline_suppressed)] for one file. *)
+
+type report = {
+  files : int;
+  kept : Finding.t list;
+  suppressed : Finding.t list;
+}
+
+val run :
+  ?passes:Registry.pass list ->
+  ?allow:Lint.Source_rules.allow list ->
+  ?baseline:Baseline.t ->
+  (string * string) list ->
+  report
+(** Analyze [(path, contents)] pairs; findings surviving inline
+    suppressions are further filtered by the allowlist (same
+    [RULE path-prefix] format as repolint) and the baseline. *)
+
+val walk : string -> string list
+(** Recursively list [.ml] files under a directory, sorted at every
+    level ([_build] and dot-directories skipped) — byte-stable output
+    across machines. *)
+
+val load_tree : root:string -> string list -> (string * string) list
+(** Read every [.ml] file under [roots] (relative to [root]), returning
+    repository-relative paths with their contents. *)

@@ -1,0 +1,9 @@
+(** Parsetree differences between the OCaml versions in the CI matrix.
+
+    The implementation is selected at build time from
+    [ast_compat_51.ml.in] (< 5.2) or [ast_compat_52.ml.in] (>= 5.2) by a
+    dune rule keyed on [%{ocaml_version}]; this interface is common. *)
+
+val is_function : Parsetree.expression -> bool
+(** Is this expression a [fun]/[function] — i.e. does evaluating it
+    allocate a closure? *)

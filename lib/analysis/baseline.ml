@@ -1,0 +1,37 @@
+(* Committed debt ledger: a set of finding fingerprints that are known
+   and temporarily tolerated. Fingerprints omit line numbers (see
+   Finding.fingerprint) so the ledger survives edits elsewhere in a file;
+   the file format is plain text, one tab-separated fingerprint per line,
+   sorted, with '#' comments — diff-friendly and byte-stable. *)
+
+module Set = struct
+  include Stdlib.Set.Make (String)
+end
+
+type t = Set.t
+
+let empty = Set.empty
+let is_empty = Set.is_empty
+let size = Set.cardinal
+let of_findings fs = List.fold_left (fun s f -> Set.add (Finding.fingerprint f) s) Set.empty fs
+let mem t f = Set.mem (Finding.fingerprint f) t
+
+let parse text =
+  String.split_on_char '\n' text
+  |> List.fold_left
+       (fun s line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then s else Set.add line s)
+       Set.empty
+
+let header =
+  "# cloudia-analyzer baseline — one finding fingerprint (pass\\tpath\\tmessage)\n\
+   # per line. Entries are tolerated debt: new findings must not be added\n\
+   # here without a reason in the PR; remove entries as they are fixed.\n"
+
+let render t =
+  let lines = Set.elements t in
+  header ^ String.concat "\n" lines ^ if lines = [] then "" else "\n"
+
+let filter t findings =
+  List.partition (fun f -> not (mem t f)) findings

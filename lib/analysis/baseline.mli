@@ -1,0 +1,23 @@
+(** Committed baseline of tolerated findings.
+
+    A baseline file holds one {!Finding.fingerprint} per line (sorted,
+    ['#'] comments allowed); findings whose fingerprint appears in the
+    baseline are reported as suppressed rather than failing the run.
+    [parse] and [render] round-trip: [parse (render t)] equals [t]. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val size : t -> int
+
+val of_findings : Finding.t list -> t
+(** Baseline covering exactly the given findings (what
+    [analyzer --update-baseline] writes). *)
+
+val mem : t -> Finding.t -> bool
+val parse : string -> t
+val render : t -> string
+
+val filter : t -> Finding.t list -> Finding.t list * Finding.t list
+(** [(kept, suppressed)]. *)

@@ -1,0 +1,30 @@
+type t = { pass : string; path : string; line : int; message : string }
+
+let make ~pass ~path ~line message = { pass; path; line; message }
+
+let compare a b =
+  match String.compare a.pass b.pass with
+  | 0 -> (
+      match String.compare a.path b.path with
+      | 0 -> (
+          match Int.compare a.line b.line with
+          | 0 -> String.compare a.message b.message
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let sort fs = List.sort_uniq compare fs
+
+(* The fingerprint deliberately omits the line number so a committed
+   baseline survives unrelated edits above the finding; two findings with
+   the same message in one file share a fingerprint and are baselined
+   together. *)
+let fingerprint f = Printf.sprintf "%s\t%s\t%s" f.pass f.path f.message
+
+let to_string f = Printf.sprintf "%s %s:%d %s" f.pass f.path f.line f.message
+
+let to_diagnostic ?(severity = Lint.Diagnostic.Error) f =
+  let context =
+    if f.line = 0 then f.path else Printf.sprintf "%s:%d" f.path f.line
+  in
+  Lint.Diagnostic.make severity ~code:f.pass ~context f.message

@@ -1,0 +1,7 @@
+(** A003 — hot-path allocation pass: inside [while]/[for] bodies of a
+    function marked [[@cloudia.hot]], closures, tuples, records, arrays,
+    constructor blocks, [lazy], [ref] and [^]/[@] appends are findings
+    (raise paths exempt). *)
+
+val check : path:string -> Parsetree.structure -> Finding.t list
+val pass : Registry.pass

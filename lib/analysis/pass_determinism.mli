@@ -1,0 +1,6 @@
+(** A002 — determinism pass: wall-clock reads, global [Random], and
+    polymorphic [compare] on solver data, resolved through opens, module
+    aliases and shadowing. AST successor of the token rules R001/R002. *)
+
+val check : path:string -> Parsetree.structure -> Finding.t list
+val pass : Registry.pass

@@ -1,0 +1,8 @@
+(** A001 — domain-safety pass: per-file proof that no top-level mutable
+    state ([ref], [Hashtbl], [Buffer], mutable records, ...) is
+    syntactically reachable from a closure passed to [Domain.spawn]
+    without [Atomic] or [Mutex.protect]. Reachability follows unguarded
+    references through this file's top-level bindings. *)
+
+val check : path:string -> Parsetree.structure -> Finding.t list
+val pass : Registry.pass

@@ -1,0 +1,7 @@
+(** A004 — matrix-representation pass: boxed [costs.(i).(j)] indexing
+    outside [lib/lat_matrix/] and the raw-CSV layer, detected on the
+    desugared [Array.get]/[Array.set] applications. AST successor of
+    token rule R006. *)
+
+val check : path:string -> Parsetree.structure -> Finding.t list
+val pass : Registry.pass

@@ -1,0 +1,23 @@
+(** The pass registry.
+
+    A pass is a named AST check over one parsed implementation file.
+    Passes self-register at module initialization time;
+    {!Analyzer.builtin_passes} forces the built-in pass modules to link so
+    a library consumer sees them without naming each module. *)
+
+type pass = {
+  id : string;  (** stable diagnostic code, e.g. ["A001"] *)
+  description : string;
+  applies : string -> bool;
+      (** path filter over repository-relative ['/'] paths; files outside
+          the pass's scope are skipped entirely *)
+  check : path:string -> Parsetree.structure -> Finding.t list;
+}
+
+val register : pass -> unit
+(** Raises [Invalid_argument] on a duplicate id. *)
+
+val all : unit -> pass list
+(** All registered passes, in id order. *)
+
+val find : string -> pass option

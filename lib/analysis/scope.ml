@@ -1,0 +1,61 @@
+(* Lexical environment for syntactic name resolution over a Parsetree.
+   The analyzer is untyped, so "resolution" means tracking exactly the
+   three things token scanning cannot see: module aliases
+   ([module U = Unix]), opens ([open Unix]), and shadowing
+   ([module Random = ...], [let gettimeofday = ...]). Anything defined in
+   the file under analysis resolves to [Local]; a module name with no
+   binding in scope is assumed to be the global (stdlib or external)
+   module of that name. *)
+
+type origin = Global of string list | Local
+
+type t = {
+  modules : (string * origin) list; (* innermost binding first *)
+  opens : origin list; (* innermost open first *)
+  values : string list; (* let-bound value names in scope *)
+}
+
+let empty = { modules = []; opens = []; values = [] }
+
+(* [Stdlib.Random.int] and [Random.int] are the same global; normalize the
+   explicit prefix away so passes match one spelling. *)
+let normalize = function "Stdlib" :: (_ :: _ as rest) -> rest | p -> p
+
+let rec resolve_module t (lid : Longident.t) : origin =
+  match lid with
+  | Lident m -> (
+      match List.assoc_opt m t.modules with
+      | Some origin -> origin
+      | None -> Global (normalize [ m ]))
+  | Ldot (prefix, m) -> (
+      match resolve_module t prefix with
+      | Local -> Local
+      | Global p -> Global (normalize (p @ [ m ])))
+  | Lapply _ -> Local (* functor application: nothing global to ban *)
+
+type value_ref =
+  | Path of string list (* qualified use resolving to a global module *)
+  | Bare of string (* unqualified and not let-bound here *)
+  | Shadowed (* resolves to something defined in this file *)
+
+let resolve_value t (lid : Longident.t) : value_ref =
+  match lid with
+  | Lident n -> if List.mem n t.values then Shadowed else Bare n
+  | Ldot (prefix, n) -> (
+      match resolve_module t prefix with
+      | Local -> Shadowed
+      | Global p -> Path (normalize (p @ [ n ])))
+  | Lapply _ -> Shadowed
+
+let bind_module t name origin = { t with modules = (name, origin) :: t.modules }
+let bind_value t name = { t with values = name :: t.values }
+let bind_values t names = List.fold_left bind_value t names
+let open_origin t origin = { t with opens = origin :: t.opens }
+
+let clear_values t = { t with values = [] }
+
+let opens_module t path =
+  List.exists (function Global p -> p = path | Local -> false) t.opens
+
+let any_open_of t paths =
+  List.exists (function Global p -> List.mem p paths | Local -> false) t.opens

@@ -1,0 +1,43 @@
+(** Lexical environments for syntactic (untyped) name resolution.
+
+    Tracks the three things a token scanner cannot: module aliases
+    ([module U = Unix] makes [U.gettimeofday] a wall-clock read), opens
+    ([open Unix] makes bare [gettimeofday] one), and shadowing
+    ([module Random = Safe_shim] makes [Random.int] harmless). Names
+    defined in the file under analysis resolve to {!Local}/{!Shadowed};
+    module names with no binding in scope are assumed global. *)
+
+type origin =
+  | Global of string list
+      (** a stdlib/external module path, [Stdlib.] prefix normalized away *)
+  | Local  (** defined (or rebound) in the file under analysis *)
+
+type t
+
+val empty : t
+
+val resolve_module : t -> Longident.t -> origin
+(** Resolve a module longident through the alias environment. *)
+
+type value_ref =
+  | Path of string list  (** qualified use of a global module's member *)
+  | Bare of string  (** unqualified, not let-bound — opens may supply it *)
+  | Shadowed  (** resolves to something bound in this file *)
+
+val resolve_value : t -> Longident.t -> value_ref
+
+val bind_module : t -> string -> origin -> t
+val bind_value : t -> string -> t
+val bind_values : t -> string list -> t
+val open_origin : t -> origin -> t
+
+val clear_values : t -> t
+(** Drop value bindings, keeping modules and opens — used when re-walking
+    an expression to distinguish file-top-level names (then [Bare]) from
+    expression-local lets (then [Shadowed]). *)
+
+val opens_module : t -> string list -> bool
+(** Is [path] among the opened modules? *)
+
+val any_open_of : t -> string list list -> bool
+(** Is any of [paths] among the opened modules? *)

@@ -1,0 +1,74 @@
+(* Inline suppressions: [(* cloudia-lint: allow A003 reason... *)].
+   A suppression covers findings of the named pass(es) on its own line and
+   on the following line, so both styles read naturally:
+
+     let x = whatever ()  (* cloudia-lint: allow A002 replayed fixture *)
+
+     (* cloudia-lint: allow A001 guarded by the pool's startup barrier *)
+     let shared = Hashtbl.create 16
+
+   A reason is mandatory — a bare id is not a suppression (and scans of
+   the repository should stay greppable for the *why*, not just the
+   what). *)
+
+type t = { line : int; passes : string list; reason : string }
+
+let marker = "cloudia-lint:"
+
+let is_pass_id s =
+  String.length s >= 2
+  && s.[0] >= 'A'
+  && s.[0] <= 'Z'
+  && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub s 1 (String.length s - 1))
+
+(* Split on spaces and commas, dropping empties. *)
+let tokens s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char ',')
+  |> List.filter (fun t -> t <> "")
+
+let strip_comment_close s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n >= 2 && String.sub s (n - 2) 2 = "*)" then
+    String.trim (String.sub s 0 (n - 2))
+  else s
+
+let parse_line lineno text =
+  (* Find the marker anywhere in the line (it lives inside a comment). *)
+  let mlen = String.length marker and n = String.length text in
+  let rec find i =
+    if i + mlen > n then None
+    else if String.sub text i mlen = marker then Some (i + mlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start -> (
+      let rest = strip_comment_close (String.sub text start (n - start)) in
+      match tokens rest with
+      | "allow" :: after -> (
+          let rec split_ids acc = function
+            | id :: tl when is_pass_id id -> split_ids (id :: acc) tl
+            | reason -> (List.rev acc, reason)
+          in
+          match split_ids [] after with
+          | [], _ -> None (* no pass ids: not a suppression *)
+          | _, [] -> None (* no reason: not a suppression *)
+          | passes, reason_words ->
+              Some { line = lineno; passes; reason = String.concat " " reason_words })
+      | _ -> None)
+
+let scan source =
+  String.split_on_char '\n' source
+  |> List.mapi (fun i line -> parse_line (i + 1) line)
+  |> List.filter_map Fun.id
+
+let covers t (f : Finding.t) =
+  (f.Finding.line = t.line || f.Finding.line = t.line + 1)
+  && List.mem f.Finding.pass t.passes
+
+let filter suppressions findings =
+  List.partition
+    (fun f -> not (List.exists (fun t -> covers t f) suppressions))
+    findings

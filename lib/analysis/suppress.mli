@@ -1,0 +1,17 @@
+(** Inline suppression comments:
+    [(* cloudia-lint: allow A001 A003 reason words *)].
+
+    A suppression names one or more pass ids and a mandatory free-text
+    reason; it covers findings of those passes on the comment's own line
+    and on the following line. Comments without a reason are ignored (not
+    suppressions), so every checked-in exception explains itself. *)
+
+type t = { line : int; passes : string list; reason : string }
+
+val scan : string -> t list
+(** All suppressions in a source file, in line order. *)
+
+val covers : t -> Finding.t -> bool
+
+val filter : t list -> Finding.t list -> Finding.t list * Finding.t list
+(** [(kept, suppressed)]. *)

@@ -1,0 +1,137 @@
+(* Scope-threading AST traversal. Built on [Ast_iterator.default_iterator]
+   so every Parsetree constructor is recursed into without this module
+   having to name it (naming constructors is what breaks across compiler
+   versions); only the scope-introducing forms are handled explicitly:
+
+     - [open M] / [let open M in e]      (opens, expression ones restored)
+     - [module X = ...] / [let module]   (aliases and shadowing)
+     - [let x = ... ] / [let rec]        (value shadowing)
+     - [module _ = struct ... end]       (inner structures restore scope)
+
+   Known approximation: function parameters and match-case patterns do
+   not bind into the environment, so [fun compare -> compare a b] is
+   resolved as the global [compare]. This errs toward reporting (inline
+   suppressions exist); let-bound names, the common shadowing shape, are
+   tracked. *)
+
+open Parsetree
+
+type hooks = {
+  enter_expr : Scope.t -> expression -> unit;
+  leave_expr : expression -> unit;
+  enter_item : Scope.t -> structure_item -> unit;
+}
+
+let default_hooks =
+  {
+    enter_expr = (fun _ _ -> ());
+    leave_expr = (fun _ -> ());
+    enter_item = (fun _ _ -> ());
+  }
+
+(* All value names a pattern binds (Ppat_var and Ppat_alias, at any
+   depth). *)
+let pattern_vars p =
+  let acc = ref [] in
+  let super = Ast_iterator.default_iterator in
+  let it =
+    {
+      super with
+      pat =
+        (fun self p ->
+          (match p.ppat_desc with
+          | Ppat_var { txt; _ } | Ppat_alias (_, { txt; _ }) ->
+              acc := txt :: !acc
+          | _ -> ());
+          super.pat self p);
+    }
+  in
+  it.pat it p;
+  !acc
+
+let binding_names vbs = List.concat_map (fun vb -> pattern_vars vb.pvb_pat) vbs
+
+let make_iterator env hooks =
+  let super = Ast_iterator.default_iterator in
+  let module_origin (me : module_expr) =
+    match me.pmod_desc with
+    | Pmod_ident { txt; _ } -> Scope.resolve_module !env txt
+    | _ -> Scope.Local
+  in
+  let open_of (od : open_declaration) =
+    match od.popen_expr.pmod_desc with
+    | Pmod_ident { txt; _ } -> Scope.resolve_module !env txt
+    | _ -> Scope.Local
+  in
+  {
+    super with
+    expr =
+      (fun self e ->
+        hooks.enter_expr !env e;
+        (match e.pexp_desc with
+        | Pexp_open (od, body) ->
+            let saved = !env in
+            let origin = open_of od in
+            self.module_expr self od.popen_expr;
+            env := Scope.open_origin saved origin;
+            self.expr self body;
+            env := saved
+        | Pexp_letmodule (name, me, body) ->
+            let saved = !env in
+            let origin = module_origin me in
+            self.module_expr self me;
+            (match name.txt with
+            | Some n -> env := Scope.bind_module saved n origin
+            | None -> ());
+            self.expr self body;
+            env := saved
+        | Pexp_let (rf, vbs, body) ->
+            let saved = !env in
+            let names = binding_names vbs in
+            if rf = Asttypes.Recursive then env := Scope.bind_values saved names;
+            List.iter (fun vb -> self.value_binding self vb) vbs;
+            env := Scope.bind_values saved names;
+            self.expr self body;
+            env := saved
+        | _ -> super.expr self e);
+        hooks.leave_expr e);
+    module_expr =
+      (fun self me ->
+        match me.pmod_desc with
+        | Pmod_structure _ ->
+            let saved = !env in
+            super.module_expr self me;
+            env := saved
+        | _ -> super.module_expr self me);
+    structure_item =
+      (fun self item ->
+        hooks.enter_item !env item;
+        match item.pstr_desc with
+        | Pstr_value (rf, vbs) ->
+            let names = binding_names vbs in
+            if rf = Asttypes.Recursive then env := Scope.bind_values !env names
+            else ();
+            List.iter (fun vb -> self.value_binding self vb) vbs;
+            if rf <> Asttypes.Recursive then env := Scope.bind_values !env names
+        | Pstr_module mb ->
+            let origin = module_origin mb.pmb_expr in
+            self.module_binding self mb;
+            (match mb.pmb_name.txt with
+            | Some n -> env := Scope.bind_module !env n origin
+            | None -> ())
+        | Pstr_open od ->
+            let origin = open_of od in
+            self.module_expr self od.popen_expr;
+            env := Scope.open_origin !env origin
+        | _ -> super.structure_item self item);
+  }
+
+let iter_structure ?(init = Scope.empty) hooks str =
+  let env = ref init in
+  let it = make_iterator env hooks in
+  it.structure it str
+
+let iter_expression ~env hooks e =
+  let env = ref env in
+  let it = make_iterator env hooks in
+  it.expr it e

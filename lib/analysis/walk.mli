@@ -1,0 +1,36 @@
+(** Scope-threading traversal over a Parsetree.
+
+    Wraps [Ast_iterator.default_iterator] so every constructor recurses
+    without naming it, while maintaining a {!Scope.t} through [open],
+    [module X = ...], [let module], [let]/[let rec] and inner
+    [struct ... end] blocks. Passes receive the environment in force at
+    each node.
+
+    Approximation (documented in walk.ml): function parameters and
+    match-case patterns do not bind names into the environment — only
+    [let]-bound values and module bindings shadow. *)
+
+type hooks = {
+  enter_expr : Scope.t -> Parsetree.expression -> unit;
+      (** called at every expression, before its children *)
+  leave_expr : Parsetree.expression -> unit;
+      (** called after the expression's children — enter/leave bracket
+          properly, so passes may keep a stack *)
+  enter_item : Scope.t -> Parsetree.structure_item -> unit;
+      (** called at every structure item (top level and in submodules),
+          before its children *)
+}
+
+val default_hooks : hooks
+(** All no-ops; build pass hooks with record update. *)
+
+val pattern_vars : Parsetree.pattern -> string list
+(** All value names the pattern binds. *)
+
+val binding_names : Parsetree.value_binding list -> string list
+
+val iter_structure : ?init:Scope.t -> hooks -> Parsetree.structure -> unit
+
+val iter_expression : env:Scope.t -> hooks -> Parsetree.expression -> unit
+(** Traverse one expression starting from a captured environment (used by
+    passes that re-walk a binding found via [enter_item]). *)

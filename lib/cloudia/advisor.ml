@@ -358,7 +358,7 @@ let run ?(strict_lint = false) ?(faults = Cloudsim.Faults.none)
      measurement coverage. [kept] is the identity whenever nothing was
      dropped, making this exactly [unused_instances] as before. *)
   let terminated =
-    List.sort compare
+    List.sort Int.compare
       (List.map (fun s -> kept.(s)) (Types.unused_instances problem plan) @ dropped)
   in
   {

@@ -39,8 +39,8 @@ let h_move = Obs.Histogram.make "anneal.move_ns"
    full evaluation only for opaque costs) and is committed or aborted in
    place. The global best (shared across restarts) is updated in place so
    improvement callbacks see the true cross-restart incumbent timeline. *)
-let run rng kernel (t : Types.problem) options ~deadline ~stop ~improved ~tried ~accepted
-    ~budget_left ~best_plan ~best_cost =
+let[@cloudia.hot] run rng kernel (t : Types.problem) options ~deadline ~stop ~improved
+    ~tried ~accepted ~budget_left ~best_plan ~best_cost =
   let n = Types.node_count t and m = Types.instance_count t in
   Delta_cost.reset kernel (Types.random_plan rng t);
   let cost = ref (Delta_cost.cost kernel) in
@@ -52,13 +52,16 @@ let run rng kernel (t : Types.problem) options ~deadline ~stop ~improved ~tried 
   let temperature = ref options.initial_temperature in
   let min_temperature = 1e-4 *. options.initial_temperature in
   let timed = Obs.Sink.enabled () in
+  (* Hoisted out of the temperature loop: pass A003 keeps this function's
+     loop bodies allocation-free. *)
+  let moves = ref 0 in
   while
     !temperature > min_temperature
     && !budget_left > 0
     && (not (stop ()))
     && Obs.Clock.now_s () < deadline
   do
-    let moves = ref options.moves_per_temperature in
+    moves := options.moves_per_temperature;
     while !moves > 0 && !budget_left > 0 do
       decr moves;
       decr budget_left;

@@ -22,7 +22,7 @@ let none lat =
   let values = Lat_matrix.off_diagonal lat in
   let distinct =
     let sorted = Array.copy values in
-    Array.sort compare sorted;
+    Array.sort Float.compare sorted;
     let out = ref [] in
     Array.iter
       (fun v -> match !out with x :: _ when x = v -> () | _ -> out := v :: !out)

@@ -103,11 +103,11 @@ let solve ?(options = default_options) ?edge_weight ?(order_values = true) ?max_
      completeness. *)
   let objective_levels =
     let weights =
-      Array.to_list edges |> List.map (fun (i, i') -> weight i i') |> List.sort_uniq compare
+      Array.to_list edges |> List.map (fun (i, i') -> weight i i') |> List.sort_uniq Float.compare
     in
     Array.to_list clustering.Clustering.levels
     |> List.concat_map (fun level -> List.map (fun w -> w *. level) weights)
-    |> List.sort_uniq compare
+    |> List.sort_uniq Float.compare
   in
   let thresholds_below cost = List.filter (fun v -> v < cost) objective_levels |> List.rev in
   let rounded_eval plan = weighted_ll edges weight rounded plan in
@@ -209,7 +209,7 @@ let solve ?(options = default_options) ?edge_weight ?(order_values = true) ?max_
               if order_values then begin
                 let badness = connectivity_badness rounded in
                 fun ~var:_ values ->
-                  List.sort (fun a b -> compare badness.(a) badness.(b)) values
+                  List.sort (fun a b -> Float.compare badness.(a) badness.(b)) values
               end
               else fun ~var:_ values -> values
             in

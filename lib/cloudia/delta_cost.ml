@@ -96,7 +96,7 @@ let make_link (problem : Types.problem) =
       end)
     lat;
   let values = Array.of_list !distinct in
-  Array.sort compare values;
+  Array.sort Float.compare values;
   let rank_of = Hashtbl.create (Array.length values) in
   Array.iteri (fun r v -> Hashtbl.add rank_of v r) values;
   let rank_mat =
@@ -255,7 +255,10 @@ let flush_counters t =
 
 (* ---------- the propose / commit / abort protocol ---------- *)
 
-let touch_incident t ls moved =
+(* [@cloudia.hot]: pass A003 proves the incident-edge sweep stays
+   allocation-free — the anneal moves/sec gate (bench fig-delta) decays
+   the moment this loop allocates. *)
+let[@cloudia.hot] touch_incident t ls moved =
   let inc = ls.incident.(moved) in
   for k = 0 to Array.length inc - 1 do
     let e = inc.(k) in
@@ -280,7 +283,7 @@ let touch_incident t ls moved =
     end
   done
 
-let propose_move t ~node ~target =
+let[@cloudia.hot] propose_move t ~node ~target =
   if t.p_active then invalid_arg "Delta_cost.propose: a proposal is pending";
   let n = Array.length t.plan and m = Array.length t.node_of in
   if node < 0 || node >= n then invalid_arg "Delta_cost.propose: node out of range";

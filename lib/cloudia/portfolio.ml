@@ -90,7 +90,14 @@ type outcome = {
 }
 
 let merged_trace events =
-  let sorted = List.sort compare events in
+  (* Lexicographic (time, cost) order — same total order as polymorphic
+     compare on float pairs, without the generic traversal. *)
+  let sorted =
+    List.sort
+      (fun (t1, c1) (t2, c2) ->
+        match Float.compare t1 t2 with 0 -> Float.compare c1 c2 | c -> c)
+      events
+  in
   let rec go best acc = function
     | [] -> List.rev acc
     | (t, c) :: tl -> if c < best then go c ((t, c) :: acc) tl else go best acc tl

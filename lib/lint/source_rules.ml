@@ -1,27 +1,19 @@
 type rule = { id : string; description : string }
 
+(* R001 (wall-clock reads), R002 (global Random) and R006 (boxed costs
+   indexing) migrated to the AST passes A002 and A004 in [lib/analysis/]:
+   token matching cannot see through [module U = Unix] aliases or [open]s
+   and false-positives on locally shadowed modules, while the Parsetree
+   passes resolve both. The token scanner keeps only the rules where a
+   token is the right granularity. *)
 let rules =
   [
-    {
-      id = "R001";
-      description =
-        "Unix.gettimeofday outside lib/obs/ and bench/ (use the monotonic Obs.Clock)";
-    };
-    {
-      id = "R002";
-      description = "global Random outside lib/prng/ (use seeded Prng streams)";
-    };
     { id = "R003"; description = "Obj.magic anywhere" };
     {
       id = "R004";
       description = "console output in library code (libraries return data; binaries print)";
     };
     { id = "R005"; description = "lib/**/*.ml without a matching .mli" };
-    {
-      id = "R006";
-      description =
-        "direct costs.(i).(j) indexing outside lib/lat_matrix/ (use the Lat_matrix API)";
-    };
   ]
 
 type violation = {
@@ -39,8 +31,9 @@ let is_ident c =
 
 (* Blank comments / string literals / char literals with spaces, preserving
    byte offsets and newlines. Nested comments and strings-inside-comments
-   follow the OCaml lexer; quoted strings {|...|} are handled without
-   custom delimiters (the repo does not use {id|...|id}). *)
+   follow the OCaml lexer; quoted strings cover both the plain {|...|}
+   form and custom delimiters {id|...|id} (the closer must repeat the same
+   lowercase identifier). *)
 let sanitize text =
   let n = String.length text in
   let out = Bytes.of_string text in
@@ -62,17 +55,38 @@ let sanitize text =
     done;
     !j
   in
-  let skip_quoted start =
-    (* [start] points at '{' of "{|"; returns index after "|}". *)
-    let j = ref (start + 2) in
-    while !j + 1 < n && not (text.[!j] = '|' && text.[!j + 1] = '}') do
+  let skip_quoted start ~delim_len =
+    (* [start] points at the '{' of "{|" or "{id|"; the matching closer is
+       "|}" or "|id}" with the same delimiter. Returns the index after the
+       closer. *)
+    let body = start + delim_len + 2 in
+    let closes j =
+      (* Does a closer "|id}" with our delimiter start at [j]? *)
+      j + delim_len + 1 < n
+      && text.[j] = '|'
+      && text.[j + delim_len + 1] = '}'
+      && String.sub text (j + 1) delim_len = String.sub text (start + 1) delim_len
+    in
+    let j = ref body in
+    while !j < n && not (closes !j) do
       incr j
     done;
-    let stop = min (!j + 2) n in
+    let stop = min (!j + delim_len + 2) n in
     for k = start to stop - 1 do
       blank k
     done;
     stop
+  in
+  (* Length of a lowercase-ident quoted-string delimiter at [start + 1]
+     (the char after '{'), or [None] when '{' does not open a quoted
+     string. Zero length is the plain {|...|} form. *)
+  let quoted_delim_at start =
+    let is_delim c = (c >= 'a' && c <= 'z') || c = '_' in
+    let j = ref (start + 1) in
+    while !j < n && is_delim text.[!j] do
+      incr j
+    done;
+    if !j < n && text.[!j] = '|' then Some (!j - start - 1) else None
   in
   let skip_comment start =
     (* [start] points at '(' of "(*"; handles nesting and inner strings. *)
@@ -110,7 +124,11 @@ let sanitize text =
     let c = text.[!i] in
     if c = '(' && !i + 1 < n && text.[!i + 1] = '*' then i := skip_comment !i
     else if c = '"' then i := skip_string !i
-    else if c = '{' && !i + 1 < n && text.[!i + 1] = '|' then i := skip_quoted !i
+    else if c = '{' then begin
+      match quoted_delim_at !i with
+      | Some delim_len -> i := skip_quoted !i ~delim_len
+      | None -> incr i
+    end
     else if c = '\'' && (!i = 0 || not (is_ident text.[!i - 1])) then begin
       (* Char literal: 'x' or an escape like '\n'; leave type variables
          ('a) alone. The preceding char must not be an identifier char, so
@@ -162,20 +180,6 @@ let find_token text token =
   done;
   List.rev !hits
 
-(* Like [find_token], but a preceding '.' is a match: [Field "costs.("]
-   must also catch record projections such as [t.costs.(i)], which
-   [find_token] deliberately skips. *)
-let find_field text token =
-  let n = String.length text and m = String.length token in
-  let hits = ref [] in
-  for i = 0 to n - m do
-    if String.sub text i m = token then begin
-      let before_ok = i = 0 || not (is_ident text.[i - 1]) in
-      if before_ok then hits := i :: !hits
-    end
-  done;
-  List.rev !hits
-
 let line_of text offset =
   let line = ref 1 in
   for i = 0 to offset - 1 do
@@ -211,14 +215,10 @@ let has_prefix prefix path =
 let is_source path =
   Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
 
-type matcher = Token of string | Field of string
+type matcher = Token of string
 
 let content_rules =
   [
-    ( "R001",
-      [ Token "Unix.gettimeofday" ],
-      fun path -> not (has_prefix "lib/obs/" path || has_prefix "bench/" path) );
-    ("R002", [ Token "Random." ], fun path -> not (has_prefix "lib/prng/" path));
     ("R003", [ Token "Obj.magic" ], fun _ -> true);
     ( "R004",
       [
@@ -229,14 +229,6 @@ let content_rules =
         Token "Format.printf";
       ],
       fun path -> has_prefix "lib/" path );
-    (* The latency matrix is a flat Bigarray behind Lat_matrix; boxed
-       [costs.(i).(j)] indexing outside that module (and the I/O layer
-       that parses raw CSV rows) re-introduces the representation the
-       refactor removed. *)
-    ( "R006",
-      [ Field "costs.(" ],
-      fun path ->
-        not (has_prefix "lib/lat_matrix/" path || has_prefix "lib/cloudia/matrix_io" path) );
   ]
 
 let scan_file ~path text =
@@ -250,11 +242,7 @@ let scan_file ~path text =
         else
           List.concat_map
             (fun matcher ->
-              let offsets =
-                match matcher with
-                | Token token -> find_token clean token
-                | Field token -> find_field clean token
-              in
+              let offsets = match matcher with Token token -> find_token clean token in
               List.map
                 (fun offset ->
                   {

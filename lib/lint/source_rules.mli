@@ -3,27 +3,26 @@
     Project invariants that OCaml's type system cannot express are enforced
     here as bannable token patterns over the source tree:
 
-    - [R001] [Unix.gettimeofday] outside [lib/obs/] and [bench/] — the
-      monotonic {!Obs.Clock} is the sanctioned timer; wall-clock jumps
-      corrupt deadlines and telemetry.
-    - [R002] [Random.self_init] or any global [Random] use outside
-      [lib/prng/] — all randomness flows through seeded [Prng] streams so
-      runs are reproducible.
     - [R003] [Obj.magic] anywhere.
     - [R004] console output ([print_string], [print_endline],
       [print_newline], [Printf.printf], [Format.printf]) in library code
       ([lib/**]) — libraries return data; binaries print.
     - [R005] every [lib/**/*.ml] must have a matching [.mli] — sealed
       interfaces are how the invariants above stay local.
-    - [R006] direct [costs.(i).(j)] indexing outside [lib/lat_matrix/]
-      (and the CSV layer in [lib/cloudia/matrix_io]) — the latency matrix
-      is a flat Bigarray; boxed row indexing goes through the [Lat_matrix]
-      API or not at all.
 
-    Matching is token-accurate: comments, string literals and char
-    literals are blanked before scanning, so documentation may mention a
-    banned identifier without tripping the rule. Paths are matched with
-    ['/'] separators relative to the repository root.
+    The former token rules R001 (wall-clock reads outside [lib/obs/] and
+    [bench/]), R002 (global [Random] outside [lib/prng/]) and R006 (boxed
+    [costs.(i).(j)] indexing outside [lib/lat_matrix/]) migrated to the
+    AST passes A002 and A004 in the [analysis] library
+    ([lib/analysis/]): token matching cannot see through
+    [module U = Unix] aliases or [open]s and false-positives on locally
+    shadowed modules, where a Parsetree walk resolves both.
+
+    Matching is token-accurate: comments, string literals (including
+    [{|...|}] and [{id|...|id}] quoted strings) and char literals are
+    blanked before scanning, so documentation may mention a banned
+    identifier without tripping the rule. Paths are matched with ['/']
+    separators relative to the repository root.
 
     Violations are suppressed only through an explicit allowlist (one
     [RULE path-prefix] pair per line), so every exception is checked in
@@ -42,8 +41,10 @@ type violation = {
 }
 
 val sanitize : string -> string
-(** Blank out comments (nested [(* *)]), string literals and char literals,
-    preserving byte positions and newlines, so token scans see only code. *)
+(** Blank out comments (nested [(* *)]), string literals — ["..."],
+    [{|...|}], and delimited [{id|...|id}] forms — and char literals,
+    preserving byte positions and newlines, so token scans see only
+    code. *)
 
 val scan_file : path:string -> string -> violation list
 (** Apply every content rule applicable to [path] to the file's text. *)

@@ -37,7 +37,9 @@ let add_constraint t terms rel rhs =
       Hashtbl.replace tbl v (cur +. c))
     terms;
   let pairs = Hashtbl.fold (fun v c acc -> (v, c) :: acc) tbl [] in
-  let pairs = List.sort compare pairs in
+  (* Variable ids are distinct Hashtbl keys, so ordering by id alone
+     reproduces the polymorphic order on the (id, coeff) pairs. *)
+  let pairs = List.sort (fun (v1, _) (v2, _) -> Int.compare v1 v2) pairs in
   let vars = Array.of_list (List.map fst pairs) in
   let coeffs = Array.of_list (List.map snd pairs) in
   t.rows <- (vars, coeffs, rel, rhs) :: t.rows;

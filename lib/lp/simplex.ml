@@ -19,7 +19,9 @@ type tableau = {
   obj : float array;        (* current phase objective reduced-cost row, ncols + 1 wide *)
 }
 
-let pivot t ~row ~col =
+(* [@cloudia.hot]: a pivot is the O(m·ncols) inner loop of every LP/MIP
+   solve; pass A003 keeps its row sweeps allocation-free. *)
+let[@cloudia.hot] pivot t ~row ~col =
   let pr = t.rows.(row) in
   let pivval = pr.(col) in
   (* Normalize the pivot row. *)
@@ -100,7 +102,7 @@ exception Too_large
    process, so refuse up front instead. *)
 let max_tableau_cells = 20_000_000
 
-let run_phase t ~allowed ~max_iters ~iter_count ~should_stop =
+let[@cloudia.hot] run_phase t ~allowed ~max_iters ~iter_count ~should_stop =
   let entry = !iter_count in
   Fun.protect ~finally:(fun () -> Obs.Counter.add c_pivots (!iter_count - entry)) @@ fun () ->
   let result = ref Phase_optimal in

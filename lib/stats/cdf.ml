@@ -3,7 +3,7 @@ type t = { sorted : float array }
 let of_samples xs =
   if Array.length xs = 0 then invalid_arg "Cdf.of_samples: empty array";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   { sorted }
 
 let n t = Array.length t.sorted

@@ -20,7 +20,7 @@ let pearson a b =
 let ranks xs =
   let n = Array.length xs in
   let order = Array.init n (fun i -> i) in
-  Array.sort (fun i j -> compare xs.(i) xs.(j)) order;
+  Array.sort (fun i j -> Float.compare xs.(i) xs.(j)) order;
   let r = Array.make n 0.0 in
   let i = ref 0 in
   while !i < n do
@@ -45,7 +45,7 @@ let kendall a b =
   let concordant = ref 0 and discordant = ref 0 in
   for i = 0 to n - 2 do
     for j = i + 1 to n - 1 do
-      let sa = compare a.(i) a.(j) and sb = compare b.(i) b.(j) in
+      let sa = Float.compare a.(i) a.(j) and sb = Float.compare b.(i) b.(j) in
       if sa * sb > 0 then incr concordant
       else if sa * sb < 0 then incr discordant
     done

@@ -6,7 +6,7 @@ type result = {
 
 let distinct_sorted xs =
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let out = ref [] and count = ref [] in
   Array.iter
     (fun x ->

@@ -36,7 +36,7 @@ let percentile xs p =
   check_nonempty "Summary.percentile" xs;
   if p < 0.0 || p > 100.0 then invalid_arg "Summary.percentile: p out of [0,100]";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   percentile_sorted sorted p
 
 let median xs = percentile xs 50.0
@@ -55,7 +55,7 @@ type t = {
 let of_array xs =
   check_nonempty "Summary.of_array" xs;
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   {
     n;

@@ -13,6 +13,7 @@ let () =
       ("solvers", Test_solvers.suite);
       ("delta", Test_delta.suite);
       ("lint", Test_lint.suite);
+      ("analysis", Test_analysis.suite);
       ("portfolio", Test_portfolio.suite);
       ("workloads", Test_workloads.suite);
       ("extensions", Test_extensions.suite);

@@ -14,12 +14,15 @@ let rec walk dir =
   match Sys.readdir dir with
   | exception Sys_error _ -> []
   | entries ->
+      (* Sys.readdir order is filesystem-dependent; sort so reports (and
+         the --json artifact) are byte-identical across machines. *)
+      Array.sort String.compare entries;
       Array.fold_left
         (fun acc entry ->
           let path = Filename.concat dir entry in
           if Sys.is_directory path then
-            if entry = "_build" || entry.[0] = '.' then acc else walk path @ acc
-          else path :: acc)
+            if entry = "_build" || entry.[0] = '.' then acc else acc @ walk path
+          else acc @ [ path ])
         [] entries
 
 let read_file path = In_channel.with_open_text path In_channel.input_all
