@@ -45,6 +45,7 @@ let registry : (string * string * (unit -> unit)) list =
     ("ablation-value-order", "CP value ordering heuristic", Fig_ext.ablation_value_order);
     ("fig-portfolio", "parallel portfolio vs single strategies", Fig_portfolio.run);
     ("fig-delta", "incremental vs full cost evaluation", Fig_delta.run);
+    ("fig-serve", "advising daemon: caches and throughput", Fig_serve.run);
     ("fig-fault", "measurement robustness under faults", Fig_fault.run);
     ("micro", "kernel microbenchmarks", Micro.run);
   ]

@@ -8,7 +8,9 @@
      convert   - convert a cost matrix between CSV and the binary format
      survey    - print latency heterogeneity and stability for a provider
      redeploy  - simulate iterative re-deployment under changing conditions
-     bandwidth - optimize the bottleneck-bandwidth criterion *)
+     bandwidth - optimize the bottleneck-bandwidth criterion
+     serve     - long-running advising daemon on a Unix socket
+     client    - submit jobs to a running daemon *)
 
 open Cmdliner
 
@@ -1014,6 +1016,267 @@ let obs_cmd =
     (Cmd.info "obs" ~doc:"Trace forensics: report on and compare observability traces")
     [ report_cmd; compare_cmd ]
 
+(* ---- serve: the advising daemon ---- *)
+
+let serve socket domains queue_capacity cache_capacity default_deadline =
+  let config =
+    {
+      Serve.Server.socket_path = socket;
+      domains;
+      queue_capacity;
+      cache_capacity;
+      default_deadline;
+    }
+  in
+  (* Block SIGTERM/SIGINT before spawning anything, so every thread and
+     domain inherits the mask and delivery funnels into the dedicated
+     [Thread.wait_signal] thread below. An asynchronous [Signal_handle]
+     would not do: the main thread spends shutdown blocked in a
+     [pthread_cond_wait] (thread join), where OCaml signal handlers are
+     not guaranteed to run. *)
+  let signals = [ Sys.sigterm; Sys.sigint ] in
+  ignore (Thread.sigmask Unix.SIG_BLOCK signals);
+  match Serve.Server.start config with
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "serve: cannot listen on %s: %s\n" socket (Unix.error_message e);
+      2
+  | exception Invalid_argument m ->
+      prerr_endline ("serve: " ^ m);
+      2
+  | t ->
+      let (_ : Thread.t) =
+        Thread.create
+          (fun () ->
+            let (_ : int) = Thread.wait_signal signals in
+            Serve.Server.signal_stop t)
+          ()
+      in
+      Printf.eprintf "serve: listening on %s (%d worker domain(s))\n%!" socket domains;
+      Serve.Server.wait t;
+      (* End-of-run latency profile + serve counters, one JSON object on
+         stdout — what the CI smoke job validates after SIGTERM. *)
+      let s = Serve.Server.latency_snapshot () in
+      let q p =
+        if s.Obs.Histogram.hist_count = 0 then "null"
+        else json_float (Obs.Histogram.quantile_of s p)
+      in
+      let counters =
+        List.filter
+          (fun (k, _) -> String.starts_with ~prefix:"serve." k)
+          (Obs.Counter.snapshot ())
+      in
+      print_endline
+        (json_obj
+           ([
+              ("requests", json_int s.Obs.Histogram.hist_count);
+              ("p50_ms", q 0.5);
+              ("p99_ms", q 0.99);
+              ("p999_ms", q 0.999);
+            ]
+           @ List.map (fun (k, v) -> (k, json_int v)) counters));
+      0
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path of the daemon.")
+
+let serve_cmd =
+  let domains_arg =
+    Arg.(value & opt int 2 & info [ "domains" ] ~doc:"Worker domains solving jobs in parallel.")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64 & info [ "queue-capacity" ]
+           ~doc:"Queued jobs beyond which new submissions are rejected (backpressure).")
+  in
+  let cache_arg =
+    Arg.(value & opt int 32 & info [ "cache-capacity" ]
+           ~doc:"Entries per fingerprint-keyed LRU (clusterings, ranks, incumbents, results).")
+  in
+  let deadline_arg =
+    Arg.(value & opt float 30.0 & info [ "default-deadline" ]
+           ~doc:"Deadline in seconds for jobs that do not carry one.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the advising daemon: advise jobs over a Unix socket, cached by cost-matrix \
+             fingerprint; SIGTERM drains and prints a latency summary")
+    Term.(
+      const serve $ socket_arg $ domains_arg $ queue_arg $ cache_arg $ deadline_arg)
+
+(* ---- client: submit to a running daemon ---- *)
+
+(* Retry the connect for a grace period so scripts can start daemon and
+   client back-to-back without racing the bind. *)
+let client_connect socket ~wait_s =
+  let deadline = Obs.Clock.now_s () +. wait_s in
+  let rec go () =
+    match Serve.Client.connect socket with
+    | c -> Ok c
+    | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _)
+      when Obs.Clock.now_s () < deadline ->
+        Unix.sleepf 0.05;
+        go ()
+    | exception Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "client: %s: %s" socket (Unix.error_message e))
+  in
+  go ()
+
+let wait_arg =
+  Arg.(value & opt float 5.0 & info [ "connect-timeout" ]
+         ~doc:"Seconds to keep retrying the connect while the daemon starts.")
+
+let with_client socket wait_s f =
+  match client_connect socket ~wait_s with
+  | Error m ->
+      prerr_endline m;
+      2
+  | Ok c ->
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () ->
+          match f c with
+          | code -> code
+          | exception End_of_file ->
+              prerr_endline "client: daemon closed the connection";
+              2
+          | exception Serve.Protocol.Protocol_error m ->
+              prerr_endline ("client: " ^ m);
+              2
+          | exception Unix.Unix_error (e, _, _) ->
+              prerr_endline ("client: " ^ Unix.error_message e);
+              2)
+
+let client_ping socket wait_s =
+  with_client socket wait_s (fun c ->
+      Serve.Client.ping c;
+      print_endline "pong";
+      0)
+
+let client_stats socket wait_s =
+  with_client socket wait_s (fun c ->
+      print_endline
+        (json_obj (List.map (fun (k, v) -> (k, json_int v)) (Serve.Client.stats c)));
+      0)
+
+let client_advise socket wait_s costs_file graph_spec solver_name objective_name seed
+    seed_step budget max_moves clusters deadline tenant id repeat =
+  let parsed =
+    match
+      ( (match String.lowercase_ascii objective_name with
+        | "ll" | "longest-link" -> Ok Cloudia.Cost.Longest_link
+        | "lp" | "longest-path" -> Ok Cloudia.Cost.Longest_path
+        | _ -> Error "objective must be ll or lp"),
+        (match Serve.Protocol.solver_of_string (String.lowercase_ascii solver_name) with
+        | s -> Ok s
+        | exception Serve.Protocol.Protocol_error _ ->
+            Error "solver must be cp, anneal, greedy or descent"),
+        Cloudia.Matrix_io.load_auto costs_file,
+        Graphs.Graph_io.parse_spec graph_spec )
+    with
+    | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e -> Error e
+    | Ok objective, Ok solver, Ok costs, Ok graph -> Ok (objective, solver, costs, graph)
+  in
+  match parsed with
+  | Error e ->
+      prerr_endline ("client advise: " ^ e);
+      2
+  | Ok (objective, solver, costs, graph) ->
+      with_client socket wait_s (fun c ->
+          let failures = ref 0 in
+          for k = 0 to repeat - 1 do
+            let job =
+              {
+                Serve.Protocol.id = (if k = 0 then id else Printf.sprintf "%s-%d" id (k + 1));
+                tenant;
+                seed = seed + (k * seed_step);
+                solver;
+                objective;
+                budget;
+                deadline;
+                max_moves;
+                clusters;
+                graph;
+                costs;
+              }
+            in
+            let reply = Serve.Client.advise c job in
+            (match reply with
+            | Serve.Protocol.Result _ -> ()
+            | _ -> incr failures);
+            print_endline (Obs.Json.to_string (Serve.Protocol.json_of_reply reply))
+          done;
+          if !failures > 0 then 1 else 0)
+
+let client_cmd =
+  let ping_cmd =
+    Cmd.v
+      (Cmd.info "ping" ~doc:"Round-trip liveness check")
+      Term.(const client_ping $ socket_arg $ wait_arg)
+  in
+  let stats_cmd =
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Print daemon counters and cache occupancy as JSON")
+      Term.(const client_stats $ socket_arg $ wait_arg)
+  in
+  let advise_cmd =
+    let costs_arg =
+      Arg.(required & opt (some string) None & info [ "costs-file" ]
+             ~doc:"Cost matrix (CSV or CLDALAT1 binary, sniffed by magic).")
+    in
+    let graph_arg =
+      Arg.(value & opt string "mesh2d 3 3" & info [ "graph-spec" ]
+             ~doc:"Communication graph template, e.g. 'mesh2d 4 4'.")
+    in
+    let solver_arg =
+      Arg.(value & opt string "anneal" & info [ "solver" ]
+             ~doc:"cp, anneal, greedy or descent.")
+    in
+    let objective_arg =
+      Arg.(value & opt string "ll" & info [ "objective" ]
+             ~doc:"ll (longest link) or lp (longest path).")
+    in
+    let seed_step_arg =
+      Arg.(value & opt int 0 & info [ "seed-step" ]
+             ~doc:"Seed increment between repeats (0 repeats the identical job, exercising \
+                   the result memo; non-zero exercises warm starts).")
+    in
+    let budget_arg =
+      Arg.(value & opt float 2.0 & info [ "budget" ] ~doc:"Solver budget per job, seconds.")
+    in
+    let moves_arg =
+      Arg.(value & opt (some int) None & info [ "max-moves" ]
+             ~doc:"Annealing move budget (makes the run deterministic and cacheable).")
+    in
+    let clusters_arg =
+      Arg.(value & opt (some int) None & info [ "clusters" ]
+             ~doc:"CP cluster-count override.")
+    in
+    let deadline_job_arg =
+      Arg.(value & opt (some float) None & info [ "deadline" ]
+             ~doc:"Per-job deadline in seconds (queue wait included).")
+    in
+    let tenant_arg =
+      Arg.(value & opt string "cli" & info [ "tenant" ] ~doc:"Tenant label for telemetry.")
+    in
+    let id_arg =
+      Arg.(value & opt string "job" & info [ "id" ] ~doc:"Job id (repeats get -2, -3, ... suffixes).")
+    in
+    let repeat_arg =
+      Arg.(value & opt int 1 & info [ "repeat" ] ~doc:"Submit the job this many times.")
+    in
+    Cmd.v
+      (Cmd.info "advise"
+         ~doc:"Submit advise job(s); prints one JSON reply per line, exits non-zero if any \
+               job was rejected or failed")
+      Term.(
+        const client_advise $ socket_arg $ wait_arg $ costs_arg $ graph_arg $ solver_arg
+        $ objective_arg $ seed_arg $ seed_step_arg $ budget_arg $ moves_arg $ clusters_arg
+        $ deadline_job_arg $ tenant_arg $ id_arg $ repeat_arg)
+  in
+  Cmd.group
+    (Cmd.info "client" ~doc:"Talk to a running advising daemon")
+    [ ping_cmd; stats_cmd; advise_cmd ]
+
 let () =
   let doc = "ClouDiA: a deployment advisor for public clouds (simulated)" in
   let info = Cmd.info "cloudia" ~version:"1.0.0" ~doc in
@@ -1030,4 +1293,6 @@ let () =
             redeploy_cmd;
             bandwidth_cmd;
             obs_cmd;
+            serve_cmd;
+            client_cmd;
           ]))

@@ -94,8 +94,8 @@ let[@cloudia.hot] run rng kernel (t : Types.problem) options ~deadline ~stop ~im
     temperature := !temperature *. options.cooling
   done
 
-let solve_kernel ?(options = default_options) ?(stop = fun () -> false) ?on_improve rng
-    ~make (t : Types.problem) =
+let solve_kernel ?(options = default_options) ?(stop = fun () -> false) ?init ?on_improve
+    rng ~make (t : Types.problem) =
   if options.time_limit <= 0.0 then invalid_arg "Anneal.solve: need a positive time limit";
   if options.restarts <= 0 then invalid_arg "Anneal.solve: need at least one restart";
   (match options.max_moves with
@@ -110,7 +110,12 @@ let solve_kernel ?(options = default_options) ?(stop = fun () -> false) ?on_impr
   let deadline = Obs.Clock.now_s () +. options.time_limit in
   let tried = ref 0 and accepted = ref 0 in
   let budget_left = ref (match options.max_moves with Some m -> m | None -> max_int) in
-  let kernel : Delta_cost.t = make (Types.random_plan rng t) in
+  (* A warm start becomes the cross-restart incumbent to beat; the
+     restarts themselves still begin from fresh random plans, and with no
+     [init] the draw order is exactly the historical one. *)
+  let kernel : Delta_cost.t =
+    make (match init with Some p -> Array.copy p | None -> Types.random_plan rng t)
+  in
   let best_plan = ref (Delta_cost.plan kernel) in
   let best_cost = ref (Delta_cost.cost kernel) in
   improved !best_plan !best_cost;
@@ -129,12 +134,12 @@ let solve_kernel ?(options = default_options) ?(stop = fun () -> false) ?on_impr
     Obs.Gauge.set g_acceptance (float_of_int !accepted /. float_of_int !tried);
   { plan = !best_plan; cost = !best_cost; moves_tried = !tried; moves_accepted = !accepted }
 
-let solve ?options ?stop ?on_improve rng ~eval t =
-  solve_kernel ?options ?stop ?on_improve rng
-    ~make:(fun init -> Delta_cost.create_eval ~eval t init)
+let solve ?options ?stop ?init ?on_improve rng ~eval t =
+  solve_kernel ?options ?stop ?init ?on_improve rng
+    ~make:(fun p -> Delta_cost.create_eval ~eval t p)
     t
 
-let solve_objective ?options ?stop ?on_improve rng objective t =
-  solve_kernel ?options ?stop ?on_improve rng
-    ~make:(fun init -> Delta_cost.create objective t init)
+let solve_objective ?options ?stop ?init ?ranks ?on_improve rng objective t =
+  solve_kernel ?options ?stop ?init ?on_improve rng
+    ~make:(fun p -> Delta_cost.create ?ranks objective t p)
     t

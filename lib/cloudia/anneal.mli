@@ -48,6 +48,7 @@ type result = {
 val solve :
   ?options:options ->
   ?stop:(unit -> bool) ->
+  ?init:Types.plan ->
   ?on_improve:(Types.plan -> float -> unit) ->
   Prng.t ->
   eval:(Types.plan -> float) ->
@@ -56,6 +57,12 @@ val solve :
 (** [solve rng ~eval problem] minimizes an arbitrary plan cost [eval]
     (e.g. [Cost.eval objective problem]). The returned plan is always a
     valid injection.
+
+    [init] warm-starts the cross-restart incumbent with a known-good plan
+    (validated, copied) — e.g. the previous incumbent for the same matrix
+    fingerprint in the serving cache. The restarts themselves still begin
+    from fresh random plans; without [init] the random draw order is
+    unchanged.
 
     [stop] is polled between temperature steps and between restarts; when
     it returns [true] the current best is returned immediately.
@@ -66,6 +73,10 @@ val solve :
 val solve_objective :
   ?options:options ->
   ?stop:(unit -> bool) ->
+  ?init:Types.plan ->
+  ?ranks:Delta_cost.ranks ->
   ?on_improve:(Types.plan -> float -> unit) ->
   Prng.t -> Cost.objective -> Types.problem -> result
-(** Convenience wrapper for the two standard objectives. *)
+(** Convenience wrapper for the two standard objectives. [ranks] shares a
+    precomputed {!Delta_cost.ranks} table (fingerprint-keyed cache hit)
+    with the kernel; see {!Delta_cost.create}. *)

@@ -12,13 +12,19 @@ type t = {
 }
 
 val cluster : k:int -> Lat_matrix.t -> t
-(** Optimal 1-D k-means over the off-diagonal entries, read straight off
-    the flat buffer. [k <= 0] raises. *)
+(** Optimal 1-D k-means over the finite off-diagonal entries, read
+    straight off the flat buffer. [k] is clamped to the number of
+    distinct finite values, so any positive [k] is safe on small or
+    degenerate instances; [k <= 0] raises. Non-finite entries (NaN marks
+    an unsampled pair) are excluded from clustering, kept verbatim in
+    [rounded], and never appear in [levels]. An all-non-finite matrix
+    yields [levels = [||]] and an unmodified copy. *)
 
 val none : Lat_matrix.t -> t
 (** No clustering: [rounded] is the input (copied); [levels] are its
-    distinct off-diagonal values ascending. This is the "no clustering"
-    configuration of Figs. 6 and 9. *)
+    distinct {e finite} off-diagonal values ascending — non-finite
+    entries would defeat deduplication and poison [thresholds_below].
+    This is the "no clustering" configuration of Figs. 6 and 9. *)
 
 val thresholds_below : t -> float -> float list
 (** Cluster levels strictly below the given cost, descending — the

@@ -74,8 +74,24 @@ let connectivity_badness rounded =
       done;
       !acc /. float_of_int (2 * (m - 1)))
 
-let solve ?(options = default_options) ?edge_weight ?(order_values = true) ?max_iterations
-    ?(stop = fun () -> false) ?peek ?on_incumbent rng (t : Types.problem) =
+let check_warm_start ~n ~m plan =
+  if Array.length plan <> n then
+    invalid_arg
+      (Printf.sprintf "Cp_solver.solve: warm start has %d nodes, expected %d"
+         (Array.length plan) n);
+  let seen = Array.make m false in
+  Array.iter
+    (fun j ->
+      if j < 0 || j >= m then
+        invalid_arg (Printf.sprintf "Cp_solver.solve: warm start instance %d outside [0, %d)" j m);
+      if seen.(j) then
+        invalid_arg (Printf.sprintf "Cp_solver.solve: warm start reuses instance %d" j);
+      seen.(j) <- true)
+    plan
+
+let solve ?(options = default_options) ?clustering ?warm_start ?edge_weight
+    ?(order_values = true) ?max_iterations ?(stop = fun () -> false) ?peek ?on_incumbent rng
+    (t : Types.problem) =
   Obs.Resource.with_ "cp_solver.solve" @@ fun () ->
   let obs_stream = Obs.Incumbent.stream "cp" in
   let start = Obs.Clock.now_s () in
@@ -91,9 +107,22 @@ let solve ?(options = default_options) ?edge_weight ?(order_values = true) ?max_
     Array.for_all (fun (i, i') -> weight i i' = 1.0) edges
   in
   let clustering =
-    match options.clusters with
-    | Some k -> Clustering.cluster ~k t.Types.lat
-    | None -> Clustering.none t.Types.lat
+    (* A caller-supplied clustering (the serving cache's fingerprint hit)
+       skips the k-means recomputation; it must have been built from this
+       problem's cost matrix. *)
+    match clustering with
+    | Some c ->
+        if Lat_matrix.dim c.Clustering.rounded <> m then
+          invalid_arg
+            (Printf.sprintf "Cp_solver.solve: clustering is %dx%d, expected %dx%d"
+               (Lat_matrix.dim c.Clustering.rounded)
+               (Lat_matrix.dim c.Clustering.rounded)
+               m m);
+        c
+    | None -> (
+        match options.clusters with
+        | Some k -> Clustering.cluster ~k t.Types.lat
+        | None -> Clustering.none t.Types.lat)
   in
   let rounded = clustering.Clustering.rounded in
   (* Candidate objective values: every (edge weight × cost level). With
@@ -120,6 +149,15 @@ let solve ?(options = default_options) ?edge_weight ?(order_values = true) ?max_
   let incumbent =
     ref (Random_search.best_of_eval rng ~eval:rounded_eval t (max 1 options.bootstrap_trials))
   in
+  (* A warm start (the previous incumbent for this fingerprint) competes
+     with the bootstrap draw under the rounded objective; the bootstrap
+     still consumes the same random draws, so the cold path is
+     byte-identical whether or not a warm start is offered. *)
+  (match warm_start with
+  | Some plan when n > 0 ->
+      check_warm_start ~n ~m plan;
+      if rounded_eval plan < rounded_eval !incumbent then incumbent := Array.copy plan
+  | _ -> ());
   let trace = ref [ (elapsed (), true_eval !incumbent) ] in
   publish !incumbent;
   let iterations = ref 0 in

@@ -44,6 +44,8 @@ type result = {
 
 val solve :
   ?options:options ->
+  ?clustering:Clustering.t ->
+  ?warm_start:Types.plan ->
   ?edge_weight:(int -> int -> float) ->
   ?order_values:bool ->
   ?max_iterations:int ->
@@ -53,7 +55,19 @@ val solve :
   Prng.t ->
   Types.problem ->
   result
-(** [edge_weight i i'] scales the cost of communication edge [(i, i')] in
+(** Serving hooks. [clustering] supplies a precomputed clustering of this
+    problem's cost matrix (e.g. a fingerprint-keyed cache hit), replacing
+    the internal [Clustering.cluster]/[none] call; [options.clusters] is
+    then ignored. Raises [Invalid_argument] on a dimension mismatch.
+    [warm_start] seeds the incumbent with a known-good plan (the previous
+    incumbent of a matching matrix fingerprint): it is adopted only if it
+    beats the bootstrap draw under the rounded objective, and the
+    bootstrap consumes the same random draws either way, so solves
+    without a competitive warm start are unchanged. Raises
+    [Invalid_argument] if the plan has the wrong length, an out-of-range
+    instance, or a repeated instance.
+
+    [edge_weight i i'] scales the cost of communication edge [(i, i')] in
     the objective — the weighted-communication-graph extension the paper
     lists as future work (Sect. 8). Weights must be positive; the
     threshold iteration generalizes to the candidate values

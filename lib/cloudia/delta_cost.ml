@@ -72,19 +72,20 @@ type t = {
 
 (* ---------- construction and (re)synchronization ---------- *)
 
-let make_link (problem : Types.problem) =
-  let graph = problem.Types.graph in
-  let n = Graphs.Digraph.n graph in
-  let edges = Graphs.Digraph.edges graph in
-  let incident_lists = Array.make n [] in
-  Array.iteri
-    (fun e (i, i') ->
-      incident_lists.(i) <- e :: incident_lists.(i);
-      incident_lists.(i') <- e :: incident_lists.(i'))
-    edges;
-  (* Distinct off-diagonal matrix values: every edge cost under every
-     injective plan is one of them, so rank lookup never misses. *)
-  let lat = problem.Types.lat in
+(* The plan-independent half of a longest-link kernel: distinct
+   off-diagonal matrix values and the flat pair -> rank table. O(m²) to
+   build, immutable afterwards, so a serving cache can compute it once
+   per matrix fingerprint and share it across every job and kernel that
+   sees the same matrix. *)
+type ranks = {
+  r_values : float array; (* rank -> distinct cost value, ascending *)
+  r_m : int; (* instance count the table was built for *)
+  r_rank_mat : int array; (* flat [j * m + j'] -> rank of that pair's cost *)
+}
+
+(* Distinct off-diagonal matrix values: every edge cost under every
+   injective plan is one of them, so rank lookup never misses. *)
+let ranks_of_matrix lat =
   let m = Lat_matrix.dim lat in
   let seen = Hashtbl.create (m * m) in
   let distinct = ref [] in
@@ -104,16 +105,40 @@ let make_link (problem : Types.problem) =
         let j = k / m and j' = k mod m in
         if j = j' then 0 else Hashtbl.find rank_of (Lat_matrix.unsafe_get lat j j'))
   in
+  { r_values = values; r_m = m; r_rank_mat = rank_mat }
+
+let make_link ?ranks (problem : Types.problem) =
+  let graph = problem.Types.graph in
+  let n = Graphs.Digraph.n graph in
+  let edges = Graphs.Digraph.edges graph in
+  let incident_lists = Array.make n [] in
+  Array.iteri
+    (fun e (i, i') ->
+      incident_lists.(i) <- e :: incident_lists.(i);
+      incident_lists.(i') <- e :: incident_lists.(i'))
+    edges;
+  let lat = problem.Types.lat in
+  let m = Lat_matrix.dim lat in
+  let r =
+    match ranks with
+    | Some r ->
+        if r.r_m <> m then
+          invalid_arg
+            (Printf.sprintf "Delta_cost.create: ranks built for %d instances, matrix has %d"
+               r.r_m m);
+        r
+    | None -> ranks_of_matrix lat
+  in
   let ne = Array.length edges in
   {
     lat = Lat_matrix.data lat;
     edge_src = Array.map fst edges;
     edge_dst = Array.map snd edges;
     incident = Array.map (fun l -> Array.of_list l) incident_lists;
-    values;
+    values = r.r_values;
     m;
-    rank_mat;
-    count = Array.make (max 1 (Array.length values)) 0;
+    rank_mat = r.r_rank_mat;
+    count = Array.make (max 1 (Array.length r.r_values)) 0;
     max_rank = -1;
     edge_cost = Array.make ne 0.0;
     edge_rank = Array.make ne 0;
@@ -196,10 +221,10 @@ let of_repr problem repr plan0 =
   sync t;
   t
 
-let create objective problem plan0 =
+let create ?ranks objective problem plan0 =
   let repr =
     match objective with
-    | Cost.Longest_link -> Link (make_link problem)
+    | Cost.Longest_link -> Link (make_link ?ranks problem)
     | Cost.Longest_path -> (
         match Graphs.Digraph.topological_order problem.Types.graph with
         | None ->

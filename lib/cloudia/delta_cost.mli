@@ -37,12 +37,28 @@ type t
 (** A mutable kernel: the current plan, its cost, and the per-objective
     incremental state. Not thread-safe; give each domain its own. *)
 
-val create : Cost.objective -> Types.problem -> Types.plan -> t
+type ranks
+(** The plan-independent half of a longest-link kernel: the distinct
+    off-diagonal cost values and the per-ordered-pair rank table. O(m²)
+    to build, immutable afterwards — compute it once per cost matrix
+    (keyed by {!Lat_matrix.fingerprint}) and pass it to every {!create}
+    over the same matrix to skip the rebuild. *)
+
+val ranks_of_matrix : Lat_matrix.t -> ranks
+(** Build the rank table for a cost matrix. *)
+
+val create : ?ranks:ranks -> Cost.objective -> Types.problem -> Types.plan -> t
 (** [create objective problem plan] validates [plan] (a partial injection
     of nodes into instances) and builds the kernel in O(|V| + |E| + R)
     where R is the number of distinct cost values. Raises
     [Invalid_argument] on an invalid plan, or for [Longest_path] on a
-    cyclic communication graph. The plan is copied. *)
+    cyclic communication graph. The plan is copied.
+
+    [ranks] must have been built (by {!ranks_of_matrix}) from
+    [problem]'s cost matrix; it is trusted beyond a dimension check
+    (raising [Invalid_argument] on mismatch) — key your cache by content
+    fingerprint. Only [Longest_link] kernels use it; it is ignored for
+    [Longest_path]. *)
 
 val create_eval : eval:(Types.plan -> float) -> Types.problem -> Types.plan -> t
 (** A kernel over an arbitrary plan-cost function. Proposals pay one full

@@ -26,15 +26,11 @@ type analysis = {
 }
 
 let optimize config rng problem =
+  (* Clustering.cluster clamps k to the distinct finite off-diagonal
+     count, so the default k = 20 is safe on instances with few distinct
+     latencies. *)
   (Cp_solver.solve
-     ~options:
-       {
-         Cp_solver.clusters = Some 20;
-         time_limit = config.solver_budget;
-         iteration_time_limit = None;
-         use_labeling = true;
-         bootstrap_trials = 10;
-       }
+     ~options:{ Cp_solver.default_options with time_limit = config.solver_budget }
      rng problem)
     .Cp_solver.plan
 

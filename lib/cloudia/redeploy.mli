@@ -31,7 +31,16 @@ type epoch_record = {
   epoch : int;
   changed : bool;             (** network conditions changed this epoch *)
   cost_current : float;       (** deployment cost of the running plan *)
-  cost_candidate : float;     (** cost of the freshly optimized plan *)
+  cost_candidate : float;     (** cost of the candidate plan — freshly
+                                  optimized on a change, otherwise the
+                                  previous epoch's candidate reused (the
+                                  problem is identical, so the solver is
+                                  skipped) *)
+  cost_adaptive : float;      (** cost the adaptive plan paid this epoch
+                                  (after any migration); [adaptive_total]
+                                  is exactly the sum of these plus
+                                  [migrations × migration_cost], in epoch
+                                  order *)
   migrated : bool;
 }
 

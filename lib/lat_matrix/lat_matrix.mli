@@ -117,6 +117,16 @@ val equal : t -> t -> bool
 (** Bitwise value equality (NaN equals NaN of the same payload); the
     storage tags are not compared. *)
 
+val fingerprint : t -> int64
+(** Content hash (FNV-1a, 64-bit) over the dimension and the float64 bit
+    patterns of the flat buffer in row-major order. Two matrices collide
+    iff {!equal} would — same bits, same hash — so the serving cache can
+    key clusterings, cost ranks, and warm starts by fingerprint. The
+    storage tag is not hashed (it only affects the on-disk width). *)
+
+val fingerprint_hex : t -> string
+(** {!fingerprint} as 16 lowercase hex digits — the wire/key form. *)
+
 (** {2 Binary I/O} *)
 
 val magic : string

@@ -1,191 +1,10 @@
 (* Read side of the JSONL exporter: parse, reconstruct, summarize,
-   compare. See trace.mli for the contract. *)
+   compare. See trace.mli for the contract.
 
-(* ---- minimal JSON value parser (no external dependency) ----
+   The JSON value parser that used to live here moved to Json (the serve
+   protocol shares it); this module keeps only the trace-record layer. *)
 
-   Numbers are kept as raw strings: ts_ns values are int64 nanoseconds
-   that can exceed the 2^53 float-exact range, so each consumer converts
-   with the right type. *)
-
-type json =
-  | Null
-  | Bool of bool
-  | Num of string
-  | Str of string
-  | Arr of json list
-  | Obj of (string * json) list
-
-exception Bad of string
-
-let parse_json (s : string) =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-        incr pos;
-        skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> incr pos
-    | _ -> fail (Printf.sprintf "expected '%c'" c)
-  in
-  let literal word v =
-    String.iter expect word;
-    v
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> incr pos
-      | Some '\\' -> (
-          incr pos;
-          match peek () with
-          | Some '"' -> Buffer.add_char b '"'; incr pos; go ()
-          | Some '\\' -> Buffer.add_char b '\\'; incr pos; go ()
-          | Some '/' -> Buffer.add_char b '/'; incr pos; go ()
-          | Some 'b' -> Buffer.add_char b '\b'; incr pos; go ()
-          | Some 'f' -> Buffer.add_char b '\012'; incr pos; go ()
-          | Some 'n' -> Buffer.add_char b '\n'; incr pos; go ()
-          | Some 'r' -> Buffer.add_char b '\r'; incr pos; go ()
-          | Some 't' -> Buffer.add_char b '\t'; incr pos; go ()
-          | Some 'u' ->
-              incr pos;
-              if !pos + 4 > n then fail "bad \\u escape";
-              let hex = String.sub s !pos 4 in
-              (match int_of_string_opt ("0x" ^ hex) with
-              | Some code when code < 0x80 -> Buffer.add_char b (Char.chr code)
-              | Some _ ->
-                  (* Exporter only escapes control chars; anything else is
-                     preserved approximately. *)
-                  Buffer.add_char b '?'
-              | None -> fail "bad \\u escape");
-              pos := !pos + 4;
-              go ()
-          | _ -> fail "bad escape")
-      | Some c ->
-          Buffer.add_char b c;
-          incr pos;
-          go ()
-    in
-    go ();
-    Buffer.contents b
-  in
-  let parse_number () =
-    let start = !pos in
-    let is_num_char = function
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while (match peek () with Some c -> is_num_char c | None -> false) do
-      incr pos
-    done;
-    if !pos = start then fail "expected a number";
-    let raw = String.sub s start (!pos - start) in
-    match float_of_string_opt raw with
-    | Some _ -> Num raw
-    | None -> fail (Printf.sprintf "malformed number %S" raw)
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' ->
-        incr pos;
-        skip_ws ();
-        if peek () = Some '}' then begin
-          incr pos;
-          Obj []
-        end
-        else begin
-          let fields = ref [] in
-          let continue = ref true in
-          while !continue do
-            skip_ws ();
-            let k = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            fields := (k, v) :: !fields;
-            skip_ws ();
-            match peek () with
-            | Some ',' -> incr pos
-            | Some '}' ->
-                incr pos;
-                continue := false
-            | _ -> fail "expected ',' or '}'"
-          done;
-          Obj (List.rev !fields)
-        end
-    | Some '[' ->
-        incr pos;
-        skip_ws ();
-        if peek () = Some ']' then begin
-          incr pos;
-          Arr []
-        end
-        else begin
-          let items = ref [] in
-          let continue = ref true in
-          while !continue do
-            items := parse_value () :: !items;
-            skip_ws ();
-            match peek () with
-            | Some ',' -> incr pos
-            | Some ']' ->
-                incr pos;
-                continue := false
-            | _ -> fail "expected ',' or ']'"
-          done;
-          Arr (List.rev !items)
-        end
-    | Some '"' -> Str (parse_string ())
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some 'n' -> literal "null" Null
-    | Some _ -> parse_number ()
-    | None -> fail "unexpected end of input"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
-
-(* ---- field accessors ---- *)
-
-let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
-
-let str_field k obj =
-  match member k obj with Some (Str s) -> s | _ -> raise (Bad ("missing string field " ^ k))
-
-let float_field ?default k obj =
-  match (member k obj, default) with
-  | Some (Num raw), _ -> float_of_string raw
-  | Some Null, Some d | None, Some d -> d
-  | _ -> raise (Bad ("missing number field " ^ k))
-
-let int_field ?default k obj =
-  match (member k obj, default) with
-  | Some (Num raw), _ -> (
-      match int_of_string_opt raw with
-      | Some i -> i
-      | None -> int_of_float (float_of_string raw))
-  | Some Null, Some d | None, Some d -> d
-  | _ -> raise (Bad ("missing integer field " ^ k))
-
-let int64_field ?(default = 0L) k obj =
-  match member k obj with
-  | Some (Num raw) -> (
-      match Int64.of_string_opt raw with
-      | Some v -> v
-      | None -> Int64.of_float (float_of_string raw))
-  | _ -> default
+open Json
 
 (* ---- trace records ---- *)
 
@@ -288,7 +107,7 @@ let of_lines lines =
   List.iteri
     (fun lineno line ->
       if !err = None && String.trim line <> "" then
-        match parse_record (parse_json line) with
+        match parse_record (Json.parse line) with
         | R_header h ->
             if h.schema > Export.schema_version then
               err :=

@@ -1,0 +1,44 @@
+(** Fingerprint-keyed cross-job caches for the advising daemon.
+
+    Four bounded LRUs behind one mutex: k-means {e clusterings} and
+    {!Cloudia.Delta_cost.ranks} tables (keyed by cost-matrix fingerprint,
+    reusable across tenants and solvers), previous {e incumbents} for warm
+    starts (keyed by fingerprint + graph + objective), and a full-result
+    {e memo} (keyed by the complete job identity; only deterministic,
+    completed solves are admitted — the server decides admission).
+
+    Every lookup bumps the [serve.cache_hits] / [serve.cache_misses]
+    counters. Values are computed {e outside} the lock; concurrent misses
+    on one key duplicate work but never produce a wrong value. *)
+
+type t
+
+type incumbent = { plan : int array; cost : float }
+
+val create : capacity:int -> t
+(** [capacity] bounds each of the four LRUs independently. *)
+
+val fingerprint : Lat_matrix.t -> string
+(** {!Lat_matrix.fingerprint_hex} — the key prefix for everything. *)
+
+val graph_key : Graphs.Digraph.t -> string
+(** Digest of the canonical edge-list rendering. *)
+
+val clustering :
+  t -> key:string -> (unit -> Cloudia.Clustering.t) -> Cloudia.Clustering.t
+(** Key: fingerprint + cluster count. *)
+
+val ranks :
+  t -> key:string -> (unit -> Cloudia.Delta_cost.ranks) -> Cloudia.Delta_cost.ranks
+(** Key: fingerprint alone (ranks depend only on the matrix). *)
+
+val incumbent : t -> key:string -> incumbent option
+
+val note_incumbent : t -> key:string -> int array -> float -> unit
+(** Keep the cheapest plan seen for the key (the plan is copied). *)
+
+val memo_find : t -> key:string -> incumbent option
+val memo_add : t -> key:string -> int array -> float -> unit
+
+val stats : t -> (string * int) list
+(** Current entry counts per cache, for the stats reply. *)

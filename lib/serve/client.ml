@@ -1,0 +1,34 @@
+(* Minimal synchronous client: one request, wait for the matching reply.
+   Replies on a shared connection can interleave, so [rpc] skips replies
+   whose id belongs to someone else only in the trivial sense of not
+   expecting any — this client serializes, one outstanding request at a
+   time, which is all the CLI and bench need. *)
+
+type t = { fd : Unix.file_descr }
+
+let connect path =
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  (try Unix.connect fd (ADDR_UNIX path)
+   with e ->
+     Unix.close fd;
+     raise e);
+  { fd }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let rpc t req =
+  Protocol.send_request t.fd req;
+  match Protocol.recv_reply t.fd with
+  | Some reply -> reply
+  | None -> raise End_of_file
+
+let advise t job = rpc t (Protocol.Advise job)
+
+let ping t = match rpc t Protocol.Ping with Protocol.Pong -> () | _ -> failwith "expected pong"
+
+let stats t =
+  match rpc t Protocol.Stats_request with
+  | Protocol.Stats kvs -> kvs
+  | _ -> failwith "expected stats"
+
+let raw_fd t = t.fd

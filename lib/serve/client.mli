@@ -1,0 +1,26 @@
+(** Synchronous client for the advising daemon: one outstanding request
+    per connection. *)
+
+type t
+
+val connect : string -> t
+(** Connect to the daemon's socket path. Raises [Unix.Unix_error] when
+    the daemon is not listening. *)
+
+val close : t -> unit
+
+val rpc : t -> Protocol.request -> Protocol.reply
+(** Send one request and block for its reply. Raises [End_of_file] if
+    the daemon closes the connection first, {!Protocol.Protocol_error}
+    on a malformed reply. *)
+
+val advise : t -> Protocol.job -> Protocol.reply
+(** {!rpc} on [Advise] — the reply is [Result], [Rejected], or
+    [Failed]. *)
+
+val ping : t -> unit
+val stats : t -> (string * int) list
+
+val raw_fd : t -> Unix.file_descr
+(** The underlying socket — tests use it to simulate abrupt
+    disconnects. *)

@@ -1,0 +1,50 @@
+(* Small LRU used by the serving cache. Recency is a monotone access
+   stamp per entry; eviction scans for the minimum stamp, which is O(n)
+   but the capacities here are tens of entries, so the scan is cheaper
+   than maintaining an intrusive list would be to get right. Not
+   thread-safe; Cache wraps every call in its mutex. *)
+
+type 'v entry = { value : 'v; mutable stamp : int }
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, 'v entry) Hashtbl.t;
+  mutable clock : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  { capacity; table = Hashtbl.create capacity; clock = 0 }
+
+let length t = Hashtbl.length t.table
+let capacity t = t.capacity
+
+let touch t e =
+  t.clock <- t.clock + 1;
+  e.stamp <- t.clock
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some e ->
+      touch t e;
+      Some e.value
+
+let mem t k = Hashtbl.mem t.table k
+
+let evict_oldest t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, stamp) when stamp <= e.stamp -> ()
+      | _ -> victim := Some (k, e.stamp))
+    t.table;
+  match !victim with Some (k, _) -> Hashtbl.remove t.table k | None -> ()
+
+let put t k v =
+  (match Hashtbl.find_opt t.table k with
+  | Some _ -> Hashtbl.remove t.table k
+  | None -> if Hashtbl.length t.table >= t.capacity then evict_oldest t);
+  t.clock <- t.clock + 1;
+  Hashtbl.add t.table k { value = v; stamp = t.clock }

@@ -1,0 +1,25 @@
+(** Bounded least-recently-used map for the serving caches.
+
+    Capacity is fixed at creation; inserting beyond it evicts the entry
+    whose last access is oldest. {!find} counts as an access, {!mem} does
+    not. Keys use structural equality/hashing — use scalar or string
+    keys (the caches key by fingerprint strings). Not thread-safe:
+    {!Cache} serializes access under its own mutex. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** Raises [Invalid_argument] unless the capacity is positive. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup, marking the entry most recently used on a hit. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Lookup without touching recency. *)
+
+val put : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or replace, evicting the least recently used entry if the
+    cache is full. The new entry is most recently used. *)
+
+val length : ('k, 'v) t -> int
+val capacity : ('k, 'v) t -> int

@@ -179,6 +179,56 @@ let test_clustering_preserves_diagonal () =
     check_float "diag" 0.0 (Lat_matrix.get c.Clustering.rounded j j)
   done
 
+let test_clustering_clamps_k () =
+  (* The CLI's redeploy/overlap paths pass the solver default k = 20
+     straight through; on a matrix with only three distinct latencies
+     that used to crash 1-D k-means. [cluster] must clamp k to the
+     distinct count — and at full k the rounding is exact. *)
+  let lat =
+    Lat_matrix.init 4 (fun j j' ->
+        if j = j' then 0.0 else float_of_int (((j + j') mod 3) + 1))
+  in
+  let c = Clustering.cluster ~k:20 lat in
+  Alcotest.(check bool) "levels bounded by distinct values" true
+    (Array.length c.Clustering.levels <= 3);
+  Alcotest.(check bool) "identity rounding at clamped k" true
+    (Lat_matrix.equal c.Clustering.rounded lat)
+
+let test_clustering_ignores_non_finite () =
+  (* NaN marks an unsampled pair; it must not reach k-means, must not
+     become a level (it would poison thresholds_below), and must survive
+     verbatim in the rounded matrix. *)
+  let lat =
+    Lat_matrix.init 4 (fun j j' ->
+        if j = j' then 0.0
+        else if j = 0 && j' = 1 then Float.nan
+        else if j = 1 && j' = 0 then Float.infinity
+        else 1.0 +. float_of_int ((j + j') mod 2))
+  in
+  let c = Clustering.cluster ~k:8 lat in
+  Array.iter
+    (fun l -> Alcotest.(check bool) "cluster level finite" true (Float.is_finite l))
+    c.Clustering.levels;
+  Alcotest.(check bool) "NaN preserved in rounded" true
+    (Float.is_nan (Lat_matrix.get c.Clustering.rounded 0 1));
+  Alcotest.(check bool) "infinity preserved in rounded" true
+    (Lat_matrix.get c.Clustering.rounded 1 0 = Float.infinity);
+  let n = Clustering.none lat in
+  Array.iter
+    (fun l -> Alcotest.(check bool) "none level finite" true (Float.is_finite l))
+    n.Clustering.levels;
+  Alcotest.(check int) "distinct finite levels" 2 (Array.length n.Clustering.levels);
+  Alcotest.(check (list (float 1e-9))) "thresholds stay finite" [ 1.0 ]
+    (Clustering.thresholds_below n 2.0)
+
+let test_clustering_all_non_finite () =
+  (* Degenerate but legal: nothing sampled yet. No levels, input
+     untouched. *)
+  let lat = Lat_matrix.init 3 (fun j j' -> if j = j' then 0.0 else Float.nan) in
+  let c = Clustering.cluster ~k:5 lat in
+  Alcotest.(check int) "no levels" 0 (Array.length c.Clustering.levels);
+  Alcotest.(check bool) "matrix preserved" true (Lat_matrix.equal c.Clustering.rounded lat)
+
 (* ---------- Greedy ---------- *)
 
 let random_problem ?(nodes = 8) ?(instances = 10) seed =
@@ -395,6 +445,10 @@ let suite =
     Alcotest.test_case "clustering rounds to levels" `Quick test_clustering_rounds_to_levels;
     Alcotest.test_case "clustering none preserves" `Quick test_clustering_none_preserves;
     Alcotest.test_case "thresholds below" `Quick test_thresholds_below;
+    Alcotest.test_case "clustering clamps k" `Quick test_clustering_clamps_k;
+    Alcotest.test_case "clustering ignores non-finite" `Quick
+      test_clustering_ignores_non_finite;
+    Alcotest.test_case "clustering all non-finite" `Quick test_clustering_all_non_finite;
     Alcotest.test_case "clustering preserves diagonal" `Quick test_clustering_preserves_diagonal;
     Alcotest.test_case "greedy plans valid" `Quick test_greedy_plans_valid;
     Alcotest.test_case "greedy on mesh" `Quick test_greedy_on_mesh;

@@ -340,6 +340,117 @@ let test_redeploy_adapts_under_heavy_change () =
     true
     (s.Redeploy.adaptive_total < s.Redeploy.static_total)
 
+let check_bits name expected actual =
+  Alcotest.(check int64)
+    (Printf.sprintf "%s: expected %h got %h" name expected actual)
+    (Int64.bits_of_float expected) (Int64.bits_of_float actual)
+
+let test_redeploy_seeded_determinism () =
+  (* Same seed, same config: the whole summary must replay bit-for-bit.
+     The solver budget is generous enough that every CP call proves
+     optimality long before the wall clock can cut it short. *)
+  let graph = Graphs.Templates.mesh2d ~rows:2 ~cols:3 in
+  let config =
+    {
+      Redeploy.epochs = 6;
+      change_prob = 0.5;
+      change_fraction = 0.3;
+      change_magnitude = 0.6;
+      migration_cost = 0.5;
+      solver_budget = 1.0;
+    }
+  in
+  let run () = Redeploy.simulate ~config (Prng.create 79) ec2 ~graph ~over_allocation:0.2 in
+  let a = run () in
+  let b = run () in
+  Alcotest.(check int) "migrations" a.Redeploy.migrations b.Redeploy.migrations;
+  check_bits "adaptive_total" a.Redeploy.adaptive_total b.Redeploy.adaptive_total;
+  check_bits "static_total" a.Redeploy.static_total b.Redeploy.static_total;
+  check_bits "oracle_total" a.Redeploy.oracle_total b.Redeploy.oracle_total;
+  List.iter2
+    (fun (ra : Redeploy.epoch_record) (rb : Redeploy.epoch_record) ->
+      Alcotest.(check int) "epoch" ra.Redeploy.epoch rb.Redeploy.epoch;
+      Alcotest.(check bool) "changed" ra.Redeploy.changed rb.Redeploy.changed;
+      Alcotest.(check bool) "migrated" ra.Redeploy.migrated rb.Redeploy.migrated;
+      check_bits "cost_current" ra.Redeploy.cost_current rb.Redeploy.cost_current;
+      check_bits "cost_candidate" ra.Redeploy.cost_candidate rb.Redeploy.cost_candidate;
+      check_bits "cost_adaptive" ra.Redeploy.cost_adaptive rb.Redeploy.cost_adaptive)
+    a.Redeploy.records b.Redeploy.records
+
+let test_redeploy_accounting () =
+  (* adaptive_total is exactly the in-order replay of the records: each
+     epoch adds migration_cost first (if it migrated), then the epoch's
+     adaptive cost. Bit-exact, not approximate. *)
+  let graph = Graphs.Templates.mesh2d ~rows:3 ~cols:3 in
+  let config =
+    {
+      Redeploy.epochs = 8;
+      change_prob = 0.5;
+      change_fraction = 0.3;
+      change_magnitude = 0.6;
+      migration_cost = 0.5;
+      solver_budget = 0.5;
+    }
+  in
+  let s = Redeploy.simulate ~config (Prng.create 75) ec2 ~graph ~over_allocation:0.2 in
+  let replay =
+    List.fold_left
+      (fun acc (r : Redeploy.epoch_record) ->
+        let acc =
+          if r.Redeploy.migrated then acc +. config.Redeploy.migration_cost else acc
+        in
+        acc +. r.Redeploy.cost_adaptive)
+      0.0 s.Redeploy.records
+  in
+  check_bits "adaptive_total replays from records" replay s.Redeploy.adaptive_total;
+  Alcotest.(check int) "migrations match flagged records" s.Redeploy.migrations
+    (List.length (List.filter (fun (r : Redeploy.epoch_record) -> r.Redeploy.migrated)
+       s.Redeploy.records))
+
+let cp_iterations () =
+  match List.assoc_opt "cp_solver.threshold_iterations" (Obs.Counter.snapshot ()) with
+  | Some n -> n
+  | None -> 0
+
+let test_redeploy_no_change_fast_path () =
+  (* With change_prob = 0 the problem never changes after the initial
+     optimize, so the solver must run exactly once however long the
+     horizon is: the CP iteration counter advances by the same amount for
+     1 epoch and for 6. *)
+  let graph = Graphs.Templates.mesh2d ~rows:2 ~cols:3 in
+  let config =
+    {
+      Redeploy.epochs = 1;
+      change_prob = 0.0;
+      change_fraction = 0.3;
+      change_magnitude = 0.6;
+      migration_cost = 0.5;
+      solver_budget = 1.0;
+    }
+  in
+  let run epochs =
+    let before = cp_iterations () in
+    let s =
+      Redeploy.simulate
+        ~config:{ config with Redeploy.epochs }
+        (Prng.create 81) ec2 ~graph ~over_allocation:0.2
+    in
+    (s, cp_iterations () - before)
+  in
+  let s1, iters1 = run 1 in
+  let s6, iters6 = run 6 in
+  Alcotest.(check bool) "initial optimize did run" true (iters1 > 0);
+  Alcotest.(check int) "quiet horizon solves exactly once" iters1 iters6;
+  Alcotest.(check int) "no migrations on a quiet horizon" 0 s6.Redeploy.migrations;
+  let first = List.hd s1.Redeploy.records in
+  List.iter
+    (fun (r : Redeploy.epoch_record) ->
+      Alcotest.(check bool) "no change recorded" false r.Redeploy.changed;
+      Alcotest.(check bool) "no migration recorded" false r.Redeploy.migrated;
+      check_bits "epoch cost replicates epoch 1" first.Redeploy.cost_adaptive
+        r.Redeploy.cost_adaptive)
+    s6.Redeploy.records
+
 (* ---------- Graph I/O ---------- *)
 
 let test_parse_spec_templates () =
@@ -484,6 +595,9 @@ let suite =
     Alcotest.test_case "perturb zero fraction" `Quick test_perturb_zero_fraction_identity;
     Alcotest.test_case "redeploy consistency" `Quick test_redeploy_simulation_consistency;
     Alcotest.test_case "redeploy adapts" `Quick test_redeploy_adapts_under_heavy_change;
+    Alcotest.test_case "redeploy seeded determinism" `Quick test_redeploy_seeded_determinism;
+    Alcotest.test_case "redeploy accounting" `Quick test_redeploy_accounting;
+    Alcotest.test_case "redeploy no-change fast path" `Quick test_redeploy_no_change_fast_path;
     Alcotest.test_case "parse spec templates" `Quick test_parse_spec_templates;
     Alcotest.test_case "parse spec rejects garbage" `Quick test_parse_spec_rejects_garbage;
     Alcotest.test_case "parse edge list" `Quick test_parse_edge_list;

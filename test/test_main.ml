@@ -22,4 +22,5 @@ let () =
       ("consistency", Test_consistency.suite);
       ("lat-matrix", Test_latmat.suite);
       ("faults", Test_faults.suite);
+      ("serve", Test_serve.suite);
     ]
