@@ -184,6 +184,7 @@ let cp_options ?(clusters = Some 20) ?(time_limit = 5.0) () =
     iteration_time_limit = None;
     use_labeling = true;
     bootstrap_trials = 10;
+    symmetry_breaking = true;
   }
 
 let mip_options ?(clusters = None) ?(time_limit = 10.0) () =

@@ -217,6 +217,7 @@ let strategy_of_string ~time_limit ~domains ~objective s =
              iteration_time_limit = None;
              use_labeling = true;
              bootstrap_trials = 10;
+             symmetry_breaking = true;
            })
   | "mip" ->
       Ok
@@ -920,6 +921,7 @@ let bandwidth provider seed nodes =
           iteration_time_limit = None;
           use_labeling = true;
           bootstrap_trials = 10;
+          symmetry_breaking = true;
         }
       rng env graph
   in

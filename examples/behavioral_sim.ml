@@ -26,6 +26,7 @@ let () =
                iteration_time_limit = None;
                use_labeling = true;
                bootstrap_trials = 10;
+               symmetry_breaking = true;
              }) );
     ]
   in

@@ -33,6 +33,7 @@ let () =
            iteration_time_limit = None;
            use_labeling = true;
            bootstrap_trials = 10;
+           symmetry_breaking = true;
          }
        rng problem)
       .Cloudia.Cp_solver.plan

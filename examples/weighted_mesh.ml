@@ -38,6 +38,7 @@ let () =
       iteration_time_limit = None;
       use_labeling = true;
       bootstrap_trials = 10;
+      symmetry_breaking = true;
     }
   in
   let unweighted = Cloudia.Cp_solver.solve ~options (Prng.create 1) problem in

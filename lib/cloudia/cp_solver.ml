@@ -4,6 +4,7 @@ type options = {
   iteration_time_limit : float option;
   use_labeling : bool;
   bootstrap_trials : int;
+  symmetry_breaking : bool;
 }
 
 let default_options =
@@ -13,6 +14,7 @@ let default_options =
     iteration_time_limit = None;
     use_labeling = true;
     bootstrap_trials = 10;
+    symmetry_breaking = true;
   }
 
 type result = {
@@ -74,6 +76,55 @@ let connectivity_badness rounded =
       done;
       !acc /. float_of_int (2 * (m - 1)))
 
+(* Instance-interchangeability classes over the TRUE cost matrix: two
+   instances are classmates iff swapping them leaves the matrix invariant
+   (identical rows and columns outside the pair, symmetric within the
+   pair). Exact float equality on the raw measurements means noisy real
+   traces essentially never produce classes — solves on measured matrices
+   are byte-identical with or without symmetry breaking — while synthetic
+   rack-structured topologies (the paper's §4 observation: same rack/pod ⇒
+   identical cost row) collapse each rack into one class. Classes are
+   pairwise verified against every member already admitted (the swap
+   relation is not transitive in general), so any two classmates really
+   are swappable. True-row equality implies rounded-row equality (the
+   clustering rounds entries pointwise), so classes computed here stay
+   valid for the rounded CSP the dives actually solve. *)
+let interchange_classes lat =
+  let m = Lat_matrix.dim lat in
+  let get j k = Lat_matrix.unsafe_get lat j k in
+  let swappable j j' =
+    get j j' = get j' j
+    && get j j = get j' j'
+    &&
+    let ok = ref true in
+    for k = 0 to m - 1 do
+      if k <> j && k <> j' then
+        if get j k <> get j' k || get k j <> get k j' then ok := false
+    done;
+    !ok
+  in
+  let classes = Array.make m (-1) in
+  let n_classes = ref 0 in
+  let members = ref [] in
+  for j = 0 to m - 1 do
+    if classes.(j) = -1 then begin
+      members := [ j ];
+      for j' = j + 1 to m - 1 do
+        if classes.(j') = -1 && List.for_all (fun k -> swappable k j') !members then begin
+          if classes.(j) = -1 then begin
+            classes.(j) <- !n_classes;
+            incr n_classes
+          end;
+          classes.(j') <- classes.(j);
+          members := j' :: !members
+        end
+      done
+    end
+  done;
+  (* Only multi-member classes ever received an id, so [n_classes = 0]
+     means the matrix has no exploitable symmetry at all. *)
+  (classes, !n_classes)
+
 let check_warm_start ~n ~m plan =
   if Array.length plan <> n then
     invalid_arg
@@ -90,8 +141,8 @@ let check_warm_start ~n ~m plan =
     plan
 
 let solve ?(options = default_options) ?clustering ?warm_start ?edge_weight
-    ?(order_values = true) ?max_iterations ?(stop = fun () -> false) ?peek ?on_incumbent rng
-    (t : Types.problem) =
+    ?(order_values = true) ?max_iterations ?node_limit ?(stop = fun () -> false) ?peek
+    ?on_incumbent rng (t : Types.problem) =
   Obs.Resource.with_ "cp_solver.solve" @@ fun () ->
   let obs_stream = Obs.Incumbent.stream "cp" in
   let start = Obs.Clock.now_s () in
@@ -194,9 +245,33 @@ let solve ?(options = default_options) ?clustering ?warm_start ?edge_weight
     }
   else begin
     let continue = ref true in
+    (* Value-interchangeability classes feed the search's symmetric-value
+       dedup. Computed once per solve — they depend only on the cost
+       matrix, not on thresholds. *)
+    let value_classes =
+      if options.symmetry_breaking then begin
+        let classes, n_classes = interchange_classes t.Types.lat in
+        if n_classes > 0 then Some classes else None
+      end
+      else None
+    in
+    (* One CSP for the whole threshold iteration: {!Cp.Csp.reset} refills
+       the domains and drops the previous threshold's forbidden matrices
+       while keeping the alldifferent propagator and its warm matching
+       state, so later (tighter) iterations skip both the allocation and
+       the from-scratch matching of a rebuild. *)
+    let csp = Cp.Csp.create ~nvars:n ~nvalues:m in
+    Cp.Csp.add_alldifferent csp;
+    let remaining_nodes () =
+      match node_limit with Some l -> Some (l - !nodes) | None -> None
+    in
+    let node_budget_exhausted () =
+      match remaining_nodes () with Some r -> r <= 0 | None -> false
+    in
     while !continue do
       let remaining = options.time_limit -. elapsed () in
-      if remaining <= 0.0 || stop () || iteration_cap_hit () then continue := false
+      if remaining <= 0.0 || stop () || iteration_cap_hit () || node_budget_exhausted ()
+      then continue := false
       else begin
         adopt_external ();
         match thresholds_below (rounded_eval !incumbent) with
@@ -208,8 +283,7 @@ let solve ?(options = default_options) ?clustering ?warm_start ?edge_weight
         | c :: _ ->
             incr iterations;
             Obs.Counter.incr c_iterations;
-            let csp = Cp.Csp.create ~nvars:n ~nvalues:m in
-            Cp.Csp.add_alldifferent csp;
+            Cp.Csp.reset csp;
             (* One forbidden matrix per distinct edge weight: the edge
                (i,i') allows pair (j,j') iff w·cost(j,j') <= c, i.e.
                cost(j,j') <= c / w. *)
@@ -252,8 +326,9 @@ let solve ?(options = default_options) ?clustering ?warm_start ?edge_weight
               else fun ~var:_ values -> values
             in
             let outcome, (st : Cp.Search.stats) =
-              Cp.Search.solve ~time_limit:iteration_budget ~should_stop:stop ~value_order
-                csp
+              Cp.Search.solve ~time_limit:iteration_budget
+                ?node_limit:(remaining_nodes ()) ?value_classes ~should_stop:stop
+                ~value_order csp
             in
             nodes := !nodes + st.Cp.Search.nodes;
             failures := !failures + st.Cp.Search.failures;

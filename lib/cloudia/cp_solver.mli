@@ -21,11 +21,18 @@ type options = {
       (** cap per feasibility solve; [None] = whatever remains *)
   use_labeling : bool;           (** apply degree-compatibility root filtering *)
   bootstrap_trials : int;        (** random plans seeding the incumbent (paper: 10) *)
+  symmetry_breaking : bool;
+      (** branch over one representative per instance-interchangeability
+          class (instances with exactly identical true-cost rows/columns,
+          e.g. same rack). Classes use exact float equality, so noisy
+          measured matrices yield none and the search is unchanged;
+          symmetric topologies prune all but one of each bundle of
+          equivalent subtrees. Cost of the returned plan is unaffected. *)
 }
 
 val default_options : options
 (** k = 20 clusters, 60 s budget, no per-iteration cap, labeling on,
-    10 bootstrap trials. *)
+    10 bootstrap trials, symmetry breaking on. *)
 
 type result = {
   plan : Types.plan;
@@ -49,6 +56,7 @@ val solve :
   ?edge_weight:(int -> int -> float) ->
   ?order_values:bool ->
   ?max_iterations:int ->
+  ?node_limit:int ->
   ?stop:(unit -> bool) ->
   ?peek:(unit -> Types.plan option) ->
   ?on_incumbent:(Types.plan -> float -> unit) ->
@@ -84,6 +92,10 @@ val solve :
 
     Portfolio hooks. [max_iterations] caps the number of feasibility
     problems solved (a wall-clock-free budget for reproducible tests).
+    [node_limit] caps the total CP search nodes across all dives — the
+    deterministic budget the scaling bench uses to compare broken vs
+    unbroken symmetry without wall-clock noise; hitting it ends the solve
+    with the incumbent, like a timeout.
     [stop] is polled between iterations and at every search node of the
     current dive; returning [true] ends the solve with the incumbent so
     far. [peek] exposes the best plan found by any other portfolio worker:

@@ -9,6 +9,15 @@ type t = {
   nvalues : int;
   domains : Domain.t array;
   mutable constraints : constr list; (* reversed insertion order *)
+  (* Incremental alldifferent state: the last maximum matching found, kept
+     mutually consistent ([pair_left.(x) = v] iff [pair_right.(v) = x]).
+     Never trusted blindly — each propagation validates it against the live
+     domains and re-augments only the variables that lost their match, so
+     staleness after backtracking or {!reset} is harmless. *)
+  pair_left : int array;
+  pair_right : int array;
+  seen : int array; (* Kuhn DFS visit stamps, one slot per value *)
+  mutable stamp : int;
 }
 
 let create ~nvars ~nvalues =
@@ -19,6 +28,10 @@ let create ~nvars ~nvalues =
     nvalues;
     domains = Array.init nvars (fun _ -> Domain.full nvalues);
     constraints = [];
+    pair_left = Array.make nvars (-1);
+    pair_right = Array.make nvalues (-1);
+    seen = Array.make nvalues (-1);
+    stamp = 0;
   }
 
 let nvars t = t.nvars
@@ -85,7 +98,50 @@ let propagate_forbidden t ~x ~y ~bad ~bad_rev =
   else if !changed then Progress
   else Fixpoint
 
-(* Régin's alldifferent filtering: compute a maximum variable-to-value
+(* Kuhn augmenting-path DFS from variable [x] over the live domains.
+   Values are visited in ascending order (Domain.iter), so given identical
+   starting state the matching found is deterministic. *)
+let rec kuhn_augment t x =
+  try
+    Domain.iter
+      (fun v ->
+        if t.seen.(v) <> t.stamp then begin
+          t.seen.(v) <- t.stamp;
+          let owner = t.pair_right.(v) in
+          if owner = -1 || kuhn_augment t owner then begin
+            t.pair_left.(x) <- v;
+            t.pair_right.(v) <- x;
+            raise Exit
+          end
+        end)
+      t.domains.(x);
+    false
+  with Exit -> true
+
+(* Restore the cached matching to a maximum matching of the current
+   variable/domain bipartite graph: drop pairs whose value left its
+   variable's domain, then re-augment only the unmatched variables. Any
+   maximum matching yields the same Régin prunings (the filtered edge set
+   is matching-invariant), so the incremental matching changes cost, not
+   results. Returns false when no perfect matching exists. *)
+let revalidate_matching t =
+  for x = 0 to t.nvars - 1 do
+    let v = t.pair_left.(x) in
+    if v <> -1 && not (Domain.mem t.domains.(x) v) then begin
+      t.pair_left.(x) <- -1;
+      t.pair_right.(v) <- -1
+    end
+  done;
+  let ok = ref true in
+  for x = 0 to t.nvars - 1 do
+    if !ok && t.pair_left.(x) = -1 then begin
+      t.stamp <- t.stamp + 1;
+      if not (kuhn_augment t x) then ok := false
+    end
+  done;
+  !ok
+
+(* Régin's alldifferent filtering: maintain a maximum variable-to-value
    matching; fail if not all variables are matched; then remove every edge
    (x, v) that lies in no maximum matching. Edge classification uses the
    standard residual orientation — matched edges var→value, unmatched
@@ -93,12 +149,10 @@ let propagate_forbidden t ~x ~y ~bad ~bad_rev =
    share an SCC or its value vertex is reachable from a free value. *)
 let propagate_alldifferent t =
   let n = t.nvars and m = t.nvalues in
-  let adj = Array.init n (fun x -> Array.of_list (Domain.to_list t.domains.(x))) in
-  let matching = Graphs.Matching.maximum ~n_left:n ~n_right:m ~adj in
-  if matching.Graphs.Matching.size < n then Failure
+  if not (revalidate_matching t) then Failure
   else begin
-    let pair_left = matching.Graphs.Matching.pair_left in
-    let pair_right = matching.Graphs.Matching.pair_right in
+    let pair_left = t.pair_left in
+    let pair_right = t.pair_right in
     (* Residual digraph over n variable vertices then m value vertices. *)
     let total = n + m in
     let succ v =
@@ -174,6 +228,15 @@ let propagate t =
     else Fixpoint
   in
   loop false
+
+let reset t =
+  let full = Domain.full t.nvalues in
+  Array.iter (fun d -> Domain.blit ~src:full ~dst:d) t.domains;
+  t.constraints <-
+    List.filter (function Alldifferent -> true | Forbidden _ -> false) t.constraints
+(* The cached matching survives reset on purpose: a matching valid under
+   the shrunken domains is still a matching under the refilled ones, so
+   the next threshold iteration starts with zero augmenting work. *)
 
 let save t = Array.map Domain.copy t.domains
 

@@ -46,7 +46,20 @@ val add_forbidden_pairs : t -> x:int -> y:int -> bad:Domain.t array -> unit
     set depends only on the link-cost threshold). *)
 
 val propagate : t -> propagation
-(** Run all propagators to fixpoint. [Failure] means some domain emptied. *)
+(** Run all propagators to fixpoint. [Failure] means some domain emptied.
+    The alldifferent propagator is incremental: it keeps the last maximum
+    matching inside [t], revalidates it against the live domains, and
+    re-augments only the variables that lost their match — the filtered
+    edge set is matching-invariant, so prunings are identical to a
+    from-scratch run. *)
+
+val reset : t -> unit
+(** Refill every domain to the full value range and drop all binary
+    (forbidden-pair) constraints, keeping [alldifferent] and its warm
+    matching state. This is what lets a threshold-iterating solver reuse
+    one CSP across iterations instead of rebuilding it: after [reset],
+    re-apply the root restrictions and post the new iteration's forbidden
+    matrices. *)
 
 val save : t -> Domain.t array
 (** Snapshot all domains (for search backtracking). *)

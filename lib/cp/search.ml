@@ -23,7 +23,43 @@ let c_propagations = Obs.Counter.make "cp.search.propagations"
    untraced node loop keeps zero clock reads. *)
 let h_node = Obs.Histogram.make "cp.node_ns"
 
-let solve ?time_limit ?node_limit ?should_stop
+(* Refine caller-declared interchangeability classes by the root domains:
+   two values may only share a class if every variable's initial domain
+   treats them identically. The search-level soundness argument for
+   symmetric-value dedup needs the class swap to be an automorphism of the
+   *posted* problem, and unary root restrictions (degree labeling) are part
+   of it — exact column comparison makes the guarantee self-contained
+   instead of trusting the caller's restrictions to be symmetric. *)
+let refine_classes csp classes =
+  let nvalues = Csp.nvalues csp in
+  if Array.length classes <> nvalues then
+    invalid_arg "Search.solve: value_classes length must equal nvalues";
+  let column v =
+    String.init (Csp.nvars csp) (fun x ->
+        if Domain.mem (Csp.domain csp x) v then '1' else '0')
+  in
+  let groups : (int * string, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  for v = nvalues - 1 downto 0 do
+    if classes.(v) >= 0 then begin
+      let key = (classes.(v), column v) in
+      match Hashtbl.find_opt groups key with
+      | Some members -> members := v :: !members
+      | None -> Hashtbl.add groups key (ref [ v ])
+    end
+  done;
+  let refined = Array.make nvalues (-1) in
+  let next = ref 0 in
+  Hashtbl.iter
+    (fun _ members ->
+      match !members with
+      | [] | [ _ ] -> () (* singleton classes cannot save any branching *)
+      | vs ->
+          List.iter (fun v -> refined.(v) <- !next) vs;
+          incr next)
+    groups;
+  (refined, !next)
+
+let solve ?time_limit ?node_limit ?should_stop ?value_classes
     ?(value_order = fun ~var:_ values -> values) csp =
   Obs.Span.with_ "cp.search" @@ fun () ->
   let start = Obs.Clock.now_s () in
@@ -39,14 +75,63 @@ let solve ?time_limit ?node_limit ?should_stop
     | _ -> ()
   in
   let initial = Csp.save csp in
-  (* MRV: unassigned variable with the smallest domain. *)
+  (* Symmetric-value dedup: at a branch node, values of the same
+     (root-refined) interchangeability class are pairwise swappable by a
+     problem automorphism fixing the path's assignments, so trying more
+     than one candidate per class only re-proves the same subtree. Keeping
+     the smallest candidate of each class is therefore sound and
+     complete. [class_mark] is stamped per branch node to dedup without
+     allocation. *)
+  let classes, n_classes =
+    match value_classes with
+    | None -> (Array.make 0 0, 0)
+    | Some c -> refine_classes csp c
+  in
+  let class_mark = Array.make (max n_classes 1) (-1) in
+  let node_stamp = ref 0 in
+  let dedup_values values =
+    if n_classes = 0 then values
+    else begin
+      incr node_stamp;
+      List.filter
+        (fun v ->
+          let c = classes.(v) in
+          c < 0
+          ||
+          if class_mark.(c) = !node_stamp then false
+          else begin
+            class_mark.(c) <- !node_stamp;
+            true
+          end)
+        values
+    end
+  in
+  (* MRV over a sparse set of still-unassigned variables: scanning every
+     variable at every node is O(n) even deep in the tree where most are
+     fixed. Variables found assigned are swapped past the [n_active]
+     watermark; restoring the watermark un-removes them on backtrack
+     (assignment is monotone along a dive, so everything past the
+     watermark really was assigned at this depth). Tie-breaks match the
+     historical full scan exactly: smallest domain, then smallest index. *)
+  let cand = Array.init (Csp.nvars csp) (fun i -> i) in
+  let n_active = ref (Csp.nvars csp) in
   let select_variable () =
     let best = ref (-1) and best_size = ref max_int in
-    for v = 0 to Csp.nvars csp - 1 do
+    let i = ref 0 in
+    while !i < !n_active do
+      let v = cand.(!i) in
       let s = Domain.size (Csp.domain csp v) in
-      if s > 1 && s < !best_size then begin
-        best := v;
-        best_size := s
+      if s <= 1 then begin
+        decr n_active;
+        cand.(!i) <- cand.(!n_active);
+        cand.(!n_active) <- v
+      end
+      else begin
+        if s < !best_size || (s = !best_size && v < !best) then begin
+          best := v;
+          best_size := s
+        end;
+        incr i
       end
     done;
     !best
@@ -69,14 +154,18 @@ let solve ?time_limit ?node_limit ?should_stop
                  domain is empty (propagate would have failed) — defensive. *)
               incr failures
             else begin
-              let values = value_order ~var (Domain.to_list (Csp.domain csp var)) in
+              let values =
+                value_order ~var (dedup_values (Domain.to_list (Csp.domain csp var)))
+              in
               let snapshot = Csp.save csp in
+              let saved_active = !n_active in
               List.iter
                 (fun v ->
                   incr nodes;
                   Domain.fix (Csp.domain csp var) v;
                   search ();
-                  Csp.restore csp snapshot)
+                  Csp.restore csp snapshot;
+                  n_active := saved_active)
                 values
             end)
   in

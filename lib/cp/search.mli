@@ -23,6 +23,7 @@ val solve :
   ?time_limit:float ->
   ?node_limit:int ->
   ?should_stop:(unit -> bool) ->
+  ?value_classes:int array ->
   ?value_order:(var:int -> int list -> int list) ->
   Csp.t ->
   result * stats
@@ -32,4 +33,17 @@ val solve :
     search with {!Timeout} — this is how a parallel portfolio cancels an
     in-flight feasibility dive cooperatively once another worker has
     already settled the race. The CSP's domains are restored to their
-    pre-search state on exit. *)
+    pre-search state on exit.
+
+    [value_classes] (length [nvalues], entry [-1] = no class) declares
+    value-interchangeability classes for symmetry breaking: at every
+    branch node only one candidate per class is tried, since swapping two
+    classmates maps refuted subtrees onto each other. The caller asserts
+    that values sharing a class are interchangeable under {e every posted
+    constraint} and that the CSP includes [alldifferent] (which guarantees
+    branch candidates are assigned nowhere else, making the class swap fix
+    the partial assignment); classes are additionally refined at entry so
+    classmates have identical root domain columns, covering any asymmetric
+    unary restriction. Completeness and the cost of the best solution are
+    preserved; which of several symmetric solutions is found may differ
+    from an unbroken search. *)

@@ -72,7 +72,7 @@ let fractionality x =
 type strategy = Best_first | Depth_first
 
 let solve ?time_limit ?node_limit ?should_stop ?(strategy = Depth_first) ?on_incumbent
-    ?initial_incumbent model =
+    ?initial_incumbent ?dense_ceiling model =
   Obs.Span.with_ "lp.mip.solve" @@ fun () ->
   let start = Obs.Clock.now_s () in
   let elapsed () = Obs.Clock.now_s () -. start in
@@ -90,16 +90,19 @@ let solve ?time_limit ?node_limit ?should_stop ?(strategy = Depth_first) ?on_inc
   let hit_limit = ref false in
   (* Open nodes live either in a best-first heap or a depth-first stack. A
      node is the list of branching rows accumulated from the root plus its
-     parent's LP bound. Depth-first dives toward integer-feasible leaves —
-     essential when the LP relaxation is weak (bounds barely discriminate,
-     so best-first degenerates into breadth-first and rarely finds
-     incumbents); best-first minimizes nodes when bounds are strong. *)
-  let heap = Heap.create [] in
+     parent's LP bound and — when the sparse kernel solved the parent — the
+     parent's optimal basis, so the child LP restarts from it (dual simplex
+     repair) instead of from scratch. Depth-first dives toward
+     integer-feasible leaves — essential when the LP relaxation is weak
+     (bounds barely discriminate, so best-first degenerates into
+     breadth-first and rarely finds incumbents); best-first minimizes nodes
+     when bounds are strong. *)
+  let heap = Heap.create ([], None) in
   let stack = ref [] in
-  let push bound branches =
+  let push bound branches basis =
     match strategy with
-    | Best_first -> Heap.push heap bound branches
-    | Depth_first -> stack := (bound, branches) :: !stack
+    | Best_first -> Heap.push heap bound (branches, basis)
+    | Depth_first -> stack := (bound, (branches, basis)) :: !stack
   in
   let pop () =
     match strategy with
@@ -115,15 +118,15 @@ let solve ?time_limit ?node_limit ?should_stop ?(strategy = Depth_first) ?on_inc
      exactly like a hit limit: stop branching, keep the incumbent. Models
      the dense kernel refuses outright ([Too_large]) get the same handling:
      the caller-provided seed is the best this solver can do. *)
-  let root_status =
-    try Model.solve_relaxation ~should_stop:over_time model
+  let root_status, root_basis =
+    try Model.solve_relaxation_basis ~should_stop:over_time ?dense_ceiling model
     with Simplex.Aborted | Simplex.Too_large ->
       hit_limit := true;
-      Simplex.Infeasible
+      (Simplex.Infeasible, None)
   in
   (match root_status with
   | Simplex.Infeasible | Simplex.Unbounded -> ()
-  | Simplex.Optimal (bound, _) -> push bound []);
+  | Simplex.Optimal (bound, _) -> push bound [] root_basis);
   let unbounded = root_status = Simplex.Unbounded in
   let best_obj () = match !incumbent with Some (o, _) -> o | None -> infinity in
   let record_incumbent obj sol =
@@ -149,7 +152,7 @@ let solve ?time_limit ?node_limit ?should_stop ?(strategy = Depth_first) ?on_inc
       | _ -> (
           match pop () with
           | None -> continue := false
-          | Some (bound, branches) ->
+          | Some (bound, (branches, parent_basis)) ->
               if bound >= best_obj () -. 1e-9 then begin
                 (* Bound-dominated. Under best-first ordering every
                    remaining node is dominated too; under depth-first only
@@ -160,17 +163,19 @@ let solve ?time_limit ?node_limit ?should_stop ?(strategy = Depth_first) ?on_inc
               else begin
                 incr nodes;
                 match
-                  try Model.solve_relaxation ~should_stop:over_time ~extra:branches model
+                  try
+                    Model.solve_relaxation_basis ~should_stop:over_time ~extra:branches
+                      ?warm_basis:parent_basis ?dense_ceiling model
                   with Simplex.Aborted | Simplex.Too_large ->
                     hit_limit := true;
                     continue := false;
-                    Simplex.Infeasible
+                    (Simplex.Infeasible, None)
                 with
-                | Simplex.Infeasible -> ()
-                | Simplex.Unbounded ->
+                | Simplex.Infeasible, _ -> ()
+                | Simplex.Unbounded, _ ->
                     (* Cannot happen if the root was bounded, but guard. *)
                     ()
-                | Simplex.Optimal (obj, sol) ->
+                | Simplex.Optimal (obj, sol), node_basis ->
                     if obj < best_obj () -. 1e-9 then begin
                       (* Most fractional integer variable. *)
                       let branch_var = ref None and worst = ref int_tol in
@@ -190,14 +195,17 @@ let solve ?time_limit ?node_limit ?should_stop ?(strategy = Depth_first) ?on_inc
                         let lo = Float.floor x and hi = Float.ceil x in
                         (* Push the branch matching the LP rounding last so
                            depth-first explores it first (the stack pops in
-                           reverse push order). *)
+                           reverse push order). Children inherit this node's
+                           basis: the branch row extends it block-
+                           triangularly, so the sparse kernel re-enters at
+                           the parent optimum. *)
                         if x -. lo >= 0.5 then begin
-                          push obj ((v, Simplex.Le, lo) :: branches);
-                          push obj ((v, Simplex.Ge, hi) :: branches)
+                          push obj ((v, Simplex.Le, lo) :: branches) node_basis;
+                          push obj ((v, Simplex.Ge, hi) :: branches) node_basis
                         end
                         else begin
-                          push obj ((v, Simplex.Ge, hi) :: branches);
-                          push obj ((v, Simplex.Le, lo) :: branches)
+                          push obj ((v, Simplex.Ge, hi) :: branches) node_basis;
+                          push obj ((v, Simplex.Le, lo) :: branches) node_basis
                         end
                       end
                     end

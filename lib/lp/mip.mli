@@ -38,6 +38,7 @@ val solve :
   ?strategy:strategy ->
   ?on_incumbent:(obj:float -> solution:float array -> elapsed:float -> unit) ->
   ?initial_incumbent:float * float array ->
+  ?dense_ceiling:int ->
   Model.t ->
   outcome * stats
 (** [solve m] runs branch and bound. [time_limit] is in seconds (default
@@ -50,4 +51,8 @@ val solve :
     solution is found; [strategy] picks the exploration order (default
     {!Depth_first}); [initial_incumbent] seeds the search with a known
     feasible objective/solution (the paper bootstraps its solvers with the
-    best of 10 random deployments). Integrality tolerance is [1e-6]. *)
+    best of 10 random deployments). Integrality tolerance is [1e-6].
+    [dense_ceiling] overrides the tableau-cell threshold below which the
+    relaxations use the dense kernel (forwarded to
+    {!Model.solve_relaxation_basis}); pass [0] to force the sparse
+    revised-simplex path end to end — a testing hook. *)

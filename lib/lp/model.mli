@@ -41,7 +41,28 @@ val solve_relaxation :
     single-variable bound rows [var rel rhs] — the branching constraints
     used by {!Mip}. Finite upper bounds declared on variables are
     materialized as rows. [should_stop] is forwarded to the simplex kernel,
-    which raises {!Simplex.Aborted} when it fires mid-solve. *)
+    which raises {!Simplex.Aborted} when it fires mid-solve. Equivalent to
+    [fst (solve_relaxation_basis ...)]. *)
+
+val solve_relaxation_basis :
+  ?should_stop:(unit -> bool) ->
+  ?extra:(var * Simplex.relation * float) list ->
+  ?warm_basis:int array ->
+  ?dense_ceiling:int ->
+  t ->
+  Simplex.status * int array option
+(** Like {!solve_relaxation}, but also returns the optimal basis when the
+    sparse kernel ran. Routing: if the estimated dense tableau fits in
+    [dense_ceiling] (default {!Simplex.max_tableau_cells}) the dense
+    {!Simplex} runs — bit-identical to the historical behaviour — and the
+    basis is [None] ([warm_basis] is ignored: the dense kernel cannot use
+    it). Otherwise the model is handed to {!Sparse} without ever being
+    densified, and the returned stable-label basis can be passed back as
+    [warm_basis] for a re-solve of this model extended with more [extra]
+    rows (each new branch prepended to [extra], as {!Mip} does). Raises
+    {!Simplex.Too_large} only past the sparse kernel's own row cap.
+    [dense_ceiling] exists for tests to force the sparse path on small
+    models; production callers leave it at the default. *)
 
 val value : float array -> var -> float
 (** Read a variable out of a solution vector returned by the solver. *)

@@ -83,7 +83,7 @@ let choose_leaving t ~col =
   done;
   !best
 
-type phase_result = Phase_optimal | Phase_unbounded
+type phase_result = Phase_optimal | Phase_unbounded | Phase_iter_limit
 
 (* Pivot totals are flushed once per phase, not per pivot: an atomic add in
    the pivot loop would contend across portfolio domains and show up in
@@ -112,12 +112,22 @@ let[@cloudia.hot] run_phase t ~allowed ~max_iters ~iter_count ~should_stop =
      clock-free anyway. *)
   let timed = Obs.Sink.enabled () in
   while !continue do
-    if !iter_count > max_iters then failwith "Simplex.solve: iteration limit exceeded";
+    if !iter_count > max_iters then begin
+      result := Phase_iter_limit;
+      continue := false
+    end
+    else begin
     (* Poll for cooperative cancellation every 32 pivots: one pivot is
        O(m·ncols), so large models would otherwise overrun any wall-clock
        budget by the length of a whole LP solve. *)
     if !iter_count land 31 = 0 && should_stop () then raise Aborted;
-    let col = choose_entering t ~allowed ~iter:!iter_count ~bland_after:(max_iters / 2) in
+    (* The Dantzig→Bland anti-cycling switch counts pivots of THIS phase
+       only ([iter_count] is cumulative across both phases): a long phase 1
+       must not force phase 2 into pure Bland pricing from its first
+       pivot. *)
+    let col =
+      choose_entering t ~allowed ~iter:(!iter_count - entry) ~bland_after:(max_iters / 2)
+    in
     if col = -1 then continue := false
     else begin
       let row = choose_leaving t ~col in
@@ -131,6 +141,7 @@ let[@cloudia.hot] run_phase t ~allowed ~max_iters ~iter_count ~should_stop =
         if timed then Obs.Histogram.record_ns h_pivot (Int64.sub (Obs.Clock.now_ns ()) t0);
         incr iter_count
       end
+    end
     end
   done;
   !result
@@ -205,6 +216,9 @@ let solve ?(max_iters = 50_000) ?(should_stop = fun () -> false) ~objective ~row
     done;
     (match run_phase t ~allowed:(fun _ -> true) ~max_iters ~iter_count ~should_stop with
     | Phase_unbounded -> failwith "Simplex.solve: phase 1 unbounded (internal error)"
+    (* Exhausting the pivot budget is a budget hit, not a crash: abort like
+       a cooperative stop so MIP callers keep their incumbent. *)
+    | Phase_iter_limit -> raise Aborted
     | Phase_optimal -> ());
     (* Phase-1 objective value is -obj rhs (we maintain obj as reduced costs
        with value in the rhs cell, negated). *)
@@ -243,6 +257,7 @@ let solve ?(max_iters = 50_000) ?(should_stop = fun () -> false) ~objective ~row
   let allowed j = j < art_start in
   match run_phase t ~allowed ~max_iters ~iter_count ~should_stop with
   | Phase_unbounded -> Unbounded
+  | Phase_iter_limit -> raise Aborted
   | Phase_optimal ->
       let x = Array.make nvars 0.0 in
       for r = 0 to m - 1 do

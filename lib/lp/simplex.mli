@@ -19,9 +19,12 @@ type status =
   | Unbounded
 
 exception Aborted
-(** Raised out of {!solve} when [should_stop] returns [true]: the tableau is
-    abandoned mid-solve with no usable status. Cooperative cancellation for
-    callers racing the solver against a wall-clock budget. *)
+(** Raised out of {!solve} when [should_stop] returns [true] — or when the
+    [max_iters] pivot budget is exhausted: the tableau is abandoned
+    mid-solve with no usable status. Cooperative cancellation for callers
+    racing the solver against a wall-clock budget; exhausting the pivot
+    budget is the same contract (a budget hit, not an internal error), so
+    MIP callers degrade to their incumbent instead of crashing. *)
 
 exception Too_large
 (** Raised by {!solve} before any allocation when the dense tableau would
@@ -42,8 +45,11 @@ val solve :
 (** [solve ~objective ~rows ()] minimizes [objective]·x over x ≥ 0 subject
     to [rows], each [(coeffs, rel, rhs)] with [coeffs] of the same length as
     [objective]. [max_iters] (default [50_000]) bounds total pivots across
-    both phases; exceeding it raises [Failure]. [should_stop] is polled
-    every 32 pivots; when it returns [true], {!Aborted} is raised — without
-    it a single large LP can overrun any caller-side time limit, which is
-    only checked between solves. Raises [Invalid_argument] on dimension
-    mismatches. *)
+    both phases; exceeding it raises {!Aborted} (a budget hit, handled like
+    a cooperative stop). The Dantzig→Bland anti-cycling switch triggers
+    after [max_iters / 2] pivots {e of the current phase} — per phase, not
+    cumulative, so a long phase 1 cannot force phase 2 into pure Bland
+    pricing. [should_stop] is polled every 32 pivots; when it returns
+    [true], {!Aborted} is raised — without it a single large LP can overrun
+    any caller-side time limit, which is only checked between solves.
+    Raises [Invalid_argument] on dimension mismatches. *)

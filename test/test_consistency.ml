@@ -102,6 +102,7 @@ let test_weighted_cp_uniform_equals_plain () =
       iteration_time_limit = None;
       use_labeling = true;
       bootstrap_trials = 10;
+      symmetry_breaking = true;
     }
   in
   let plain = Cp_solver.solve ~options (Prng.create 16) p in
@@ -134,6 +135,7 @@ let test_three_solvers_agree_on_optimum () =
             iteration_time_limit = None;
             use_labeling = true;
             bootstrap_trials = 10;
+            symmetry_breaking = true;
           }
         (Prng.create seed) p
     in

@@ -264,6 +264,75 @@ let test_sip_unsat_via_csp () =
   | Search.Sat _, _ -> Alcotest.fail "no 4-cycle in a path"
   | Search.Timeout, _ -> Alcotest.fail "tiny instance cannot time out"
 
+(* ---------- Value-interchangeability classes ---------- *)
+
+(* Two classes of two values each ({0,1} and {2,3}); the forbidden matrix
+   depends only on the class, so classmates are genuinely interchangeable
+   under every posted constraint, as value_classes requires. *)
+let cross_class_bad = forbidden_matrix 4 (fun j j' -> j / 2 <> j' / 2)
+
+let test_search_value_classes_prune_unsat () =
+  (* Triangle of vars forced into one class of 2 values but needing 3
+     distinct values: unsatisfiable, and the refutation needs search (root
+     propagation is arc-consistent). Symmetry breaking must reach the same
+     Unsat while branching on at most one value per class. *)
+  let build () =
+    let csp = Csp.create ~nvars:3 ~nvalues:4 in
+    Csp.add_alldifferent csp;
+    List.iter
+      (fun (x, y) -> Csp.add_forbidden_pairs csp ~x ~y ~bad:cross_class_bad)
+      [ (0, 1); (1, 2); (0, 2) ];
+    csp
+  in
+  let plain, plain_stats = Search.solve (build ()) in
+  let sym, sym_stats =
+    Search.solve ~value_classes:[| 0; 0; 1; 1 |] (build ())
+  in
+  Alcotest.(check bool) "plain unsat" true (plain = Search.Unsat);
+  Alcotest.(check bool) "sym unsat" true (sym = Search.Unsat);
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer nodes with classes (%d < %d)" sym_stats.Search.nodes
+       plain_stats.Search.nodes)
+    true
+    (sym_stats.Search.nodes < plain_stats.Search.nodes)
+
+let test_search_value_classes_complete_sat () =
+  (* Two vars that must land in the same class with distinct values: a
+     solution exists and representative-only branching must still find it.
+     A root restriction makes the classes asymmetric; entry-time refinement
+     splits them so completeness survives. *)
+  let csp = Csp.create ~nvars:2 ~nvalues:4 in
+  Csp.add_alldifferent csp;
+  Csp.add_forbidden_pairs csp ~x:0 ~y:1 ~bad:cross_class_bad;
+  Csp.restrict csp ~var:0 ~allowed:(fun v -> v <> 0);
+  match Search.solve ~value_classes:[| 0; 0; 1; 1 |] csp with
+  | Search.Sat s, _ ->
+      Alcotest.(check bool) "distinct" true (s.(0) <> s.(1));
+      Alcotest.(check bool) "same class" true (s.(0) / 2 = s.(1) / 2);
+      Alcotest.(check bool) "restriction respected" true (s.(0) <> 0)
+  | _ -> Alcotest.fail "expected sat under symmetry breaking"
+
+let test_csp_reset_reuses_alldifferent () =
+  (* The threshold-iterating solver's reuse pattern: post an over-tight
+     iteration's forbidden pairs, fail, reset, and re-solve — the binary
+     constraints must be gone while alldifferent (and its warm matching)
+     still holds. *)
+  let csp = Csp.create ~nvars:2 ~nvalues:3 in
+  Csp.add_alldifferent csp;
+  (match Search.solve csp with
+  | Search.Sat s, _ -> Alcotest.(check bool) "distinct before" true (s.(0) <> s.(1))
+  | _ -> Alcotest.fail "satisfiable before tightening");
+  Csp.add_forbidden_pairs csp ~x:0 ~y:1 ~bad:(forbidden_matrix 3 (fun _ _ -> true));
+  Alcotest.(check bool) "tightened iteration fails" true (Csp.propagate csp = Csp.Failure);
+  Csp.reset csp;
+  (match Csp.propagate csp with
+  | Csp.Failure -> Alcotest.fail "reset must clear the forbidden pairs"
+  | _ -> ());
+  Alcotest.(check int) "domains refilled" 3 (Domain.size (Csp.domain csp 0));
+  match Search.solve csp with
+  | Search.Sat s, _ -> Alcotest.(check bool) "alldifferent survives reset" true (s.(0) <> s.(1))
+  | _ -> Alcotest.fail "satisfiable after reset"
+
 let qcheck_props =
   [
     QCheck.Test.make ~name:"search solutions satisfy alldifferent" ~count:50
@@ -325,5 +394,9 @@ let suite =
     Alcotest.test_case "sudoku row completion" `Quick test_search_sudoku_row;
     Alcotest.test_case "subgraph isomorphism sat" `Quick test_sip_via_csp;
     Alcotest.test_case "subgraph isomorphism unsat" `Quick test_sip_unsat_via_csp;
+    Alcotest.test_case "value classes prune unsat" `Quick test_search_value_classes_prune_unsat;
+    Alcotest.test_case "value classes stay complete" `Quick
+      test_search_value_classes_complete_sat;
+    Alcotest.test_case "csp reset reuse" `Quick test_csp_reset_reuses_alldifferent;
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_props

@@ -129,6 +129,7 @@ let test_weighted_cp_matches_brute_force () =
         iteration_time_limit = None;
         use_labeling = true;
         bootstrap_trials = 10;
+        symmetry_breaking = true;
       }
     in
     let r = Weighted.solve_cp ~options (Prng.create seed) w in
@@ -251,6 +252,7 @@ let test_bandwidth_solver_improves_bottleneck () =
           iteration_time_limit = None;
           use_labeling = true;
           bootstrap_trials = 10;
+          symmetry_breaking = true;
         }
       (Prng.create 8) env graph
   in
@@ -549,6 +551,7 @@ let test_traffic_better_plan_meets_more_deadlines () =
            iteration_time_limit = None;
            use_labeling = true;
            bootstrap_trials = 10;
+           symmetry_breaking = true;
          }
        (Prng.create 87) problem)
       .Cp_solver.plan

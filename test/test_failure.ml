@@ -18,6 +18,7 @@ let cp_fast =
     iteration_time_limit = None;
     use_labeling = true;
     bootstrap_trials = 10;
+    symmetry_breaking = true;
   }
 
 (* ---------- Degenerate cost structures ---------- *)

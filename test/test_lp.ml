@@ -291,6 +291,203 @@ let test_mip_depth_first_finds_incumbent_fast () =
   | Mip.Mip_infeasible, _ -> Alcotest.fail "feasible problem"
   | Mip.Mip_unbounded, _ -> Alcotest.fail "bounded problem"
 
+(* ---------- Sparse revised simplex ---------- *)
+
+let sparse_rows rows =
+  List.map
+    (fun (coeffs, rel, rhs) ->
+      let vars = ref [] and cfs = ref [] in
+      Array.iteri
+        (fun i c ->
+          if c <> 0.0 then begin
+            vars := i :: !vars;
+            cfs := c :: !cfs
+          end)
+        coeffs;
+      (Array.of_list (List.rev !vars), Array.of_list (List.rev !cfs), rel, rhs))
+    rows
+
+let solve_sparse objective rows = Sparse.solve ~objective ~rows:(sparse_rows rows) ()
+
+(* Both kernels on the same fixture: statuses must match, optima must agree,
+   and the sparse solution must satisfy the original rows. *)
+let check_sparse_agrees name objective rows =
+  let dense = solve_simplex objective rows in
+  let sp = solve_sparse objective rows in
+  match (dense, sp.Sparse.status) with
+  | Simplex.Optimal (od, _), Simplex.Optimal (os, x) ->
+      check_float (name ^ ": objective") ~tol:1e-7 od os;
+      Alcotest.(check bool) (name ^ ": nonneg") true (Array.for_all (fun v -> v >= -1e-7) x);
+      List.iter
+        (fun (coeffs, rel, rhs) ->
+          let lhs = ref 0.0 in
+          Array.iteri (fun i c -> lhs := !lhs +. (c *. x.(i))) coeffs;
+          let ok =
+            match rel with
+            | Simplex.Le -> !lhs <= rhs +. 1e-6
+            | Simplex.Ge -> !lhs >= rhs -. 1e-6
+            | Simplex.Eq -> Float.abs (!lhs -. rhs) <= 1e-6
+          in
+          Alcotest.(check bool) (name ^ ": sparse solution feasible") true ok)
+        rows
+  | Simplex.Infeasible, Simplex.Infeasible | Simplex.Unbounded, Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail (name ^ ": kernel statuses disagree")
+
+let test_sparse_matches_dense_textbook () =
+  check_sparse_agrees "dantzig"
+    [| -3.0; -5.0 |]
+    [
+      ([| 1.0; 0.0 |], Simplex.Le, 4.0);
+      ([| 0.0; 2.0 |], Simplex.Le, 12.0);
+      ([| 3.0; 2.0 |], Simplex.Le, 18.0);
+    ];
+  check_sparse_agrees "equality"
+    [| 1.0; 1.0 |]
+    [ ([| 1.0; 1.0 |], Simplex.Eq, 5.0); ([| 1.0; 0.0 |], Simplex.Le, 3.0) ];
+  check_sparse_agrees "ge"
+    [| 2.0; 3.0 |]
+    [ ([| 1.0; 1.0 |], Simplex.Ge, 4.0); ([| 1.0; 0.0 |], Simplex.Ge, 1.0) ];
+  check_sparse_agrees "negative rhs" [| 0.0; 1.0 |] [ ([| 1.0; -1.0 |], Simplex.Le, -2.0) ]
+
+let test_sparse_degenerate_beale () =
+  (* The cycling-prone fixture from test_simplex_degenerate: the sparse
+     kernel's per-phase Bland switch must terminate it at the same optimum. *)
+  check_sparse_agrees "beale"
+    [| -0.75; 150.0; -0.02; 6.0 |]
+    [
+      ([| 0.25; -60.0; -0.04; 9.0 |], Simplex.Le, 0.0);
+      ([| 0.5; -90.0; -0.02; 3.0 |], Simplex.Le, 0.0);
+      ([| 0.0; 0.0; 1.0; 0.0 |], Simplex.Le, 1.0);
+    ]
+
+let test_sparse_statuses () =
+  check_sparse_agrees "infeasible" [| 1.0 |]
+    [ ([| 1.0 |], Simplex.Le, 1.0); ([| 1.0 |], Simplex.Ge, 2.0) ];
+  check_sparse_agrees "unbounded" [| -1.0 |] [ ([| 1.0 |], Simplex.Ge, 1.0) ]
+
+let test_sparse_iteration_budget_aborts () =
+  (* Budget exhaustion must surface as the typed Aborted, not a Failure. *)
+  Alcotest.check_raises "sparse budget" Simplex.Aborted (fun () ->
+      ignore
+        (Sparse.solve ~max_iters:1 ~objective:[| -3.0; -5.0 |]
+           ~rows:
+             (sparse_rows
+                [
+                  ([| 1.0; 0.0 |], Simplex.Le, 4.0);
+                  ([| 0.0; 2.0 |], Simplex.Le, 12.0);
+                  ([| 3.0; 2.0 |], Simplex.Le, 18.0);
+                ])
+           ()))
+
+let test_dense_iteration_budget_aborts () =
+  Alcotest.check_raises "dense budget" Simplex.Aborted (fun () ->
+      ignore
+        (Simplex.solve ~max_iters:1 ~objective:[| -3.0; -5.0 |]
+           ~rows:
+             [
+               ([| 1.0; 0.0 |], Simplex.Le, 4.0);
+               ([| 0.0; 2.0 |], Simplex.Le, 12.0);
+               ([| 3.0; 2.0 |], Simplex.Le, 18.0);
+             ]
+           ()))
+
+let assignment_model ?(integer = false) n w =
+  let m = Model.create () in
+  let x =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            Model.add_var m ~integer ~ub:1.0 ~obj:(w i j) (Printf.sprintf "a%d_%d" i j)))
+  in
+  for i = 0 to n - 1 do
+    Model.add_constraint m (List.init n (fun j -> (x.(i).(j), 1.0))) Simplex.Eq 1.0
+  done;
+  for j = 0 to n - 1 do
+    Model.add_constraint m (List.init n (fun i -> (x.(i).(j), 1.0))) Simplex.Le 1.0
+  done;
+  (m, x)
+
+let test_sparse_dense_bit_identical () =
+  (* Pure assignment LP with dyadic costs: both kernels pivot on ±1 entries
+     and stay in exact dyadic arithmetic, so the optima must be the same
+     bit pattern, not merely close. This is the gate that caught a ratio-test
+     bug in the sparse kernel's phase 1. *)
+  let w i j = 0.25 *. float_of_int ((((i * 7) + (j * 3)) mod 4) + 1) in
+  let m, _ = assignment_model 6 w in
+  let dense =
+    match fst (Model.solve_relaxation_basis m) with
+    | Simplex.Optimal (obj, _) -> obj
+    | _ -> Alcotest.fail "dense: expected optimal"
+  in
+  let sparse =
+    match fst (Model.solve_relaxation_basis ~dense_ceiling:0 m) with
+    | Simplex.Optimal (obj, _) -> obj
+    | _ -> Alcotest.fail "sparse: expected optimal"
+  in
+  Alcotest.(check int64)
+    "objective bits" (Int64.bits_of_float dense) (Int64.bits_of_float sparse)
+
+let test_sparse_warm_basis_matches_cold () =
+  (* Branch-and-bound re-solve pattern: optimal basis of the parent, then the
+     child adds a bound row. Warm and cold solves of the child must agree. *)
+  let w i j = if i = j then 1.0 else 3.0 +. float_of_int ((i + (2 * j)) mod 3) in
+  let m, x = assignment_model 4 w in
+  let basis =
+    match Model.solve_relaxation_basis ~dense_ceiling:0 m with
+    | Simplex.Optimal _, Some b -> b
+    | _ -> Alcotest.fail "parent: expected optimal with basis"
+  in
+  (* Force the first (diagonal, hence basic) variable out of the plan. *)
+  let extra = [ (x.(0).(0), Simplex.Le, 0.0) ] in
+  let warm =
+    match fst (Model.solve_relaxation_basis ~dense_ceiling:0 ~extra ~warm_basis:basis m) with
+    | Simplex.Optimal (obj, _) -> obj
+    | _ -> Alcotest.fail "warm child: expected optimal"
+  in
+  let cold =
+    match fst (Model.solve_relaxation_basis ~dense_ceiling:0 ~extra m) with
+    | Simplex.Optimal (obj, _) -> obj
+    | _ -> Alcotest.fail "cold child: expected optimal"
+  in
+  check_float "warm equals cold" ~tol:1e-9 cold warm
+
+let test_sparse_warm_infeasible_branch () =
+  (* A child whose branch row contradicts an upper bound: the warm dual
+     repair (or its cold fallback) must prove infeasibility, not loop. *)
+  let m = Model.create () in
+  let x = Model.add_var m ~ub:3.0 ~obj:1.0 "x" in
+  let y = Model.add_var m ~ub:3.0 ~obj:1.0 "y" in
+  Model.add_constraint m [ (x, 1.0); (y, 1.0) ] Simplex.Ge 2.0;
+  let basis =
+    match Model.solve_relaxation_basis ~dense_ceiling:0 m with
+    | Simplex.Optimal _, Some b -> b
+    | _ -> Alcotest.fail "parent: expected optimal with basis"
+  in
+  let extra = [ (x, Simplex.Ge, 5.0) ] in
+  match fst (Model.solve_relaxation_basis ~dense_ceiling:0 ~extra ~warm_basis:basis m) with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible child"
+
+let test_mip_dense_ceiling_equivalence () =
+  (* Mip.solve with every relaxation forced through the sparse kernel must
+     reproduce the dense-path optima on the standard fixtures. *)
+  let m = Model.create () in
+  let a = Model.add_var m ~integer:true ~ub:1.0 ~obj:(-10.0) "a" in
+  let b = Model.add_var m ~integer:true ~ub:1.0 ~obj:(-13.0) "b" in
+  let c = Model.add_var m ~integer:true ~ub:1.0 ~obj:(-7.0) "c" in
+  Model.add_constraint m [ (a, 3.0); (b, 4.0); (c, 2.0) ] Simplex.Le 6.0;
+  (match Mip.solve ~dense_ceiling:0 m with
+  | Mip.Mip_optimal (obj, sol), stats ->
+      check_float "knapsack objective" (-20.0) obj;
+      check_float "b chosen" 1.0 (Model.value sol b);
+      check_float "c chosen" 1.0 (Model.value sol c);
+      Alcotest.(check bool) "proved" true stats.Mip.proven_optimal
+  | _ -> Alcotest.fail "sparse knapsack: expected optimal");
+  let m2, _ = assignment_model ~integer:true 3 (fun i j -> if i = j then 1.0 else 10.0) in
+  match (Mip.solve ~dense_ceiling:0 m2, Mip.solve m2) with
+  | (Mip.Mip_optimal (os, _), _), (Mip.Mip_optimal (od, _), _) ->
+      check_float "assignment sparse vs dense" ~tol:1e-9 od os
+  | _ -> Alcotest.fail "assignment: expected optimal on both paths"
+
 let random_lp rng nvars nrows =
   let objective = Array.init nvars (fun _ -> Prng.float rng 10.0 -. 5.0) in
   let rows =
@@ -328,6 +525,18 @@ let qcheck_props =
                  -. Array.fold_left ( +. ) 0.0 (Array.mapi (fun i c -> c *. x.(i)) objective))
                <= 1e-6
         | Simplex.Infeasible | Simplex.Unbounded -> true);
+    QCheck.Test.make ~name:"sparse kernel agrees with dense" ~count:150
+      QCheck.(small_int)
+      (fun seed ->
+        let rng = Prng.create seed in
+        let nvars = 1 + Prng.int rng 4 and nrows = 1 + Prng.int rng 5 in
+        let objective, rows = random_lp rng nvars nrows in
+        let sp = solve_sparse objective rows in
+        match (Simplex.solve ~objective ~rows (), sp.Sparse.status) with
+        | Simplex.Optimal (od, _), Simplex.Optimal (os, _) -> Float.abs (od -. os) <= 1e-5
+        | Simplex.Infeasible, Simplex.Infeasible -> true
+        | Simplex.Unbounded, Simplex.Unbounded -> true
+        | _ -> false);
     QCheck.Test.make ~name:"MIP solutions are integral and feasible" ~count:60
       QCheck.(small_int)
       (fun seed ->
@@ -403,5 +612,14 @@ let suite =
     Alcotest.test_case "mip general integer" `Quick test_mip_general_integer;
     Alcotest.test_case "mip strategies agree" `Quick test_mip_strategies_agree;
     Alcotest.test_case "mip depth-first incumbent" `Quick test_mip_depth_first_finds_incumbent_fast;
+    Alcotest.test_case "sparse matches dense textbook" `Quick test_sparse_matches_dense_textbook;
+    Alcotest.test_case "sparse degenerate (Beale)" `Quick test_sparse_degenerate_beale;
+    Alcotest.test_case "sparse statuses" `Quick test_sparse_statuses;
+    Alcotest.test_case "sparse iteration budget aborts" `Quick test_sparse_iteration_budget_aborts;
+    Alcotest.test_case "dense iteration budget aborts" `Quick test_dense_iteration_budget_aborts;
+    Alcotest.test_case "sparse/dense bit-identical" `Quick test_sparse_dense_bit_identical;
+    Alcotest.test_case "sparse warm basis" `Quick test_sparse_warm_basis_matches_cold;
+    Alcotest.test_case "sparse warm infeasible branch" `Quick test_sparse_warm_infeasible_branch;
+    Alcotest.test_case "mip dense-ceiling equivalence" `Quick test_mip_dense_ceiling_equivalence;
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_props

@@ -154,6 +154,7 @@ let test_cp_iteration_time_limit () =
       iteration_time_limit = Some 0.2;
       use_labeling = true;
       bootstrap_trials = 10;
+      symmetry_breaking = true;
     }
   in
   let r = Cp_solver.solve ~options (Prng.create 18) p in
@@ -405,6 +406,7 @@ let test_roadnet_traffic_end_to_end () =
            iteration_time_limit = None;
            use_labeling = true;
            bootstrap_trials = 10;
+           symmetry_breaking = true;
          }
        (Prng.create 54) problem)
       .Cp_solver.plan
@@ -433,6 +435,7 @@ let test_cp_value_order_same_optimum () =
       iteration_time_limit = None;
       use_labeling = true;
       bootstrap_trials = 10;
+      symmetry_breaking = true;
     }
   in
   let with_order = Cp_solver.solve ~options ~order_values:true (Prng.create 62) p in

@@ -26,6 +26,7 @@ let cp_exact =
     iteration_time_limit = None;
     use_labeling = true;
     bootstrap_trials = 10;
+    symmetry_breaking = true;
   }
 
 (* ---------- CP solver ---------- *)
@@ -73,6 +74,42 @@ let test_cp_labeling_ablation_same_result () =
   in
   let with_l = Cp_solver.solve ~options:cp_exact (Prng.create 3) p in
   check_float "same optimum either way" with_l.Cp_solver.cost without.Cp_solver.cost
+
+let test_cp_symmetry_breaking_racks () =
+  (* Rack-structured matrix: 5 racks of 3 instances at 0.25 ms inside a
+     rack, 1.0 ms across. A 6-node mesh cannot fit in a 3-instance rack, so
+     the optimum is 1.0 ms, and proving it means refuting the 0.25 ms
+     threshold graph (disjoint 3-cliques). Racks are exact
+     interchangeability classes: the broken search must reach the same
+     proven cost while visiting strictly fewer nodes. *)
+  let graph = Graphs.Templates.mesh2d ~rows:2 ~cols:3 in
+  let m = 15 in
+  let costs =
+    Array.init m (fun j ->
+        Array.init m (fun j' ->
+            if j = j' then 0.0 else if j / 3 = j' / 3 then 0.25 else 1.0))
+  in
+  let p = Types.problem ~graph ~costs in
+  (* Labeling off: at this tiny scale the degree-compatibility root filter
+     refutes the threshold by itself (0 nodes both ways), which would leave
+     nothing for the node-count comparison to measure. *)
+  let run symmetry_breaking =
+    Cp_solver.solve
+      ~options:{ cp_exact with Cp_solver.symmetry_breaking; use_labeling = false }
+      (Prng.create 11) p
+  in
+  let sym = run true in
+  let plain = run false in
+  Alcotest.(check bool) "sym proved" true sym.Cp_solver.proven_optimal;
+  Alcotest.(check bool) "plain proved" true plain.Cp_solver.proven_optimal;
+  check_float "optimum is one cross-rack hop" 1.0 sym.Cp_solver.cost;
+  check_float "same cost either way" plain.Cp_solver.cost sym.Cp_solver.cost;
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer nodes with symmetry breaking (%d < %d)" sym.Cp_solver.nodes
+       plain.Cp_solver.nodes)
+    true
+    (sym.Cp_solver.nodes < plain.Cp_solver.nodes);
+  Alcotest.(check bool) "valid plan" true (Types.is_valid p sym.Cp_solver.plan)
 
 let test_cp_respects_iteration_cap () =
   (* Budget exhaustion must still yield a valid anytime plan. The cap is
@@ -318,6 +355,7 @@ let suite =
     Alcotest.test_case "cp trace decreasing" `Quick test_cp_trace_decreasing;
     Alcotest.test_case "cp clustering bounded error" `Quick test_cp_with_clustering_bounded_error;
     Alcotest.test_case "cp labeling ablation" `Quick test_cp_labeling_ablation_same_result;
+    Alcotest.test_case "cp symmetry breaking racks" `Quick test_cp_symmetry_breaking_racks;
     Alcotest.test_case "cp iteration cap" `Quick test_cp_respects_iteration_cap;
     Alcotest.test_case "cp cooperative stop" `Quick test_cp_stops_cooperatively;
     Alcotest.test_case "cp beats greedy" `Quick test_cp_beats_or_matches_greedy;

@@ -51,6 +51,7 @@ let test_behavioral_better_plan_runs_faster () =
           iteration_time_limit = None;
           use_labeling = true;
           bootstrap_trials = 10;
+          symmetry_breaking = true;
         }
       (Prng.create 3) problem
   in

@@ -114,6 +114,9 @@ let band key =
   else if contains key "ns_per_run" then Some (Lower_better (1.30, 0.0))
   else if contains key "primal_integral" then Some (Lower_better (3.0, 0.02))
   else if contains key "tt_within" then Some (Lower_better (5.0, 0.10))
+  else if contains key "sym_node_ratio" then Some (Lower_better (1.2, 0.05))
+  else if contains key "sparse_iters" then Some (Lower_better (1.5, 0.0))
+  else if contains key "fig_scale" && contains key ".seconds" then Some (Lower_better (2.5, 1.0))
   else None
 
 let () =
@@ -170,6 +173,27 @@ let () =
   | _ ->
       incr failures;
       Printf.printf "FAIL mesh64 acceptance metrics missing from %s\n" current_path);
+  (* Acceptance claims for the solver-scaling work (fig-scale): symmetry
+     breaking halves the CP node count at 150 instances without changing
+     the answer, the 150-instance LP routes to the sparse kernel and
+     solves to optimality, branch and bound completes at 40 instances,
+     and dense/sparse optima are bit-identical on the overlap LP. *)
+  (let req key pred describe =
+     match Hashtbl.find_opt current key with
+     | Some v when pred v -> Printf.printf "ok   fig-scale acceptance: %s (%s = %g)\n" describe key v
+     | Some v ->
+         incr failures;
+         Printf.printf "FAIL fig-scale acceptance: %s (%s = %g)\n" describe key v
+     | None ->
+         incr failures;
+         Printf.printf "FAIL fig-scale acceptance: %s missing from %s\n" key current_path
+   in
+   req "fig_scale.cp150.sym_node_ratio" (fun v -> v <= 0.5) "CP nodes at least halved at 150";
+   req "fig_scale.cp150.cost_match" (fun v -> v = 1.0) "same CP cost with and without breaking";
+   req "fig_scale.cp150.proven_sym" (fun v -> v = 1.0) "broken search still proves optimality";
+   req "fig_scale.lp150.optimal" (fun v -> v = 1.0) "150-instance sparse LP solved to optimality";
+   req "fig_scale.mip40.nodes" (fun v -> v >= 1.0) "40-instance branch and bound completed";
+   req "fig_scale.sparse_dense.bitmatch" (fun v -> v = 1.0) "dense/sparse optima bit-identical");
   if !failures > 0 then begin
     Printf.printf "bench_gate: %d check(s) failed\n" !failures;
     exit 1
